@@ -1,0 +1,36 @@
+// Figure 1: Stream Triad bandwidth vs core count on the simulated Xeon Phi
+// 7250, with data in DDR, MCDRAM flat mode, and MCDRAM cache mode.
+//
+// Paper shape to hold: DDR saturates near 90 GB/s after ~16 cores; flat
+// MCDRAM keeps scaling to ~470-490 GB/s; cache mode lands in between.
+#include <cstdio>
+
+#include "apps/workloads.hpp"
+#include "engine/execution.hpp"
+
+using namespace hmem;
+
+namespace {
+
+double triad_bw(int cores, engine::Condition condition) {
+  engine::RunOptions opts;
+  opts.condition = condition;
+  return engine::run_app(apps::make_stream_triad(cores), opts)
+      .achieved_bw_gbs;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 1 — Stream Triad bandwidth (GB/s) on knl7250\n");
+  std::printf("%6s %10s %14s %15s\n", "cores", "DDR", "MCDRAM/Flat",
+              "MCDRAM/Cache");
+  std::printf("cores,ddr_gbs,mcdram_flat_gbs,mcdram_cache_gbs\n");
+  for (int cores : {1, 2, 4, 8, 16, 32, 34, 64, 68}) {
+    const double ddr = triad_bw(cores, engine::Condition::kDdr);
+    const double flat = triad_bw(cores, engine::Condition::kNumactl);
+    const double cache = triad_bw(cores, engine::Condition::kCacheMode);
+    std::printf("%6d %10.1f %14.1f %15.1f\n", cores, ddr, flat, cache);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 3: call-stack unwind vs translate cost against call-stack depth.
+//
+// Two views are produced:
+//  (a) the calibrated simulated-cost model (what the interposer charges to
+//      execution time) — this is the Figure 3 reproduction, with the
+//      translate curve overtaking the unwind curve past depth ~6;
+//  (b) google-benchmark measurements of this library's *actual* unwind /
+//      translate implementations, confirming the same growth-in-depth trend
+//      on the host machine.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "callstack/modulemap.hpp"
+#include "callstack/unwind.hpp"
+
+using namespace hmem::callstack;
+
+namespace {
+
+SymbolicCallStack stack_of_depth(int depth) {
+  SymbolicCallStack s;
+  for (int i = 0; i < depth; ++i) {
+    s.frames.push_back(CodeLocation{"app.x", "fn" + std::to_string(i),
+                                    static_cast<std::uint32_t>(i + 1)});
+  }
+  return s;
+}
+
+void BM_Unwind(benchmark::State& state) {
+  ModuleMap mm;
+  mm.add_module("app.x", 0x400000, 1 << 20);
+  mm.randomize_slides(1);
+  Unwinder unwinder(mm);
+  const auto stack = stack_of_depth(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unwinder.unwind(stack));
+  }
+}
+
+void BM_Translate(benchmark::State& state) {
+  ModuleMap mm;
+  mm.add_module("app.x", 0x400000, 1 << 20);
+  mm.randomize_slides(1);
+  Unwinder unwinder(mm);
+  Translator translator(mm);
+  const CallStack raw =
+      unwinder.unwind(stack_of_depth(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(translator.translate(raw));
+  }
+}
+
+BENCHMARK(BM_Unwind)->DenseRange(1, 9);
+BENCHMARK(BM_Translate)->DenseRange(1, 9);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "Figure 3 — unwind vs translate simulated cost (us) by depth\n");
+  std::printf("%6s %10s %12s\n", "depth", "unwind", "translate");
+  const CostModel cost;
+  for (int depth = 1; depth <= 9; ++depth) {
+    std::printf("%6d %10.2f %12.2f\n", depth, cost.unwind_ns(depth) / 1000.0,
+                cost.translate_ns(depth) / 1000.0);
+  }
+  std::printf("crossover depth: %.2f (paper: ~6)\n\n",
+              cost.crossover_depth());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Shared driver for the eight Figure 4 benches: runs the full evaluation row
+// for one application (four baselines + four strategies x budget sweep) and
+// prints the three panels (FOM / MCDRAM HWM / dFOM-per-MByte) plus a CSV
+// block for plotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "apps/workloads.hpp"
+#include "engine/experiment.hpp"
+
+namespace hmem::bench {
+
+inline int run_fig4(const std::string& app_name) {
+  const apps::AppSpec app = apps::app_by_name(app_name);
+  engine::PipelineOptions base;
+  engine::Fig4Runner runner(app, base);
+  const auto budgets = app.ranks == 1 ? engine::paper_budgets_openmp()
+                                      : engine::paper_budgets_mpi();
+  const auto strategies = engine::paper_strategies();
+  const auto row = runner.run(budgets, strategies);
+
+  std::printf("Figure 4 row — %s (%s), %d rank(s) x %d thread(s)\n",
+              app.name.c_str(), app.fom_unit.c_str(), app.ranks,
+              app.threads_per_rank);
+  std::printf("%s\n",
+              engine::format_fig4_row(row, budgets, strategies).c_str());
+  std::printf("--- CSV ---\n%s\n", engine::fig4_row_to_csv(row).c_str());
+  return 0;
+}
+
+}  // namespace hmem::bench

@@ -1,0 +1,6 @@
+// Regenerates the Figure 4 row for hpcg: FOM, MCDRAM HWM and dFOM/MByte
+// under every strategy x budget combination plus the four baseline
+// execution conditions.
+#include "fig4_common.hpp"
+
+int main() { return hmem::bench::run_fig4("hpcg"); }

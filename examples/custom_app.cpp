@@ -1,0 +1,82 @@
+// Bringing your own application to the framework.
+//
+// An AppSpec is a declarative memory-object signature: objects (sizes,
+// allocation sites, static/dynamic, lifetime) plus per-phase access
+// weights. This example builds a small "key-value store" style workload
+// from scratch, validates it, and compares all five execution conditions.
+//
+// Build & run:  ./example_custom_app
+#include <cstdio>
+
+#include "apps/app.hpp"
+#include "engine/pipeline.hpp"
+
+int main() {
+  using namespace hmem;
+
+  apps::AppSpec app;
+  app.name = "kvstore";
+  app.fom_unit = "Mops/s";
+  app.ranks = 16;
+  app.threads_per_rank = 4;
+  app.iterations = 30;
+  app.accesses_per_iteration = 12000;
+  app.access_scale = 150.0;
+  app.work_per_iteration = 2.0;  // Mops per rank-iteration
+  app.stack_bytes = 4ULL << 20;
+
+  // A hot hash index, a warm value log, and a cold snapshot buffer. The
+  // index is random-access (latency-hostile), the log streams.
+  app.objects = {
+      apps::ObjectSpec{.name = "hash_index", .size_bytes = 48ULL << 20,
+                       .pattern = apps::AccessPattern::kRandom},
+      apps::ObjectSpec{.name = "value_log", .size_bytes = 320ULL << 20,
+                       .pattern = apps::AccessPattern::kStream},
+      apps::ObjectSpec{.name = "snapshot", .size_bytes = 512ULL << 20,
+                       .pattern = apps::AccessPattern::kStream},
+      apps::ObjectSpec{.name = "config_tables", .size_bytes = 2ULL << 20,
+                       .pattern = apps::AccessPattern::kRandom,
+                       .is_static = true},
+  };
+  apps::PhaseSpec serve;
+  serve.name = "serve";
+  serve.access_share = 1.0;
+  serve.object_weights = {0.55, 0.30, 0.05, 0.04};
+  serve.stack_weight = 0.06;
+  serve.insts_per_access = 60.0;
+  app.phases = {serve};
+
+  // Always validate a hand-built spec: the engine asserts on invalid ones.
+  const std::string problem = apps::validate(app);
+  if (!problem.empty()) {
+    std::fprintf(stderr, "invalid spec: %s\n", problem.c_str());
+    return 1;
+  }
+
+  // Baselines.
+  std::printf("%-12s %10s %12s\n", "condition", "Mops/s", "MCDRAM HWM");
+  for (const auto condition :
+       {engine::Condition::kDdr, engine::Condition::kNumactl,
+        engine::Condition::kAutoHbw, engine::Condition::kCacheMode}) {
+    engine::RunOptions opts;
+    opts.condition = condition;
+    const auto r = engine::run_app(app, opts);
+    std::printf("%-12s %10.2f %9.1f MiB\n", r.condition.c_str(), r.fom,
+                static_cast<double>(r.mcdram_hwm_bytes) / (1 << 20));
+  }
+
+  // The framework, with a 64 MiB/rank budget — enough for the index, not
+  // for the log.
+  engine::PipelineOptions options;
+  options.fast_budget_per_rank = 64ULL << 20;
+  const auto result = engine::run_pipeline(app, options);
+  std::printf("%-12s %10.2f %9.1f MiB  (selected:",
+              "framework", result.production_run.fom,
+              static_cast<double>(result.production_run.mcdram_hwm_bytes) /
+                  (1 << 20));
+  for (const auto& obj : result.placement.fast().objects) {
+    std::printf(" %s", obj.name.c_str());
+  }
+  std::printf(")\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// hmem_advisor — stage 3 of the framework.
+//
+// Takes the per-object report from the trace analysis and a memory
+// specification, and computes which objects to host in which tier. Solves
+// "separate knapsacks in descending order of memory performance at memory
+// page granularity": the fastest tier picks first with the configured
+// strategy, unchosen objects cascade to the next tier, and the slowest tier
+// is the unbounded fallback.
+//
+// The advisor assumes a static application address space (all objects alive
+// the whole run). That assumption is part of the paper — it is what misleads
+// the framework on Lulesh — and the paper's mitigation ("force hmem_advisor
+// to consider it has 512 Mbytes ... but still limit auto-hbwmalloc to 256")
+// is exposed as Options::virtual_budget_bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "advisor/knapsack.hpp"
+#include "advisor/memory_spec.hpp"
+#include "advisor/object_info.hpp"
+
+namespace hmem::advisor {
+
+enum class Strategy { kMisses, kDensity, kExact };
+
+const char* strategy_name(Strategy strategy);
+std::optional<Strategy> parse_strategy(const std::string& name);
+
+struct Options {
+  Strategy strategy = Strategy::kMisses;
+  /// Misses(t%): objects below t% of total misses are never promoted.
+  double threshold_pct = 0.0;
+  /// When non-zero, the *selection* for the fastest tier pretends to have
+  /// this budget while the runtime still enforces the tier's real capacity.
+  std::uint64_t virtual_budget_bytes = 0;
+};
+
+/// One tier's share of the placement.
+struct TierPlacement {
+  std::string tier_name;
+  std::uint64_t budget_bytes = 0;
+  std::vector<ObjectInfo> objects;
+  std::uint64_t footprint_bytes = 0;
+  std::uint64_t profit_misses = 0;
+};
+
+struct Placement {
+  /// Fast-to-slow, same order as the MemorySpec; the last tier is the
+  /// fallback holding everything unselected.
+  std::vector<TierPlacement> tiers;
+  /// Static objects the strategy *would* have promoted — reported for the
+  /// developer (the interposer cannot retarget them; the paper modified BT
+  /// and CGPOP by hand for exactly this reason).
+  std::vector<ObjectInfo> static_recommendations;
+  /// Size pre-filter bounds for auto-hbwmalloc (Algorithm 1, line 3):
+  /// smallest and largest max-size among fast-tier selections.
+  std::uint64_t lb_size = 0;
+  std::uint64_t ub_size = 0;
+  /// Real fast-tier budget the runtime must enforce (line 12's FITS is
+  /// checked against this, not against the virtual selection budget).
+  std::uint64_t enforced_fast_budget_bytes = 0;
+  Strategy strategy = Strategy::kMisses;
+  double threshold_pct = 0.0;
+
+  /// Tier index hosting this site, if any non-fallback tier does.
+  std::optional<std::size_t> tier_of(callstack::SiteId site) const;
+  const TierPlacement& fast() const { return tiers.front(); }
+};
+
+class HmemAdvisor {
+ public:
+  HmemAdvisor(MemorySpec spec, Options options);
+
+  /// Computes the placement for the given profile. Only dynamic objects are
+  /// placed into non-fallback tiers; static objects that the strategy would
+  /// pick are surfaced in static_recommendations.
+  Placement advise(const std::vector<ObjectInfo>& objects) const;
+
+  const MemorySpec& spec() const { return spec_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Selection run_strategy(const std::vector<ObjectInfo>& objects,
+                         std::uint64_t budget) const;
+
+  MemorySpec spec_;
+  Options options_;
+};
+
+}  // namespace hmem::advisor

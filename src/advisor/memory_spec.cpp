@@ -1,0 +1,57 @@
+#include "advisor/memory_spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+#include "common/units.hpp"
+
+namespace hmem::advisor {
+
+MemorySpec::MemorySpec(std::vector<TierBudget> tiers)
+    : tiers_(std::move(tiers)) {
+  HMEM_ASSERT_MSG(!tiers_.empty(), "memory spec needs at least one tier");
+  std::stable_sort(tiers_.begin(), tiers_.end(),
+                   [](const TierBudget& a, const TierBudget& b) {
+                     return a.relative_performance > b.relative_performance;
+                   });
+}
+
+MemorySpec MemorySpec::from_config(const Config& config) {
+  std::vector<TierBudget> tiers;
+  for (const auto& section : config.sections()) {
+    if (!starts_with(section, "tier")) continue;
+    TierBudget tier;
+    tier.name = trim(section.substr(4));
+    if (tier.name.empty()) tier.name = "tier" + std::to_string(tiers.size());
+    tier.capacity_bytes = config.get_bytes(section, "capacity", 0);
+    tier.relative_performance =
+        config.get_double(section, "relative_performance", 1.0);
+    HMEM_ASSERT_MSG(tier.capacity_bytes > 0,
+                    "tier capacity missing or zero in memory spec");
+    tiers.push_back(std::move(tier));
+  }
+  return MemorySpec(std::move(tiers));
+}
+
+MemorySpec MemorySpec::two_tier(std::uint64_t fast_bytes,
+                                std::uint64_t slow_bytes,
+                                double fast_performance) {
+  return MemorySpec({
+      TierBudget{"mcdram", fast_bytes, fast_performance},
+      TierBudget{"ddr", slow_bytes, 1.0},
+  });
+}
+
+std::string MemorySpec::to_config_text() const {
+  std::ostringstream os;
+  for (const auto& tier : tiers_) {
+    os << "[tier " << tier.name << "]\n"
+       << "capacity = " << tier.capacity_bytes << "\n"
+       << "relative_performance = " << tier.relative_performance << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hmem::advisor

@@ -1,0 +1,56 @@
+// Memory-tier specification consumed by hmem_advisor.
+//
+// "Each memory subsystem is defined by a given size and a relative
+// performance in a configuration file, ensuring that we can extend this
+// mechanism in the future for different memory architectures." A spec is an
+// ordered list of tiers; the advisor fills knapsacks in descending relative
+// performance and the slowest tier is the unbounded fallback.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace hmem::advisor {
+
+struct TierBudget {
+  std::string name;
+  std::uint64_t capacity_bytes = 0;
+  double relative_performance = 1.0;
+};
+
+class MemorySpec {
+ public:
+  MemorySpec() = default;
+  explicit MemorySpec(std::vector<TierBudget> tiers);
+
+  /// Parses a config of the form:
+  ///   [tier mcdram]
+  ///   capacity = 16G
+  ///   relative_performance = 5.0
+  ///   [tier ddr]
+  ///   capacity = 96G
+  ///   relative_performance = 1.0
+  /// Section order is irrelevant; tiers are sorted by performance.
+  static MemorySpec from_config(const Config& config);
+
+  /// Convenience two-tier spec: fast budget + slow fallback.
+  static MemorySpec two_tier(std::uint64_t fast_bytes,
+                             std::uint64_t slow_bytes,
+                             double fast_performance = 5.0);
+
+  /// Tiers in descending relative performance (fill order).
+  const std::vector<TierBudget>& tiers() const { return tiers_; }
+  std::size_t tier_count() const { return tiers_.size(); }
+  const TierBudget& fastest() const { return tiers_.front(); }
+  const TierBudget& slowest() const { return tiers_.back(); }
+
+  std::string to_config_text() const;
+
+ private:
+  std::vector<TierBudget> tiers_;
+};
+
+}  // namespace hmem::advisor

@@ -1,0 +1,36 @@
+// Per-object input record for hmem_advisor.
+//
+// This is the hand-off format between Paramedir (stage 2) and the advisor
+// (stage 3): one row per allocation site with its access cost — approximated
+// by weighted LLC misses, as in the paper — and the maximum requested size
+// observed for that site (loops over an allocation share one call-stack, so
+// the maximum is the conservative footprint estimate).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "callstack/sitedb.hpp"
+
+namespace hmem::advisor {
+
+struct ObjectInfo {
+  callstack::SiteId site = callstack::kInvalidSite;
+  std::string name;
+  callstack::SymbolicCallStack stack;
+  /// Maximum requested size observed across all allocations at this site.
+  std::uint64_t max_size_bytes = 0;
+  /// Weighted sampled LLC misses attributed to this object (each PEBS
+  /// sample counts `period` misses).
+  std::uint64_t llc_misses = 0;
+  /// Static/automatic objects appear in the profile but cannot be retargeted
+  /// by the interposition library.
+  bool is_dynamic = true;
+
+  /// Profit density: misses per byte of page-rounded footprint.
+  double density() const;
+  /// Page-rounded footprint charged against a tier budget.
+  std::uint64_t footprint_bytes() const;
+};
+
+}  // namespace hmem::advisor

@@ -1,0 +1,36 @@
+// Human-readable placement report — the hand-off between hmem_advisor and
+// auto-hbwmalloc.
+//
+// The paper makes the report human-readable on purpose: static objects can
+// only be migrated by editing the source, and developers may prefer to apply
+// the suggested placement by hand. The format round-trips: the runtime
+// parses exactly what the advisor writes.
+//
+//   # hmem_advisor placement report
+//   strategy = misses
+//   threshold_pct = 1
+//   enforced_fast_budget = 268435456
+//   lb_size = 4096
+//   ub_size = 209715200
+//   [tier mcdram budget=268435456]
+//   <name> | <max_size> | <llc_misses> | <callstack>
+//   ...
+//   [static recommendations]
+//   <name> | <max_size> | <llc_misses> | <callstack>
+#pragma once
+
+#include <string>
+
+#include "advisor/advisor.hpp"
+
+namespace hmem::advisor {
+
+std::string write_placement_report(const Placement& placement);
+
+/// Parses a report produced by write_placement_report. Site ids are not
+/// preserved across the text round-trip (the runtime matches by symbolic
+/// call-stack); parsed ObjectInfo::site is kInvalidSite. Throws
+/// std::runtime_error on malformed input.
+Placement read_placement_report(const std::string& text);
+
+}  // namespace hmem::advisor

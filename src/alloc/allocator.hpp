@@ -1,0 +1,69 @@
+// Allocator interface for the simulated address space.
+//
+// auto-hbwmalloc forwards allocations to one of several backing allocators
+// (glibc malloc for DDR, memkind for MCDRAM) and must keep per-allocator
+// bookkeeping because "memory allocations and deallocations need to be
+// handled by their specific memory allocation package and cannot be mixed".
+// This interface is what the interposer programs against; the paper's
+// extensibility claim (swap memkind for another mechanism) is this seam.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "memsim/address.hpp"
+
+namespace hmem::alloc {
+
+using memsim::Address;
+
+struct AllocStats {
+  std::uint64_t alloc_calls = 0;
+  std::uint64_t free_calls = 0;
+  std::uint64_t failed_allocs = 0;
+  std::uint64_t bytes_in_use = 0;
+  std::uint64_t high_water_mark = 0;  ///< peak bytes_in_use (the HWM plots)
+  std::uint64_t total_bytes_allocated = 0;
+
+  double average_alloc_size() const {
+    const std::uint64_t ok = alloc_calls - failed_allocs;
+    return ok > 0 ? static_cast<double>(total_bytes_allocated) /
+                        static_cast<double>(ok)
+                  : 0.0;
+  }
+};
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Returns the simulated address, or nullopt when the allocator cannot
+  /// satisfy the request (capacity exhausted / fragmentation).
+  virtual std::optional<Address> allocate(std::uint64_t size) = 0;
+
+  /// Returns false when the address is not owned by this allocator (the
+  /// caller then routes the free elsewhere — mixing is a usage error the
+  /// interposer must prevent).
+  virtual bool deallocate(Address addr) = 0;
+
+  virtual bool owns(Address addr) const = 0;
+
+  /// Size recorded for a live allocation; nullopt when not live here.
+  virtual std::optional<std::uint64_t> allocation_size(Address addr) const = 0;
+
+  /// Simulated CPU cost of an allocate() call of `size` bytes, charged to
+  /// execution time by the engine.
+  virtual double alloc_cost_ns(std::uint64_t size) const = 0;
+  virtual double free_cost_ns() const = 0;
+
+  virtual const std::string& name() const = 0;
+  virtual std::uint64_t capacity() const = 0;
+  virtual const AllocStats& stats() const = 0;
+
+  /// Would an allocation of `size` succeed right now? (the FITS check in
+  /// Algorithm 1, line 12)
+  virtual bool fits(std::uint64_t size) const = 0;
+};
+
+}  // namespace hmem::alloc

@@ -1,0 +1,65 @@
+#include "alloc/allocators.hpp"
+
+#include <algorithm>
+
+namespace hmem::alloc {
+
+ArenaAllocator::ArenaAllocator(std::string name, Address base,
+                               std::uint64_t capacity, double alloc_base_ns,
+                               double alloc_per_kib_ns, double free_ns)
+    : name_(std::move(name)),
+      arena_(base, capacity),
+      alloc_base_ns_(alloc_base_ns),
+      alloc_per_kib_ns_(alloc_per_kib_ns),
+      free_ns_(free_ns) {}
+
+std::optional<Address> ArenaAllocator::allocate(std::uint64_t size) {
+  ++stats_.alloc_calls;
+  const auto addr = arena_.allocate(size);
+  if (!addr) {
+    ++stats_.failed_allocs;
+    return std::nullopt;
+  }
+  stats_.total_bytes_allocated += size;
+  stats_.bytes_in_use = arena_.bytes_in_use();
+  stats_.high_water_mark =
+      std::max(stats_.high_water_mark, stats_.bytes_in_use);
+  return addr;
+}
+
+bool ArenaAllocator::deallocate(Address addr) {
+  const auto freed = arena_.deallocate(addr);
+  if (!freed) return false;
+  ++stats_.free_calls;
+  stats_.bytes_in_use = arena_.bytes_in_use();
+  return true;
+}
+
+double ArenaAllocator::alloc_cost_ns(std::uint64_t size) const {
+  return alloc_base_ns_ +
+         alloc_per_kib_ns_ * static_cast<double>(size) / 1024.0;
+}
+
+bool ArenaAllocator::fits(std::uint64_t size) const {
+  return arena_.largest_free_block() >= std::max<std::uint64_t>(size, 1);
+}
+
+PosixAllocator::PosixAllocator(Address base, std::uint64_t capacity)
+    : ArenaAllocator("posix", base, capacity,
+                     /*alloc_base_ns=*/120.0,
+                     /*alloc_per_kib_ns=*/0.02,
+                     /*free_ns=*/90.0) {}
+
+MemkindAllocator::MemkindAllocator(Address base, std::uint64_t capacity)
+    : ArenaAllocator("memkind_hbw", base, capacity,
+                     /*alloc_base_ns=*/260.0,
+                     /*alloc_per_kib_ns=*/0.03,
+                     /*free_ns=*/140.0) {}
+
+double MemkindAllocator::alloc_cost_ns(std::uint64_t size) const {
+  double cost = ArenaAllocator::alloc_cost_ns(size);
+  if (size >= kAnomalyLo && size <= kAnomalyHi) cost += kAnomalyExtraNs;
+  return cost;
+}
+
+}  // namespace hmem::alloc

@@ -1,0 +1,98 @@
+#include "alloc/arena.hpp"
+
+#include "common/assert.hpp"
+
+namespace hmem::alloc {
+
+Arena::Arena(Address base, std::uint64_t capacity, std::uint64_t alignment)
+    : base_(base), capacity_(capacity), alignment_(alignment) {
+  HMEM_ASSERT(alignment_ != 0 && (alignment_ & (alignment_ - 1)) == 0);
+  HMEM_ASSERT(capacity_ >= alignment_);
+  HMEM_ASSERT(base_ % alignment_ == 0);
+  free_[base_] = capacity_;
+}
+
+std::optional<Address> Arena::allocate(std::uint64_t size) {
+  if (size == 0) size = 1;
+  const std::uint64_t need = align_up(size);
+  // First fit in address order: keeps low addresses dense, which mirrors
+  // glibc-ish behaviour and makes test expectations stable.
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second < need) continue;
+    const Address addr = it->first;
+    const std::uint64_t remaining = it->second - need;
+    free_.erase(it);
+    if (remaining > 0) free_[addr + need] = remaining;
+    live_[addr] = need;
+    in_use_ += need;
+    return addr;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> Arena::deallocate(Address addr) {
+  const auto it = live_.find(addr);
+  if (it == live_.end()) return std::nullopt;
+  const std::uint64_t len = it->second;
+  live_.erase(it);
+  in_use_ -= len;
+
+  // Insert into the free list and coalesce with both neighbours.
+  auto [pos, inserted] = free_.emplace(addr, len);
+  HMEM_ASSERT(inserted);
+  if (pos != free_.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->first + prev->second == pos->first) {
+      prev->second += pos->second;
+      free_.erase(pos);
+      pos = prev;
+    }
+  }
+  auto next = std::next(pos);
+  if (next != free_.end() && pos->first + pos->second == next->first) {
+    pos->second += next->second;
+    free_.erase(next);
+  }
+  return len;
+}
+
+std::optional<std::uint64_t> Arena::allocation_size(Address addr) const {
+  const auto it = live_.find(addr);
+  if (it == live_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t Arena::largest_free_block() const {
+  std::uint64_t best = 0;
+  for (const auto& [addr, len] : free_) {
+    (void)addr;
+    if (len > best) best = len;
+  }
+  return best;
+}
+
+bool Arena::check_invariants() const {
+  std::uint64_t free_total = 0;
+  Address prev_end = 0;
+  bool first = true;
+  for (const auto& [addr, len] : free_) {
+    if (len == 0) return false;
+    if (addr < base_ || addr + len > base_ + capacity_) return false;
+    if (!first) {
+      if (addr < prev_end) return false;   // overlap
+      if (addr == prev_end) return false;  // not coalesced
+    }
+    prev_end = addr + len;
+    free_total += len;
+    first = false;
+  }
+  std::uint64_t live_total = 0;
+  for (const auto& [addr, len] : live_) {
+    if (addr < base_ || addr + len > base_ + capacity_) return false;
+    live_total += len;
+  }
+  if (live_total != in_use_) return false;
+  return free_total + live_total == capacity_;
+}
+
+}  // namespace hmem::alloc

@@ -1,0 +1,57 @@
+// First-fit free-list arena over a contiguous simulated address range.
+//
+// This is the common engine under both backing allocators. It is a real
+// allocator (address-ordered free list, coalescing on free, 64-byte
+// alignment) rather than a bump pointer, because the Lulesh experiment
+// depends on allocate/free churn behaving realistically — fragmentation and
+// reuse of freed ranges are part of the story.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "alloc/allocator.hpp"
+
+namespace hmem::alloc {
+
+class Arena {
+ public:
+  /// Manages [base, base + capacity). Alignment must be a power of two.
+  Arena(Address base, std::uint64_t capacity, std::uint64_t alignment = 64);
+
+  std::optional<Address> allocate(std::uint64_t size);
+  /// Returns the size freed, or nullopt when addr is not a live allocation.
+  std::optional<std::uint64_t> deallocate(Address addr);
+
+  bool owns(Address addr) const {
+    return addr >= base_ && addr < base_ + capacity_;
+  }
+  std::optional<std::uint64_t> allocation_size(Address addr) const;
+
+  Address base() const { return base_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t bytes_in_use() const { return in_use_; }
+  /// Largest single allocation that could currently succeed.
+  std::uint64_t largest_free_block() const;
+  std::size_t live_allocations() const { return live_.size(); }
+  std::size_t free_blocks() const { return free_.size(); }
+
+  /// Internal-consistency check (free list sorted, disjoint, coalesced,
+  /// accounting matches); used by tests and the property suite.
+  bool check_invariants() const;
+
+ private:
+  std::uint64_t align_up(std::uint64_t v) const {
+    return (v + alignment_ - 1) & ~(alignment_ - 1);
+  }
+
+  Address base_;
+  std::uint64_t capacity_;
+  std::uint64_t alignment_;
+  std::uint64_t in_use_ = 0;
+  std::map<Address, std::uint64_t> free_;  ///< start -> length, coalesced
+  std::map<Address, std::uint64_t> live_;  ///< start -> aligned length
+};
+
+}  // namespace hmem::alloc

@@ -1,0 +1,116 @@
+#include "analysis/aggregator.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "common/csv.hpp"
+#include "profiler/object_registry.hpp"
+
+namespace hmem::analysis {
+
+AggregateResult aggregate_trace(const trace::TraceBuffer& trace,
+                                const callstack::SiteDb& sites) {
+  AggregateResult result;
+
+  // Per-site accumulators, indexed by SiteId.
+  struct SiteAccum {
+    std::uint64_t max_size = 0;
+    std::uint64_t misses = 0;
+    bool seen = false;
+  };
+  std::vector<SiteAccum> accum(sites.size());
+
+  profiler::ObjectRegistry registry;
+  double last_time = -1.0;
+
+  for (const auto& event : trace.events()) {
+    const double t = trace::event_time_ns(event);
+    HMEM_ASSERT_MSG(t >= last_time, "trace events out of time order");
+    last_time = t;
+
+    if (const auto* alloc = std::get_if<trace::AllocEvent>(&event)) {
+      HMEM_ASSERT(alloc->site < accum.size());
+      SiteAccum& sa = accum[alloc->site];
+      sa.seen = true;
+      sa.max_size = std::max(sa.max_size, alloc->size);
+      registry.on_alloc(alloc->addr, alloc->size, alloc->site);
+    } else if (const auto* free_ev = std::get_if<trace::FreeEvent>(&event)) {
+      registry.on_free(free_ev->addr);
+    } else if (const auto* sample = std::get_if<trace::SampleEvent>(&event)) {
+      ++result.total_samples;
+      result.total_weighted_misses += sample->weight;
+      const auto obj = registry.lookup(sample->addr);
+      if (obj) {
+        accum[obj->site].misses += sample->weight;
+      } else {
+        ++result.unattributed_samples;
+        result.unattributed_misses += sample->weight;
+      }
+    }
+    // Phase/counter events are folding concerns, not aggregation ones.
+  }
+
+  for (callstack::SiteId id = 0; id < accum.size(); ++id) {
+    if (!accum[id].seen) continue;
+    const auto& info = sites.get(id);
+    advisor::ObjectInfo obj;
+    obj.site = id;
+    obj.name = info.object_name;
+    obj.stack = info.stack;
+    obj.max_size_bytes = accum[id].max_size;
+    obj.llc_misses = accum[id].misses;
+    obj.is_dynamic = info.is_dynamic;
+    result.objects.push_back(std::move(obj));
+  }
+  // Descending misses — the order every consumer wants.
+  std::sort(result.objects.begin(), result.objects.end(),
+            [](const advisor::ObjectInfo& a, const advisor::ObjectInfo& b) {
+              if (a.llc_misses != b.llc_misses)
+                return a.llc_misses > b.llc_misses;
+              return a.site < b.site;
+            });
+  return result;
+}
+
+std::string objects_to_csv(const std::vector<advisor::ObjectInfo>& objects) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row(
+      {"name", "site", "dynamic", "max_size_bytes", "llc_misses",
+       "misses_per_kib"});
+  for (const auto& obj : objects) {
+    const double per_kib =
+        obj.max_size_bytes > 0
+            ? static_cast<double>(obj.llc_misses) * 1024.0 /
+                  static_cast<double>(obj.max_size_bytes)
+            : 0.0;
+    char density[32];
+    std::snprintf(density, sizeof(density), "%.3f", per_kib);
+    writer.write_row({obj.name, std::to_string(obj.site),
+                      obj.is_dynamic ? "1" : "0",
+                      std::to_string(obj.max_size_bytes),
+                      std::to_string(obj.llc_misses), density});
+  }
+  return os.str();
+}
+
+std::vector<advisor::ObjectInfo> objects_from_csv(const std::string& text) {
+  std::vector<advisor::ObjectInfo> objects;
+  const auto rows = CsvReader::parse(text);
+  for (std::size_t r = 1; r < rows.size(); ++r) {  // skip header
+    const auto& row = rows[r];
+    if (row.size() < 5) continue;
+    advisor::ObjectInfo obj;
+    obj.name = row[0];
+    obj.site = static_cast<callstack::SiteId>(std::stoul(row[1]));
+    obj.is_dynamic = row[2] == "1";
+    obj.max_size_bytes = std::stoull(row[3]);
+    obj.llc_misses = std::stoull(row[4]);
+    objects.push_back(std::move(obj));
+  }
+  return objects;
+}
+
+}  // namespace hmem::analysis

@@ -1,0 +1,53 @@
+// Trace aggregation — the Paramedir substitute (stage 2).
+//
+// Replays a trace in time order, maintaining the live-object map, and
+// produces one ObjectInfo row per allocation site: the access cost
+// (weighted sampled LLC misses attributed to live ranges) and the object's
+// size. "If an application loops over a data allocation, the call-stack will
+// be the same for each iteration ... we report the maximum requested size
+// observed for each repeated allocation site."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "advisor/object_info.hpp"
+#include "callstack/sitedb.hpp"
+#include "trace/event.hpp"
+
+namespace hmem::analysis {
+
+struct AggregateResult {
+  std::vector<advisor::ObjectInfo> objects;
+  /// Samples whose address matched no live object (stack/static traffic the
+  /// allocation instrumentation never saw; BT/CGPOP before the paper's
+  /// hand modification are the canonical case).
+  std::uint64_t unattributed_samples = 0;
+  std::uint64_t unattributed_misses = 0;
+  std::uint64_t total_samples = 0;
+  std::uint64_t total_weighted_misses = 0;
+
+  double unattributed_fraction() const {
+    return total_samples > 0 ? static_cast<double>(unattributed_samples) /
+                                   static_cast<double>(total_samples)
+                             : 0.0;
+  }
+};
+
+/// Aggregates a trace against the site database that produced it.
+/// Events must be in non-decreasing time order (asserted).
+AggregateResult aggregate_trace(const trace::TraceBuffer& trace,
+                                const callstack::SiteDb& sites);
+
+/// Paramedir's CSV view of the aggregation: one row per object, sorted by
+/// descending misses. Columns: name, site, dynamic, max_size, llc_misses,
+/// density(misses/KiB).
+std::string objects_to_csv(const std::vector<advisor::ObjectInfo>& objects);
+
+/// Parses the CSV back (tests + tool interop). Call-stacks are not part of
+/// the CSV, so the result carries name/size/misses only; full round-trip
+/// object identity flows through the placement report instead.
+std::vector<advisor::ObjectInfo> objects_from_csv(const std::string& text);
+
+}  // namespace hmem::analysis

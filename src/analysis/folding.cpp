@@ -1,0 +1,144 @@
+#include "analysis/folding.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/csv.hpp"
+
+namespace hmem::analysis {
+
+FoldingResult fold(const trace::TraceBuffer& trace, double t_begin_ns,
+                   double t_end_ns, std::size_t bins,
+                   const std::string& counter_name) {
+  HMEM_ASSERT(t_end_ns > t_begin_ns);
+  HMEM_ASSERT(bins > 0);
+
+  FoldingResult result;
+  result.t_begin_ns = t_begin_ns;
+  result.t_end_ns = t_end_ns;
+  result.bins.resize(bins);
+  const double bin_width = (t_end_ns - t_begin_ns) / static_cast<double>(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    result.bins[i].t_begin_ns = t_begin_ns + bin_width * static_cast<double>(i);
+    result.bins[i].t_end_ns = result.bins[i].t_begin_ns + bin_width;
+  }
+
+  auto bin_of = [&](double t) -> std::size_t {
+    const double frac = (t - t_begin_ns) / (t_end_ns - t_begin_ns);
+    const auto b = static_cast<std::size_t>(
+        frac * static_cast<double>(bins));
+    return std::min(b, bins - 1);
+  };
+
+  // Phase coverage per bin: phase name -> covered ns. Phases may span bins.
+  std::vector<std::map<std::string, double>> phase_cover(bins);
+  std::map<std::string, double> open_phases;  // name -> begin time
+
+  // Cumulative instruction counter: distribute deltas over the bins each
+  // interval overlaps.
+  double last_counter_time = t_begin_ns;
+  double last_counter_value = 0;
+  bool have_counter = false;
+
+  auto spread_phase = [&](const std::string& name, double begin, double end) {
+    const double lo = std::max(begin, t_begin_ns);
+    const double hi = std::min(end, t_end_ns);
+    if (hi <= lo) return;
+    for (std::size_t b = bin_of(lo); b <= bin_of(hi - 1e-9); ++b) {
+      const double cover_lo = std::max(lo, result.bins[b].t_begin_ns);
+      const double cover_hi = std::min(hi, result.bins[b].t_end_ns);
+      if (cover_hi > cover_lo) phase_cover[b][name] += cover_hi - cover_lo;
+    }
+  };
+
+  auto spread_instructions = [&](double begin, double end, double count) {
+    const double lo = std::max(begin, t_begin_ns);
+    const double hi = std::min(end, t_end_ns);
+    if (hi <= lo || count <= 0 || end <= begin) return;
+    const double rate = count / (end - begin);
+    for (std::size_t b = bin_of(lo); b <= bin_of(hi - 1e-9); ++b) {
+      const double cover_lo = std::max(lo, result.bins[b].t_begin_ns);
+      const double cover_hi = std::min(hi, result.bins[b].t_end_ns);
+      if (cover_hi > cover_lo)
+        result.bins[b].instructions += rate * (cover_hi - cover_lo);
+    }
+  };
+
+  for (const auto& event : trace.events()) {
+    const double t = trace::event_time_ns(event);
+    if (const auto* phase = std::get_if<trace::PhaseEvent>(&event)) {
+      if (phase->begin) {
+        open_phases[phase->name] = t;
+      } else {
+        const auto it = open_phases.find(phase->name);
+        if (it != open_phases.end()) {
+          spread_phase(phase->name, it->second, t);
+          open_phases.erase(it);
+        }
+      }
+    } else if (const auto* sample = std::get_if<trace::SampleEvent>(&event)) {
+      if (t < t_begin_ns || t >= t_end_ns) continue;
+      FoldingBin& bin = result.bins[bin_of(t)];
+      if (bin.sample_count == 0) {
+        bin.min_addr = sample->addr;
+        bin.max_addr = sample->addr;
+      } else {
+        bin.min_addr = std::min(bin.min_addr, sample->addr);
+        bin.max_addr = std::max(bin.max_addr, sample->addr);
+      }
+      ++bin.sample_count;
+    } else if (const auto* counter = std::get_if<trace::CounterEvent>(&event)) {
+      if (counter->name != counter_name) continue;
+      if (have_counter) {
+        spread_instructions(last_counter_time, t,
+                            counter->value - last_counter_value);
+      }
+      last_counter_time = t;
+      last_counter_value = counter->value;
+      have_counter = true;
+    }
+  }
+  // Close any phase still open at the window end.
+  for (const auto& [name, begin] : open_phases)
+    spread_phase(name, begin, t_end_ns);
+
+  for (std::size_t b = 0; b < bins; ++b) {
+    double best_cover = 0;
+    for (const auto& [name, cover] : phase_cover[b]) {
+      if (cover > best_cover) {
+        best_cover = cover;
+        result.bins[b].dominant_phase = name;
+      }
+    }
+    const double width_s = (result.bins[b].t_end_ns -
+                            result.bins[b].t_begin_ns) * 1e-9;
+    result.bins[b].mips =
+        width_s > 0 ? result.bins[b].instructions / width_s / 1e6 : 0;
+  }
+  return result;
+}
+
+std::string folding_to_csv(const FoldingResult& result) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row({"bin", "t_mid_ms", "phase", "samples", "min_addr",
+                    "max_addr", "mips"});
+  for (std::size_t b = 0; b < result.bins.size(); ++b) {
+    const auto& bin = result.bins[b];
+    char t_mid[32], lo[32], hi[32], mips[32];
+    std::snprintf(t_mid, sizeof(t_mid), "%.3f",
+                  (bin.t_begin_ns + bin.t_end_ns) / 2.0 * 1e-6);
+    std::snprintf(lo, sizeof(lo), "%" PRIx64, bin.min_addr);
+    std::snprintf(hi, sizeof(hi), "%" PRIx64, bin.max_addr);
+    std::snprintf(mips, sizeof(mips), "%.1f", bin.mips);
+    writer.write_row({std::to_string(b), t_mid, bin.dominant_phase,
+                      std::to_string(bin.sample_count), lo, hi, mips});
+  }
+  return os.str();
+}
+
+}  // namespace hmem::analysis

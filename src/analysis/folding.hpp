@@ -1,0 +1,51 @@
+// Folding — time-evolution analysis (the paper's Figure 5).
+//
+// The BSC Folding technique combines coarse-grained samples from many
+// iterations into a detailed time-evolution view. Our trace already carries
+// everything needed for the three Figure 5 panels: phase events (which
+// routine executes), sampled references (which addresses are touched) and
+// instruction counters (MIPS). fold() bins a time window into N slots and
+// reports, per slot, the dominant routine, the sampled address extremes and
+// the achieved MIPS.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace hmem::analysis {
+
+struct FoldingBin {
+  double t_begin_ns = 0;
+  double t_end_ns = 0;
+  /// Routine (phase name) covering the largest share of the bin.
+  std::string dominant_phase;
+  /// Sampled referenced addresses falling in the bin.
+  std::uint64_t sample_count = 0;
+  trace::Address min_addr = 0;
+  trace::Address max_addr = 0;
+  /// Instructions retired in the bin (from the "instructions" counter) and
+  /// the derived MIPS rate.
+  double instructions = 0;
+  double mips = 0;
+};
+
+struct FoldingResult {
+  std::vector<FoldingBin> bins;
+  double t_begin_ns = 0;
+  double t_end_ns = 0;
+};
+
+/// Folds the [t_begin, t_end) window of a trace into `bins` slots. The
+/// instruction counter must be cumulative readings named `counter_name`.
+FoldingResult fold(const trace::TraceBuffer& trace, double t_begin_ns,
+                   double t_end_ns, std::size_t bins,
+                   const std::string& counter_name = "instructions");
+
+/// Renders the three-panel view as CSV: bin, t_mid_ms, phase, samples,
+/// min_addr, max_addr, mips.
+std::string folding_to_csv(const FoldingResult& result);
+
+}  // namespace hmem::analysis

@@ -1,0 +1,93 @@
+#include "apps/app.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace hmem::apps {
+
+std::size_t AppSpec::object_index(const std::string& obj_name) const {
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    if (objects[i].name == obj_name) return i;
+  }
+  HMEM_ASSERT_MSG(false, "unknown object name");
+  return 0;
+}
+
+std::uint64_t AppSpec::total_footprint() const {
+  std::uint64_t total = 0;
+  for (const auto& obj : objects) total += obj.total_bytes();
+  return total;
+}
+
+callstack::SymbolicCallStack AppSpec::alloc_stack(
+    std::size_t object_index) const {
+  HMEM_ASSERT(object_index < objects.size());
+  const ObjectSpec& obj = objects[object_index];
+  callstack::SymbolicCallStack stack;
+  const std::string module = name + ".x";
+  // Innermost frame: the allocation statement, unique per object.
+  stack.frames.push_back(callstack::CodeLocation{
+      module, "alloc_" + obj.name,
+      static_cast<std::uint32_t>(100 + object_index)});
+  // Intermediate frames: generic call path whose depth the spec controls.
+  for (int d = 1; d + 1 < obj.callstack_depth; ++d) {
+    stack.frames.push_back(callstack::CodeLocation{
+        module, "setup_level" + std::to_string(d),
+        static_cast<std::uint32_t>(10 + d)});
+  }
+  if (obj.callstack_depth > 1) {
+    stack.frames.push_back(callstack::CodeLocation{module, "main", 1});
+  }
+  return stack;
+}
+
+std::string validate(const AppSpec& spec) {
+  if (spec.name.empty()) return "app name empty";
+  if (spec.objects.empty()) return "no objects";
+  if (spec.phases.empty()) return "no phases";
+  if (spec.ranks <= 0 || spec.threads_per_rank <= 0)
+    return "invalid execution geometry";
+  if (spec.iterations == 0) return "zero iterations";
+  if (spec.accesses_per_iteration == 0) return "zero accesses per iteration";
+  if (spec.access_scale <= 0) return "non-positive access scale";
+  if (spec.work_per_iteration <= 0) return "non-positive work per iteration";
+  for (const auto& obj : spec.objects) {
+    if (obj.name.empty()) return "object with empty name";
+    if (obj.size_bytes == 0) return "object '" + obj.name + "' has zero size";
+    if (obj.callstack_depth < 1)
+      return "object '" + obj.name + "' has invalid callstack depth";
+    if (obj.is_static && obj.churn)
+      return "object '" + obj.name + "' cannot be both static and churned";
+    if (obj.instances < 1)
+      return "object '" + obj.name + "' needs at least one instance";
+    if (obj.transient_phase >= 0 &&
+        obj.transient_phase >= static_cast<int>(spec.phases.size()))
+      return "object '" + obj.name + "' references a missing phase";
+    if (obj.is_static && obj.transient_phase >= 0)
+      return "object '" + obj.name + "' cannot be static and transient";
+  }
+  double share_sum = 0;
+  for (const auto& phase : spec.phases) {
+    if (phase.name.empty()) return "phase with empty name";
+    if (phase.object_weights.size() != spec.objects.size())
+      return "phase '" + phase.name + "' weight vector size mismatch";
+    if (phase.access_share <= 0)
+      return "phase '" + phase.name + "' has non-positive access share";
+    if (phase.stack_weight < 0 || phase.stack_weight > 1)
+      return "phase '" + phase.name + "' stack weight out of range";
+    double weight_sum = phase.stack_weight;
+    for (double w : phase.object_weights) {
+      if (w < 0) return "phase '" + phase.name + "' has negative weight";
+      weight_sum += w;
+    }
+    if (weight_sum <= 0)
+      return "phase '" + phase.name + "' has all-zero weights";
+    share_sum += phase.access_share;
+  }
+  if (std::abs(share_sum - 1.0) > 1e-6)
+    return "phase access shares must sum to 1";
+  return "";
+}
+
+}  // namespace hmem::apps

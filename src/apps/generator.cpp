@@ -1,0 +1,43 @@
+#include "apps/generator.hpp"
+
+#include "common/assert.hpp"
+
+namespace hmem::apps {
+
+AccessGenerator::AccessGenerator(AccessPattern pattern,
+                                 std::uint64_t object_bytes,
+                                 std::uint64_t seed)
+    : pattern_(pattern),
+      lines_((object_bytes + memsim::kCacheLineBytes - 1) /
+             memsim::kCacheLineBytes),
+      rng_(seed) {
+  HMEM_ASSERT(lines_ > 0);
+  // Strided: a prime-ish stride larger than one page, co-prime with most
+  // object sizes so the walk covers the object without short cycles.
+  stride_lines_ = pattern_ == AccessPattern::kStrided ? 67 : 1;
+  if (pattern_ != AccessPattern::kRandom) {
+    // Start at a deterministic but seed-dependent phase so different runs
+    // (and different objects) are decorrelated.
+    position_ = rng_.below(lines_);
+  }
+}
+
+std::uint64_t AccessGenerator::next_offset() {
+  std::uint64_t line = 0;
+  switch (pattern_) {
+    case AccessPattern::kStream:
+      line = position_;
+      position_ = (position_ + 1) % lines_;
+      break;
+    case AccessPattern::kStrided:
+      line = position_;
+      position_ = (position_ + stride_lines_) % lines_;
+      break;
+    case AccessPattern::kRandom:
+      line = rng_.below(lines_);
+      break;
+  }
+  return line * memsim::kCacheLineBytes;
+}
+
+}  // namespace hmem::apps

@@ -1,0 +1,36 @@
+// Deterministic per-object access-offset generators.
+//
+// Produces cache-line-aligned offsets within an object according to its
+// declared pattern. Stream position persists across iterations so that
+// cache-mode residency builds up realistically (the direct-mapped MCDRAM
+// cache sees the same blocks revisited run-long, which is what makes its
+// capacity/conflict behaviour emerge instead of being scripted).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app.hpp"
+#include "common/prng.hpp"
+#include "memsim/address.hpp"
+
+namespace hmem::apps {
+
+class AccessGenerator {
+ public:
+  AccessGenerator(AccessPattern pattern, std::uint64_t object_bytes,
+                  std::uint64_t seed);
+
+  /// Next line-aligned offset in [0, object_bytes).
+  std::uint64_t next_offset();
+
+  AccessPattern pattern() const { return pattern_; }
+
+ private:
+  AccessPattern pattern_;
+  std::uint64_t lines_;       ///< object size in cache lines
+  std::uint64_t position_ = 0;
+  std::uint64_t stride_lines_;
+  hmem::Xoshiro256 rng_;
+};
+
+}  // namespace hmem::apps

@@ -1,0 +1,31 @@
+// The paper's eight evaluation applications plus the Stream Triad kernel,
+// encoded as memory-object signatures (see workloads.cpp for the per-app
+// rationale and the mapping to the paper's observations).
+#pragma once
+
+#include <vector>
+
+#include "apps/app.hpp"
+
+namespace hmem::apps {
+
+AppSpec make_hpcg();
+AppSpec make_lulesh();
+AppSpec make_nas_bt();
+AppSpec make_minife();
+AppSpec make_cgpop();
+AppSpec make_snap();
+AppSpec make_maxw_dgtd();
+AppSpec make_gtcp();
+
+/// Stream Triad with a given thread count (Figure 1's x-axis).
+AppSpec make_stream_triad(int threads);
+
+/// All eight evaluation applications, in the paper's order.
+std::vector<AppSpec> all_apps();
+
+/// Lookup by name ("hpcg", "lulesh", "bt", "minife", "cgpop", "snap",
+/// "maxw-dgtd", "gtc-p"); asserts on unknown names.
+AppSpec app_by_name(const std::string& name);
+
+}  // namespace hmem::apps

@@ -1,0 +1,98 @@
+#include "callstack/callstack.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace hmem::callstack {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t hash_string(const std::string& s, std::uint64_t seed) {
+  // FNV-1a folded through mix64 for avalanche.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+}  // namespace
+
+std::string CodeLocation::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ":%u", line);
+  return module + "!" + function + buf;
+}
+
+bool CodeLocation::from_string(const std::string& text, CodeLocation& out) {
+  const auto bang = text.find('!');
+  const auto colon = text.rfind(':');
+  if (bang == std::string::npos || colon == std::string::npos ||
+      colon <= bang) {
+    return false;
+  }
+  out.module = text.substr(0, bang);
+  out.function = text.substr(bang + 1, colon - bang - 1);
+  if (out.module.empty() || out.function.empty()) return false;
+  char* end = nullptr;
+  const unsigned long line = std::strtoul(text.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  out.line = static_cast<std::uint32_t>(line);
+  return true;
+}
+
+std::uint64_t CallStack::hash() const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (Address a : frames) h = mix64(h ^ a);
+  return h;
+}
+
+std::string SymbolicCallStack::to_string() const {
+  std::vector<std::string> parts;
+  parts.reserve(frames.size());
+  for (const auto& f : frames) parts.push_back(f.to_string());
+  return join(parts, " < ");
+}
+
+bool SymbolicCallStack::from_string(const std::string& text,
+                                    SymbolicCallStack& out) {
+  out.frames.clear();
+  if (trim(text).empty()) return false;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto next = text.find(" < ", pos);
+    const std::string piece =
+        trim(next == std::string::npos ? text.substr(pos)
+                                       : text.substr(pos, next - pos));
+    CodeLocation loc;
+    if (!CodeLocation::from_string(piece, loc)) return false;
+    out.frames.push_back(std::move(loc));
+    if (next == std::string::npos) break;
+    pos = next + 3;
+  }
+  return !out.frames.empty();
+}
+
+std::uint64_t SymbolicCallStack::hash() const {
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (const auto& f : frames) {
+    h = mix64(h ^ hash_string(f.module, 1));
+    h = mix64(h ^ hash_string(f.function, 2));
+    h = mix64(h ^ f.line);
+  }
+  return h;
+}
+
+}  // namespace hmem::callstack

@@ -1,0 +1,78 @@
+// Call-stack representation.
+//
+// The paper identifies dynamically-allocated objects by their allocation
+// call-stack (glibc backtrace() + binutils translation). We keep the same
+// two views:
+//  * CallStack        — the raw, run-specific return addresses (what
+//                       backtrace() yields; shifted by ASLR every run);
+//  * SymbolicCallStack — module!function:line frames (what binutils
+//                       translation yields; stable across runs and the form
+//                       stored in advisor reports).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memsim/address.hpp"
+
+namespace hmem::callstack {
+
+using memsim::Address;
+
+/// One translated frame: module, function and source line.
+struct CodeLocation {
+  std::string module;
+  std::string function;
+  std::uint32_t line = 0;
+
+  bool operator==(const CodeLocation&) const = default;
+
+  /// Canonical text form: "module!function:line".
+  std::string to_string() const;
+  /// Parses the canonical form; returns false on malformed input.
+  static bool from_string(const std::string& text, CodeLocation& out);
+};
+
+/// Raw (runtime) call-stack: innermost frame first.
+struct CallStack {
+  std::vector<Address> frames;
+
+  bool operator==(const CallStack&) const = default;
+  std::size_t depth() const { return frames.size(); }
+
+  /// 64-bit mixing hash; used as the key of the interposer's decision cache
+  /// (the paper's "small cache indexed by the unwound addresses").
+  std::uint64_t hash() const;
+};
+
+/// Symbolic (translated) call-stack: innermost frame first.
+struct SymbolicCallStack {
+  std::vector<CodeLocation> frames;
+
+  bool operator==(const SymbolicCallStack&) const = default;
+  std::size_t depth() const { return frames.size(); }
+
+  /// Canonical text form: frames joined by " < " (innermost first), the
+  /// format used in placement reports.
+  std::string to_string() const;
+  static bool from_string(const std::string& text, SymbolicCallStack& out);
+
+  std::uint64_t hash() const;
+};
+
+}  // namespace hmem::callstack
+
+template <>
+struct std::hash<hmem::callstack::CallStack> {
+  std::size_t operator()(const hmem::callstack::CallStack& cs) const {
+    return static_cast<std::size_t>(cs.hash());
+  }
+};
+
+template <>
+struct std::hash<hmem::callstack::SymbolicCallStack> {
+  std::size_t operator()(const hmem::callstack::SymbolicCallStack& cs) const {
+    return static_cast<std::size_t>(cs.hash());
+  }
+};

@@ -1,0 +1,88 @@
+#include "callstack/modulemap.hpp"
+
+#include "common/assert.hpp"
+#include "common/prng.hpp"
+
+namespace hmem::callstack {
+
+std::size_t ModuleMap::add_module(const std::string& name, Address link_base,
+                                  std::uint64_t size) {
+  HMEM_ASSERT_MSG(by_name_.find(name) == by_name_.end(),
+                  "duplicate module name");
+  HMEM_ASSERT(size >= kSlotBytes);
+  const std::size_t index = modules_.size();
+  modules_.push_back(ModuleInfo{name, link_base, size, 0});
+  states_.emplace_back();
+  by_name_[name] = index;
+  return index;
+}
+
+void ModuleMap::randomize_slides(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (auto& module : modules_) {
+    // Page-aligned slide within 64 MiB: large enough that profiling-run
+    // addresses are useless at production time, small enough that modules
+    // with well-separated link bases stay disjoint.
+    module.slide = rng.below(64ULL * 1024) * memsim::kPageBytes;
+  }
+}
+
+Address ModuleMap::runtime_address(const CodeLocation& loc) {
+  const auto mod = find_module(loc.module);
+  HMEM_ASSERT_MSG(mod.has_value(), "unknown module in code location");
+  ModuleState& state = states_[*mod];
+  const LocationKey key{loc.function, loc.line};
+  auto it = state.offsets.find(key);
+  if (it == state.offsets.end()) {
+    const std::uint64_t slot = state.by_slot.size();
+    HMEM_ASSERT_MSG((slot + 1) * kSlotBytes <= modules_[*mod].size,
+                    "module code range exhausted");
+    state.by_slot.push_back(loc);
+    it = state.offsets.emplace(key, slot).first;
+  }
+  const ModuleInfo& info = modules_[*mod];
+  return info.link_base + info.slide + it->second * kSlotBytes;
+}
+
+std::optional<CodeLocation> ModuleMap::translate(Address runtime_addr) const {
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    const ModuleInfo& info = modules_[i];
+    const Address lo = info.link_base + info.slide;
+    if (runtime_addr < lo || runtime_addr >= lo + info.size) continue;
+    const std::uint64_t slot = (runtime_addr - lo) / kSlotBytes;
+    const ModuleState& state = states_[i];
+    if (slot >= state.by_slot.size()) return std::nullopt;
+    return state.by_slot[slot];
+  }
+  return std::nullopt;
+}
+
+std::optional<SymbolicCallStack> ModuleMap::translate(
+    const CallStack& stack) const {
+  SymbolicCallStack out;
+  out.frames.reserve(stack.frames.size());
+  for (Address addr : stack.frames) {
+    auto loc = translate(addr);
+    if (!loc) return std::nullopt;
+    out.frames.push_back(std::move(*loc));
+  }
+  return out;
+}
+
+CallStack ModuleMap::materialize(const SymbolicCallStack& stack) {
+  CallStack out;
+  out.frames.reserve(stack.frames.size());
+  for (const auto& frame : stack.frames) {
+    out.frames.push_back(runtime_address(frame));
+  }
+  return out;
+}
+
+std::optional<std::size_t> ModuleMap::find_module(
+    const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace hmem::callstack

@@ -1,0 +1,85 @@
+// Module map with per-run ASLR slides.
+//
+// The paper stresses that ASLR forces auto-hbwmalloc to *translate* unwound
+// addresses at run time — raw addresses from the profiling run do not match
+// the production run. We model a process image as a set of modules, each
+// with a link-time base and a per-run random slide. Code locations are
+// materialised to runtime addresses on first use (each location gets a
+// stable offset inside its module), and the reverse mapping implements the
+// binutils-style translation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "callstack/callstack.hpp"
+
+namespace hmem::callstack {
+
+struct ModuleInfo {
+  std::string name;
+  Address link_base = 0;   ///< address the module was linked at
+  std::uint64_t size = 0;  ///< code-range size
+  Address slide = 0;       ///< per-run ASLR displacement (multiple of a page)
+};
+
+class ModuleMap {
+ public:
+  /// Registers a module. Ranges (after any slide) must not overlap; callers
+  /// use well-separated link bases. Returns the module index.
+  std::size_t add_module(const std::string& name, Address link_base,
+                         std::uint64_t size);
+
+  /// Re-randomises every module's slide — "a new process execution".
+  /// Deterministic in the seed. Slides are page-aligned and bounded so
+  /// modules never overlap.
+  void randomize_slides(std::uint64_t seed);
+
+  /// Runtime (slid) address for a code location; assigns and memoises an
+  /// offset inside the module on first use. The module must exist.
+  Address runtime_address(const CodeLocation& loc);
+
+  /// binutils-style reverse translation: runtime address -> code location.
+  /// nullopt when the address does not fall in any known module or has no
+  /// assigned location.
+  std::optional<CodeLocation> translate(Address runtime_addr) const;
+
+  /// Translates a whole raw stack; returns nullopt if any frame fails.
+  std::optional<SymbolicCallStack> translate(const CallStack& stack) const;
+
+  /// Materialises a symbolic stack to raw runtime addresses (what the
+  /// unwinder would return for this process image).
+  CallStack materialize(const SymbolicCallStack& stack);
+
+  const std::vector<ModuleInfo>& modules() const { return modules_; }
+  std::optional<std::size_t> find_module(const std::string& name) const;
+
+ private:
+  struct LocationKey {
+    std::string function;
+    std::uint32_t line;
+    bool operator==(const LocationKey&) const = default;
+  };
+  struct LocationKeyHash {
+    std::size_t operator()(const LocationKey& k) const {
+      std::size_t h = std::hash<std::string>{}(k.function);
+      return h ^ (std::hash<std::uint32_t>{}(k.line) + 0x9e3779b9 + (h << 6));
+    }
+  };
+  struct ModuleState {
+    std::unordered_map<LocationKey, std::uint64_t, LocationKeyHash> offsets;
+    std::vector<CodeLocation> by_slot;  ///< slot index -> location
+  };
+
+  /// Bytes reserved per code location inside a module.
+  static constexpr std::uint64_t kSlotBytes = 16;
+
+  std::vector<ModuleInfo> modules_;
+  std::vector<ModuleState> states_;
+  std::unordered_map<std::string, std::size_t> by_name_;
+};
+
+}  // namespace hmem::callstack

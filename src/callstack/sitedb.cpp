@@ -1,0 +1,29 @@
+#include "callstack/sitedb.hpp"
+
+#include "common/assert.hpp"
+
+namespace hmem::callstack {
+
+SiteId SiteDb::intern(const std::string& object_name,
+                      const SymbolicCallStack& stack, bool is_dynamic) {
+  const auto it = by_stack_.find(stack);
+  if (it != by_stack_.end()) return it->second;
+  const auto id = static_cast<SiteId>(sites_.size());
+  HMEM_ASSERT(id != kInvalidSite);
+  sites_.push_back(SiteInfo{id, object_name, stack, is_dynamic});
+  by_stack_[stack] = id;
+  return id;
+}
+
+const SiteInfo& SiteDb::get(SiteId id) const {
+  HMEM_ASSERT(id < sites_.size());
+  return sites_[id];
+}
+
+std::optional<SiteId> SiteDb::find(const SymbolicCallStack& stack) const {
+  const auto it = by_stack_.find(stack);
+  if (it == by_stack_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace hmem::callstack

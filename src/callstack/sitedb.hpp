@@ -1,0 +1,54 @@
+// Allocation-site registry.
+//
+// Every distinct allocation call-stack is one "site" — the unit at which the
+// paper's whole pipeline operates: Paramedir aggregates LLC misses per site,
+// hmem_advisor selects sites, and auto-hbwmalloc matches intercepted
+// call-stacks against the selected sites. Sites are interned to small dense
+// ids so the hot paths index vectors instead of hashing strings.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "callstack/callstack.hpp"
+
+namespace hmem::callstack {
+
+using SiteId = std::uint32_t;
+inline constexpr SiteId kInvalidSite = 0xffffffffu;
+
+struct SiteInfo {
+  SiteId id = kInvalidSite;
+  /// Human-readable object name ("matrix A", "x_overlap", ...). Static
+  /// variables are referenced by name in the paper; dynamic ones get the
+  /// name the app declared for readability of reports.
+  std::string object_name;
+  SymbolicCallStack stack;
+  /// Static/automatic variables cannot be retargeted by the interposer
+  /// (paper: "statically allocated objects cannot be migrated ... without
+  /// modifying the application code").
+  bool is_dynamic = true;
+};
+
+class SiteDb {
+ public:
+  /// Interns a site; returns the existing id when the call-stack was seen
+  /// before (name/is_dynamic of the first registration win).
+  SiteId intern(const std::string& object_name,
+                const SymbolicCallStack& stack, bool is_dynamic = true);
+
+  const SiteInfo& get(SiteId id) const;
+  std::optional<SiteId> find(const SymbolicCallStack& stack) const;
+
+  std::size_t size() const { return sites_.size(); }
+  const std::vector<SiteInfo>& all() const { return sites_; }
+
+ private:
+  std::vector<SiteInfo> sites_;
+  std::unordered_map<SymbolicCallStack, SiteId> by_stack_;
+};
+
+}  // namespace hmem::callstack

@@ -1,0 +1,18 @@
+#include "callstack/unwind.hpp"
+
+namespace hmem::callstack {
+
+CallStack Unwinder::unwind(const SymbolicCallStack& context) {
+  ++calls_;
+  total_cost_ns_ += cost_.unwind_ns(context.depth());
+  return modules_->materialize(context);
+}
+
+std::optional<SymbolicCallStack> Translator::translate(
+    const CallStack& stack) {
+  ++calls_;
+  total_cost_ns_ += cost_.translate_ns(stack.depth());
+  return modules_->translate(stack);
+}
+
+}  // namespace hmem::callstack

@@ -1,0 +1,94 @@
+// Unwinder and translator with the paper's Figure 3 cost model.
+//
+// auto-hbwmalloc pays two costs on every intercepted allocation: unwinding
+// the call-stack (glibc backtrace) and translating its frames (binutils,
+// needed because ASLR invalidates raw addresses across runs). Figure 3
+// measures both against call-stack depth on the Xeon Phi 7250: unwinding a
+// short stack costs more than translating it, but translation cost grows
+// faster per frame and overtakes unwinding past depth ~6. We implement the
+// actual mechanics (materialisation / reverse lookup through ModuleMap) and
+// attach a calibrated nanosecond cost model so the execution engine can
+// charge interposition overhead to simulated time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "callstack/callstack.hpp"
+#include "callstack/modulemap.hpp"
+
+namespace hmem::callstack {
+
+/// Calibrated to reproduce Figure 3's shape: cost(depth) = base + slope *
+/// depth, translate slope > unwind slope, crossover at depth 6.
+struct CostModel {
+  double unwind_base_ns = 10800.0;
+  double unwind_per_frame_ns = 1300.0;
+  double translate_base_ns = 3600.0;
+  double translate_per_frame_ns = 2500.0;
+
+  double unwind_ns(std::size_t depth) const {
+    return unwind_base_ns + unwind_per_frame_ns * static_cast<double>(depth);
+  }
+  double translate_ns(std::size_t depth) const {
+    return translate_base_ns +
+           translate_per_frame_ns * static_cast<double>(depth);
+  }
+  /// Depth above which translation becomes the dominant cost.
+  double crossover_depth() const {
+    return (unwind_base_ns - translate_base_ns) /
+           (translate_per_frame_ns - unwind_per_frame_ns);
+  }
+};
+
+/// Simulated backtrace(): produces the raw runtime stack for the current
+/// allocation context and accounts the unwind cost.
+class Unwinder {
+ public:
+  explicit Unwinder(ModuleMap& modules, CostModel cost = {})
+      : modules_(&modules), cost_(cost) {}
+
+  /// `context` is the symbolic truth of where the program currently is; the
+  /// result is what backtrace() would return in this process image.
+  CallStack unwind(const SymbolicCallStack& context);
+
+  double total_cost_ns() const { return total_cost_ns_; }
+  std::uint64_t calls() const { return calls_; }
+  const CostModel& cost_model() const { return cost_; }
+  void reset_stats() {
+    total_cost_ns_ = 0;
+    calls_ = 0;
+  }
+
+ private:
+  ModuleMap* modules_;
+  CostModel cost_;
+  double total_cost_ns_ = 0;
+  std::uint64_t calls_ = 0;
+};
+
+/// Simulated binutils translation: raw runtime stack -> symbolic stack.
+class Translator {
+ public:
+  explicit Translator(const ModuleMap& modules, CostModel cost = {})
+      : modules_(&modules), cost_(cost) {}
+
+  std::optional<SymbolicCallStack> translate(const CallStack& stack);
+
+  double total_cost_ns() const { return total_cost_ns_; }
+  std::uint64_t calls() const { return calls_; }
+  const CostModel& cost_model() const { return cost_; }
+  void reset_stats() {
+    total_cost_ns_ = 0;
+    calls_ = 0;
+  }
+
+ private:
+  const ModuleMap* modules_;
+  CostModel cost_;
+  double total_cost_ns_ = 0;
+  std::uint64_t calls_ = 0;
+};
+
+}  // namespace hmem::callstack

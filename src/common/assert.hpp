@@ -1,0 +1,32 @@
+// Lightweight always-on assertion macros for the hmem library.
+//
+// Simulation code is full of invariants whose violation indicates a logic
+// error rather than a recoverable condition, so we abort with a message
+// instead of throwing. HMEM_ASSERT stays enabled in Release builds: the
+// simulator is the measurement instrument and silent corruption would
+// invalidate every experiment built on top of it.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hmem {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "hmem assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace hmem
+
+#define HMEM_ASSERT(expr)                                          \
+  do {                                                             \
+    if (!(expr)) ::hmem::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define HMEM_ASSERT_MSG(expr, msg)                                   \
+  do {                                                               \
+    if (!(expr)) ::hmem::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,40 @@
+// CSV writer/reader.
+//
+// Paramedir (stage 2 of the paper's framework) communicates with
+// hmem_advisor through comma-separated-value reports; the benches also emit
+// CSV so that plots can be regenerated. The dialect is deliberately small:
+// RFC-4180 quoting for fields containing comma/quote/newline, '\n' line
+// endings, header row optional and owned by the caller.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hmem {
+
+/// Serialises rows of string fields as CSV into any std::ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one row; fields are quoted only when required by the dialect.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: quotes a single field per the dialect.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Parses CSV text into rows of fields. Handles quoted fields, embedded
+/// quotes ("" escaping), and both \n and \r\n line endings. Empty trailing
+/// line is ignored.
+class CsvReader {
+ public:
+  static std::vector<std::vector<std::string>> parse(const std::string& text);
+};
+
+}  // namespace hmem

@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// The library is deterministic and single-threaded per experiment, but bench
+// binaries run several experiments back to back, so the logger is guarded by
+// a mutex to keep interleaved output readable if callers ever thread it.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hmem {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default: kWarn so
+/// tests and benches stay quiet unless they opt in.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr with a level prefix. Thread-safe.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, detail::concat(args...));
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, detail::concat(args...));
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, detail::concat(args...));
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  log_message(LogLevel::kError, detail::concat(args...));
+}
+
+}  // namespace hmem

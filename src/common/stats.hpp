@@ -1,0 +1,70 @@
+// Small descriptive-statistics helpers used by the profiler, the benches and
+// the tests. Everything operates on plain vectors of doubles; the data sets
+// involved (per-object metrics, per-run FOMs) are tiny so clarity beats
+// streaming cleverness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hmem {
+
+/// Running accumulator for mean/variance (Welford) plus min/max.
+/// Suitable for long access streams where storing samples is not an option.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction support).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile via sorting a copy (linear interpolation between ranks).
+/// p in [0, 100]. Empty input returns 0.
+double percentile(std::vector<double> values, double p);
+
+double mean(const std::vector<double>& values);
+double stddev(const std::vector<double>& values);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// the range are clamped into the first/last bucket. Used by the folding
+/// analysis to bin samples over time.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+  std::size_t bin_for(double x) const;
+
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace hmem

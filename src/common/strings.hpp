@@ -1,0 +1,26 @@
+// String helpers shared across modules. Kept deliberately tiny — only what
+// the config/CSV/report parsers actually need.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hmem {
+
+/// Strips ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// Splits on a single character; keeps empty pieces.
+std::vector<std::string> split(const std::string& s, char sep);
+
+/// Lowercases ASCII characters only.
+std::string to_lower(std::string s);
+
+bool starts_with(const std::string& s, const std::string& prefix);
+bool ends_with(const std::string& s, const std::string& suffix);
+
+/// Joins pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 const std::string& sep);
+
+}  // namespace hmem

@@ -1,0 +1,487 @@
+#include "engine/execution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "alloc/allocators.hpp"
+#include "apps/generator.hpp"
+#include "callstack/modulemap.hpp"
+#include "callstack/unwind.hpp"
+#include "common/assert.hpp"
+#include "common/prng.hpp"
+#include "profiler/profiler.hpp"
+#include "runtime/policy.hpp"
+
+namespace hmem::engine {
+
+namespace {
+
+using apps::AppSpec;
+using apps::ObjectSpec;
+using memsim::Address;
+
+std::uint64_t floor_pow2(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p * 2 <= v) p *= 2;
+  return p;
+}
+
+/// Per-object live state during a run.
+struct ObjectState {
+  std::vector<Address> instances;  ///< live instance base addresses
+  std::unique_ptr<apps::AccessGenerator> generator;
+};
+
+struct MissRecord {
+  std::uint64_t order;  ///< access index within the phase
+  Address addr;
+  bool is_write;
+};
+
+/// Analytic MCDRAM-as-cache model. Residency is built up by miss traffic
+/// (the steady state of an LRU-like replacement at memory-side granularity);
+/// the hit probability of a target is its resident fraction, derated by a
+/// direct-mapped conflict factor once demand exceeds capacity. Operating on
+/// *real* footprints keeps the capacity behaviour faithful even though the
+/// simulated stream is a scaled-down sample.
+class CacheModeModel {
+ public:
+  CacheModeModel(double capacity_bytes, std::vector<double> footprints,
+                 double chunk_bytes, double conflict_k)
+      : capacity_(capacity_bytes),
+        footprints_(std::move(footprints)),
+        resident_(footprints_.size(), 0.0),
+        chunk_(chunk_bytes) {
+    double demand = 0;
+    for (double f : footprints_) demand += f;
+    const double pressure =
+        std::max(0.0, demand / std::max(1.0, capacity_) - 1.0);
+    conflict_factor_ = 1.0 / (1.0 + conflict_k * pressure);
+  }
+
+  double hit_probability(std::size_t target) const {
+    const double f = footprints_[target];
+    if (f <= 0) return 0;
+    double p = std::min(1.0, resident_[target] / f);
+    if (total_ >= capacity_ * 0.999) p *= conflict_factor_;
+    return p;
+  }
+
+  void on_miss(std::size_t target) {
+    const double gain =
+        std::min(chunk_, footprints_[target] - resident_[target]);
+    if (gain <= 0) return;
+    resident_[target] += gain;
+    total_ += gain;
+    if (total_ > capacity_) {
+      const double shrink = capacity_ / total_;
+      for (double& r : resident_) r *= shrink;
+      total_ = capacity_;
+    }
+  }
+
+  double resident_bytes(std::size_t target) const {
+    return resident_[target];
+  }
+
+ private:
+  double capacity_;
+  std::vector<double> footprints_;
+  std::vector<double> resident_;
+  double total_ = 0;
+  double chunk_;
+  double conflict_factor_;
+};
+
+}  // namespace
+
+const char* condition_name(Condition condition) {
+  switch (condition) {
+    case Condition::kDdr:
+      return "ddr";
+    case Condition::kNumactl:
+      return "numactl";
+    case Condition::kAutoHbw:
+      return "autohbw";
+    case Condition::kCacheMode:
+      return "cache";
+    case Condition::kFramework:
+      return "framework";
+  }
+  return "?";
+}
+
+RunResult run_app(const AppSpec& app, const RunOptions& options) {
+  const std::string problem = apps::validate(app);
+  HMEM_ASSERT_MSG(problem.empty(), problem.c_str());
+
+  const int ranks = app.ranks;
+  const bool cache_mode = options.condition == Condition::kCacheMode;
+
+  // ---- Per-rank machine view -------------------------------------------
+  // The Machine always runs flat here: the engine models cache mode with an
+  // analytic residency model (below) because the sampled access stream's
+  // touched footprint is a scaled-down image of the real working set — a
+  // literal tag simulation at line granularity would see a working set
+  // `access_scale` times too small and overestimate the hit rate. The
+  // DirectMappedMemCache component remains available for line-level studies.
+  memsim::MachineConfig cfg = options.node;
+  cfg.mode = memsim::MemMode::kFlat;
+  cfg.llc.size_bytes = std::max<std::uint64_t>(
+      16ULL * 1024, floor_pow2(cfg.llc.size_bytes / ranks));
+  const std::uint64_t ddr_share = cfg.ddr.capacity_bytes / ranks;
+  const std::uint64_t mcdram_share = cfg.mcdram.capacity_bytes / ranks;
+  cfg.ddr.capacity_bytes = ddr_share;
+  cfg.mcdram.capacity_bytes = mcdram_share;
+  memsim::Machine machine(cfg);
+
+  // ---- Allocators, modules, policy -------------------------------------
+  alloc::PosixAllocator posix(memsim::kDdrBase, ddr_share);
+  std::unique_ptr<alloc::MemkindAllocator> hbw;
+  if (!cache_mode) {
+    hbw = std::make_unique<alloc::MemkindAllocator>(memsim::kMcdramBase,
+                                                    mcdram_share);
+  }
+
+  callstack::ModuleMap modules;
+  modules.add_module(app.name + ".x", 0x400000, 1ULL << 20);
+  modules.randomize_slides(options.seed * 0x9e3779b97f4a7c15ULL + 1);
+  callstack::Unwinder unwinder(modules);
+  callstack::Translator translator(modules);
+
+  std::unique_ptr<runtime::PlacementPolicy> policy;
+  runtime::AutoHbwMalloc* framework = nullptr;
+  switch (options.condition) {
+    case Condition::kDdr:
+    case Condition::kCacheMode:
+      policy = std::make_unique<runtime::DdrPolicy>(posix);
+      break;
+    case Condition::kNumactl:
+      HMEM_ASSERT(hbw != nullptr);
+      policy = std::make_unique<runtime::NumactlPolicy>(posix, *hbw);
+      break;
+    case Condition::kAutoHbw:
+      HMEM_ASSERT(hbw != nullptr);
+      policy = std::make_unique<runtime::AutoHbwLibPolicy>(
+          posix, *hbw, options.autohbw_threshold);
+      break;
+    case Condition::kFramework: {
+      HMEM_ASSERT_MSG(options.placement != nullptr,
+                      "framework condition requires a Placement");
+      HMEM_ASSERT(hbw != nullptr);
+      auto fw = std::make_unique<runtime::AutoHbwMalloc>(
+          *options.placement, posix, *hbw, unwinder, translator,
+          options.runtime_options);
+      framework = fw.get();
+      policy = std::move(fw);
+      break;
+    }
+  }
+
+  // ---- Profiler & site database -----------------------------------------
+  auto sites = std::make_shared<callstack::SiteDb>();
+  std::optional<profiler::Profiler> prof;
+  if (options.profile) {
+    profiler::ProfilerConfig pcfg;
+    pcfg.min_alloc_bytes = options.min_alloc_bytes;
+    pcfg.sampler = options.sampler;
+    pcfg.sampler.seed ^= options.seed;
+    prof.emplace(pcfg);
+  }
+
+  const std::size_t n_objects = app.objects.size();
+  std::vector<callstack::SiteId> site_ids(n_objects);
+  std::vector<callstack::SymbolicCallStack> stacks(n_objects);
+  for (std::size_t i = 0; i < n_objects; ++i) {
+    const ObjectSpec& obj = app.objects[i];
+    if (obj.is_static) {
+      callstack::SymbolicCallStack st;
+      st.frames.push_back(callstack::CodeLocation{
+          app.name + ".x", "static_" + obj.name,
+          static_cast<std::uint32_t>(1000 + i)});
+      stacks[i] = st;
+      site_ids[i] = sites->intern(obj.name, st, /*is_dynamic=*/false);
+    } else {
+      stacks[i] = app.alloc_stack(i);
+      site_ids[i] = sites->intern(obj.name, stacks[i], /*is_dynamic=*/true);
+    }
+  }
+
+  std::vector<ObjectState> state(n_objects);
+  for (std::size_t i = 0; i < n_objects; ++i) {
+    state[i].generator = std::make_unique<apps::AccessGenerator>(
+        app.objects[i].pattern, app.objects[i].size_bytes,
+        options.seed ^ (0x51ed2700ULL + i * 0x9e3779b9ULL));
+  }
+
+  Xoshiro256 rng(options.seed ^ 0xace5500dULL);
+
+  double now_ns = 0;
+  double interpose_ns = 0;
+  std::uint64_t alloc_calls = 0;
+
+  auto do_alloc = [&](std::size_t i) {
+    const ObjectSpec& obj = app.objects[i];
+    for (int inst = 0; inst < obj.instances; ++inst) {
+      runtime::AllocOutcome out =
+          obj.is_static ? policy->allocate_static(obj.size_bytes)
+                        : policy->allocate(obj.size_bytes, stacks[i]);
+      HMEM_ASSERT_MSG(out.addr != 0, "simulated out of memory");
+      state[i].instances.push_back(out.addr);
+      now_ns += out.cost_ns;
+      interpose_ns += out.cost_ns;
+      if (!obj.is_static) ++alloc_calls;
+      if (prof) prof->on_alloc(now_ns, site_ids[i], out.addr, obj.size_bytes);
+    }
+  };
+  auto do_free = [&](std::size_t i) {
+    for (Address addr : state[i].instances) {
+      if (prof) prof->on_free(now_ns, addr);
+      const double cost = policy->deallocate(addr);
+      now_ns += cost;
+      interpose_ns += cost;
+    }
+    state[i].instances.clear();
+  };
+
+  // ---- Process image: stack first, then statics, then persistent heap.
+  // The stack is *not* registered with the profiler: references to automatic
+  // variables stay unattributed, exactly as in the paper.
+  const runtime::AllocOutcome stack_region =
+      policy->allocate_static(app.stack_bytes);
+  HMEM_ASSERT(stack_region.addr != 0);
+  now_ns += stack_region.cost_ns;
+
+  for (std::size_t i = 0; i < n_objects; ++i) {
+    if (app.objects[i].is_static) do_alloc(i);
+  }
+  for (std::size_t i = 0; i < n_objects; ++i) {
+    const ObjectSpec& obj = app.objects[i];
+    if (!obj.is_static && !obj.churn && obj.transient_phase < 0) do_alloc(i);
+  }
+
+  // ---- Derived rates -----------------------------------------------------
+  const double eff_cores =
+      std::min(static_cast<double>(app.threads_per_rank),
+               static_cast<double>(options.node.cores) / ranks);
+  const double freq_hz = cfg.freq_ghz * 1e9;
+  const double instr_rate = eff_cores * cfg.ipc * freq_hz;  // instr/s
+  auto rank_bw_gbs = [&](const memsim::TierSpec& tier) {
+    return std::min(static_cast<double>(app.threads_per_rank) *
+                        tier.per_core_bw_gbs,
+                    tier.peak_bw_gbs / ranks);
+  };
+  const double ddr_bw = rank_bw_gbs(options.node.ddr);
+  const double mcdram_bw =
+      rank_bw_gbs(options.node.mcdram) *
+      (cache_mode ? options.node.cache_mode_bw_derate : 1.0);
+  const double scale = app.access_scale;
+
+  std::unique_ptr<CacheModeModel> mc_model;
+  if (cache_mode) {
+    std::vector<double> footprints(n_objects + 1, 0.0);
+    for (std::size_t i = 0; i < n_objects; ++i) {
+      footprints[i] = static_cast<double>(app.objects[i].total_bytes());
+    }
+    footprints[n_objects] = static_cast<double>(app.stack_bytes);
+    mc_model = std::make_unique<CacheModeModel>(
+        static_cast<double>(mcdram_share), std::move(footprints),
+        static_cast<double>(memsim::kCacheLineBytes) * scale,
+        options.node.cache_mode_conflict_k);
+  }
+
+  // ---- Main loop ---------------------------------------------------------
+  std::uint64_t total_ddr_bytes_sim = 0;
+  std::uint64_t total_mc_bytes_sim = 0;
+  std::uint64_t total_misses_sim = 0;
+  double cumulative_instructions = 0;
+  std::vector<MissRecord> miss_records;
+  const std::uint64_t miss_count_per_sim =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::llround(scale)));
+
+  for (std::uint64_t iter = 0; iter < app.iterations; ++iter) {
+    for (std::size_t i = 0; i < n_objects; ++i) {
+      if (app.objects[i].churn) {
+        if (!state[i].instances.empty()) do_free(i);
+        do_alloc(i);
+      }
+    }
+
+    for (std::size_t p = 0; p < app.phases.size(); ++p) {
+      const apps::PhaseSpec& phase = app.phases[p];
+      for (std::size_t i = 0; i < n_objects; ++i) {
+        if (app.objects[i].transient_phase == static_cast<int>(p))
+          do_alloc(i);
+      }
+      if (prof) prof->on_phase(now_ns, phase.name, /*begin=*/true);
+
+      // Cumulative weight table: objects then (optionally) the stack.
+      std::vector<double> cumulative;
+      std::vector<std::size_t> target;  // object index; SIZE_MAX = stack
+      double acc = 0;
+      for (std::size_t i = 0; i < n_objects; ++i) {
+        const double w = phase.object_weights[i];
+        if (w <= 0 || state[i].instances.empty()) continue;
+        acc += w;
+        cumulative.push_back(acc);
+        target.push_back(i);
+      }
+      if (phase.stack_weight > 0) {
+        acc += phase.stack_weight;
+        cumulative.push_back(acc);
+        target.push_back(SIZE_MAX);
+      }
+      HMEM_ASSERT(acc > 0);
+
+      const auto n_accesses = static_cast<std::uint64_t>(std::llround(
+          static_cast<double>(app.accesses_per_iteration) *
+          phase.access_share));
+      std::uint64_t phase_ddr_sim = 0;
+      std::uint64_t phase_mc_sim = 0;
+      double phase_latency_ns = 0;
+      miss_records.clear();
+
+      for (std::uint64_t k = 0; k < n_accesses; ++k) {
+        const double pick = rng.uniform() * acc;
+        const std::size_t slot =
+            std::lower_bound(cumulative.begin(), cumulative.end(), pick) -
+            cumulative.begin();
+        const std::size_t idx = target[std::min(slot, target.size() - 1)];
+
+        Address addr = 0;
+        if (idx == SIZE_MAX) {
+          const std::uint64_t lines =
+              app.stack_bytes / memsim::kCacheLineBytes;
+          addr = stack_region.addr + rng.below(lines) *
+                                         memsim::kCacheLineBytes;
+        } else {
+          const ObjectState& os = state[idx];
+          const Address base =
+              os.instances.size() == 1
+                  ? os.instances[0]
+                  : os.instances[rng.below(os.instances.size())];
+          std::uint64_t offset = os.generator->next_offset();
+          if (offset >= app.objects[idx].size_bytes) offset = 0;
+          addr = base + offset;
+        }
+        const bool is_write = rng.uniform() < phase.write_fraction;
+        const memsim::AccessResult res = machine.access(addr, is_write);
+        double latency_ns = res.latency_ns;
+        std::uint64_t ddr_b = res.ddr_bytes;
+        std::uint64_t mc_b = res.mcdram_bytes;
+        if (!res.llc_hit && cache_mode) {
+          // Analytic memory-side cache decision (see CacheModeModel).
+          const std::size_t mc_target = idx == SIZE_MAX ? n_objects : idx;
+          if (rng.uniform() < mc_model->hit_probability(mc_target)) {
+            latency_ns = options.node.mcdram.latency_ns +
+                         options.node.mem_cache_tag_ns;
+            ddr_b = 0;
+            mc_b = memsim::kCacheLineBytes;
+          } else {
+            mc_model->on_miss(mc_target);
+            latency_ns = options.node.ddr.latency_ns +
+                         options.node.mem_cache_tag_ns;
+            ddr_b = memsim::kCacheLineBytes;
+            mc_b = memsim::kCacheLineBytes;  // memory-side fill
+          }
+        }
+        phase_latency_ns += latency_ns;
+        phase_ddr_sim += ddr_b;
+        phase_mc_sim += mc_b;
+        if (!res.llc_hit) {
+          ++total_misses_sim;
+          if (prof) miss_records.push_back({k, addr, is_write});
+        }
+      }
+
+      // Roofline phase duration (seconds).
+      const double real_instr = static_cast<double>(n_accesses) * scale *
+                                phase.insts_per_access;
+      const double compute_s = real_instr / instr_rate;
+      const double ddr_s =
+          static_cast<double>(phase_ddr_sim) * scale / (ddr_bw * 1e9);
+      const double mc_s =
+          static_cast<double>(phase_mc_sim) * scale / (mcdram_bw * 1e9);
+      const double latency_s =
+          phase_latency_ns * scale * 1e-9 / (eff_cores * options.mlp);
+      const double tier_s = std::max(ddr_s, mc_s) +
+                            options.tier_mix_penalty * std::min(ddr_s, mc_s);
+      const double memory_s = std::max(latency_s, tier_s);
+      const double phase_s =
+          std::max(compute_s, memory_s) +
+          options.overlap_beta * std::min(compute_s, memory_s);
+      const double phase_ns = phase_s * 1e9;
+
+      if (prof) {
+        for (const MissRecord& rec : miss_records) {
+          const double t =
+              now_ns + phase_ns * static_cast<double>(rec.order) /
+                           static_cast<double>(std::max<std::uint64_t>(
+                               1, n_accesses));
+          prof->on_llc_miss(t, rec.addr, rec.is_write, miss_count_per_sim);
+        }
+      }
+      cumulative_instructions += real_instr;
+      now_ns += phase_ns;
+      if (prof) {
+        prof->on_counter(now_ns, "instructions", cumulative_instructions);
+        prof->on_phase(now_ns, phase.name, /*begin=*/false);
+      }
+
+      total_ddr_bytes_sim += phase_ddr_sim;
+      total_mc_bytes_sim += phase_mc_sim;
+
+      for (std::size_t i = 0; i < n_objects; ++i) {
+        if (app.objects[i].transient_phase == static_cast<int>(p))
+          do_free(i);
+      }
+    }
+  }
+
+  if (prof) now_ns += prof->overhead_ns();
+
+  // ---- Result ------------------------------------------------------------
+  RunResult result;
+  result.app = app.name;
+  result.condition = condition_name(options.condition);
+  result.fom_unit = app.fom_unit;
+  result.time_s = now_ns * 1e-9;
+  HMEM_ASSERT(result.time_s > 0);
+  result.fom = app.work_per_iteration * static_cast<double>(app.iterations) *
+               ranks / result.time_s;
+
+  result.ddr_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(total_ddr_bytes_sim) * scale);
+  result.mcdram_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(total_mc_bytes_sim) * scale);
+  result.achieved_bw_gbs =
+      static_cast<double>(result.ddr_bytes + result.mcdram_bytes) /
+      result.time_s / 1e9;
+  result.llc_misses = total_misses_sim * miss_count_per_sim;
+  result.alloc_calls = alloc_calls;
+  result.allocs_per_second = static_cast<double>(alloc_calls) / result.time_s;
+  result.interposition_overhead_ns = interpose_ns;
+
+  result.total_hwm_bytes = posix.stats().high_water_mark +
+                           (hbw ? hbw->stats().high_water_mark : 0);
+  if (framework != nullptr) {
+    result.autohbw = framework->stats();
+    result.mcdram_hwm_bytes = framework->stats().fast_hwm;
+  } else if (options.condition == Condition::kNumactl ||
+             options.condition == Condition::kAutoHbw) {
+    result.mcdram_hwm_bytes = hbw->stats().high_water_mark;
+  }
+
+  if (prof) {
+    result.samples = prof->sampler().samples_taken();
+    result.monitoring_overhead = prof->overhead_ns() / now_ns;
+    result.trace =
+        std::make_shared<trace::TraceBuffer>(prof->take_trace());
+    result.sites = sites;
+  }
+  return result;
+}
+
+}  // namespace hmem::engine

@@ -1,0 +1,113 @@
+// Execution engine: interprets an AppSpec against the simulated machine
+// under one placement condition, producing the run's figure of merit and
+// every statistic the evaluation reports.
+//
+// Timing model (per phase, per rank): the simulated access stream is a
+// sampled representation — each simulated access stands for
+// `AppSpec::access_scale` real accesses. The phase duration is the roofline
+// maximum of
+//   * compute:   instructions / (effective cores * IPC * frequency),
+//   * bandwidth: per-tier DRAM traffic / the rank's share of the tier's
+//                achievable bandwidth,
+//   * latency:   total miss latency / (effective cores * MLP),
+// plus allocator and interposition costs, which are charged at face value
+// (they are real per-call costs, not sampled). The profiler's monitoring
+// cost is added the same way when profiling is enabled, which is what the
+// Table I overhead column measures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "advisor/placement_report.hpp"
+#include "apps/app.hpp"
+#include "callstack/sitedb.hpp"
+#include "memsim/machine.hpp"
+#include "pebs/sampler.hpp"
+#include "runtime/auto_hbwmalloc.hpp"
+#include "trace/event.hpp"
+
+namespace hmem::engine {
+
+enum class Condition {
+  kDdr,        ///< everything in DDR (reference)
+  kNumactl,    ///< numactl -p 1 (FCFS into MCDRAM, statics and stack too)
+  kAutoHbw,    ///< autohbw library, 1 MiB threshold
+  kCacheMode,  ///< MCDRAM as direct-mapped memory-side cache
+  kFramework,  ///< the paper's framework (requires a Placement)
+};
+
+const char* condition_name(Condition condition);
+
+struct RunOptions {
+  Condition condition = Condition::kDdr;
+  /// Placement from hmem_advisor; required when condition == kFramework.
+  const advisor::Placement* placement = nullptr;
+  runtime::AutoHbwOptions runtime_options;
+
+  /// Attach the profiler (stage-1 run): collect the trace, pay the cost.
+  bool profile = false;
+  pebs::SamplerConfig sampler;
+  std::uint64_t min_alloc_bytes = 4096;
+
+  std::uint64_t seed = 42;
+  /// Node-level machine; the engine derives the per-rank view (LLC share,
+  /// tier capacity shares, bandwidth shares). The memory mode is overridden
+  /// to match the condition.
+  memsim::MachineConfig node = memsim::MachineConfig::knl7250(
+      memsim::MemMode::kFlat);
+  /// Outstanding misses per core for the latency roofline term (hardware
+  /// prefetchers keep many line fills in flight on KNL).
+  double mlp = 30.0;
+  /// Compute/memory overlap imperfection: phase time is
+  /// max(compute, memory) + overlap_beta * min(compute, memory). Zero means
+  /// perfect overlap (pure roofline); one means fully serialised.
+  double overlap_beta = 0.25;
+  /// Cross-tier contention: DDR and MCDRAM stream in parallel, but the
+  /// shared mesh/controllers keep the combination short of perfect overlap:
+  /// memory time is max(ddr, mcdram) + tier_mix_penalty * min(ddr, mcdram).
+  double tier_mix_penalty = 0.3;
+  /// autohbw size threshold (paper: 1 MiB).
+  std::uint64_t autohbw_threshold = 1ULL << 20;
+};
+
+struct RunResult {
+  std::string app;
+  std::string condition;
+  std::string fom_unit;
+  double time_s = 0;
+  double fom = 0;
+
+  /// Fast-tier high-water mark, per rank (Figure 4 middle column). For the
+  /// framework this is auto-hbwmalloc's accounting; for numactl/autohbw it
+  /// is the HBW allocator's HWM. Zero under DDR / cache mode.
+  std::uint64_t mcdram_hwm_bytes = 0;
+  /// Per-rank resident high-water mark across all allocators (Table I).
+  std::uint64_t total_hwm_bytes = 0;
+
+  /// Real (scale-corrected) DRAM traffic, per rank.
+  std::uint64_t ddr_bytes = 0;
+  std::uint64_t mcdram_bytes = 0;
+  double achieved_bw_gbs = 0;
+
+  std::uint64_t llc_misses = 0;  ///< real, per rank
+  std::uint64_t samples = 0;     ///< PEBS samples captured (profiled runs)
+  double monitoring_overhead = 0;  ///< fraction of run time
+  std::uint64_t alloc_calls = 0;   ///< dynamic allocations, per rank
+  double allocs_per_second = 0;
+  double interposition_overhead_ns = 0;  ///< unwind+translate+allocator cost
+
+  /// Stage-1 artefacts (profiled runs only).
+  std::shared_ptr<trace::TraceBuffer> trace;
+  std::shared_ptr<callstack::SiteDb> sites;
+
+  /// Framework-only: the interposer's statistics.
+  std::optional<runtime::AutoHbwStats> autohbw;
+};
+
+/// Runs one application once under the given options.
+RunResult run_app(const apps::AppSpec& app, const RunOptions& options);
+
+}  // namespace hmem::engine

@@ -1,0 +1,242 @@
+#include "engine/experiment.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/csv.hpp"
+#include "common/units.hpp"
+
+namespace hmem::engine {
+
+std::vector<StrategyConfig> paper_strategies() {
+  std::vector<StrategyConfig> strategies;
+  {
+    StrategyConfig s;
+    s.label = "Density";
+    s.options.strategy = advisor::Strategy::kDensity;
+    strategies.push_back(s);
+  }
+  for (double threshold : {0.0, 1.0, 5.0}) {
+    StrategyConfig s;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "Misses(%g%%)", threshold);
+    s.label = buf;
+    s.options.strategy = advisor::Strategy::kMisses;
+    s.options.threshold_pct = threshold;
+    strategies.push_back(s);
+  }
+  return strategies;
+}
+
+std::vector<std::uint64_t> paper_budgets_mpi() {
+  return {32ULL << 20, 64ULL << 20, 128ULL << 20, 256ULL << 20};
+}
+
+std::vector<std::uint64_t> paper_budgets_openmp() {
+  return {32ULL << 20,  128ULL << 20, 512ULL << 20,
+          2ULL << 30,   8ULL << 30,   16ULL << 30};
+}
+
+const Fig4Cell& Fig4Row::cell(const std::string& strategy,
+                              std::uint64_t budget) const {
+  for (const auto& c : cells) {
+    if (c.strategy == strategy && c.budget_bytes == budget) return c;
+  }
+  HMEM_ASSERT_MSG(false, "no such figure-4 cell");
+  return cells.front();
+}
+
+double Fig4Row::best_framework_fom() const {
+  double best = 0;
+  for (const auto& c : cells) best = std::max(best, c.fom);
+  return best;
+}
+
+double dfom_per_mb(double fom, double ddr_fom, std::uint64_t mem_bytes) {
+  HMEM_ASSERT(mem_bytes > 0);
+  const double mem_mb =
+      static_cast<double>(mem_bytes) / static_cast<double>(kMiB);
+  return (fom - ddr_fom) / mem_mb;
+}
+
+Fig4Runner::Fig4Runner(apps::AppSpec app, PipelineOptions base_options)
+    : app_(std::move(app)), base_(std::move(base_options)) {}
+
+Fig4Row Fig4Runner::run(const std::vector<std::uint64_t>& budgets,
+                        const std::vector<StrategyConfig>& strategies) {
+  Fig4Row row;
+  row.app = app_.name;
+  row.fom_unit = app_.fom_unit;
+
+  // Stage 1 + 2, shared across every framework cell.
+  RunOptions profile_opts;
+  profile_opts.condition = Condition::kDdr;
+  profile_opts.profile = true;
+  profile_opts.sampler = base_.sampler;
+  profile_opts.min_alloc_bytes = base_.min_alloc_bytes;
+  profile_opts.seed = base_.profile_seed;
+  profile_opts.node = base_.node;
+  const RunResult profile = run_app(app_, profile_opts);
+  report_ = analysis::aggregate_trace(*profile.trace, *profile.sites);
+
+  // Baselines.
+  auto run_baseline = [&](Condition condition) {
+    RunOptions opts;
+    opts.condition = condition;
+    opts.seed = base_.production_seed;
+    opts.node = base_.node;
+    const RunResult r = run_app(app_, opts);
+    BaselineResult b;
+    b.condition = r.condition;
+    b.fom = r.fom;
+    b.mcdram_hwm_bytes = r.mcdram_hwm_bytes;
+    return b;
+  };
+  row.ddr = run_baseline(Condition::kDdr);
+  row.numactl = run_baseline(Condition::kNumactl);
+  row.autohbw = run_baseline(Condition::kAutoHbw);
+  row.cache = run_baseline(Condition::kCacheMode);
+
+  // The paper assigns 16 GiB as MEM_x for the two budget-less conditions.
+  const std::uint64_t budgetless_mem = 16ULL * kGiB;
+  row.numactl.dfom_per_mb =
+      dfom_per_mb(row.numactl.fom, row.ddr.fom, budgetless_mem);
+  row.cache.dfom_per_mb =
+      dfom_per_mb(row.cache.fom, row.ddr.fom, budgetless_mem);
+  // autohbw is excluded from the metric in the paper (unknown promoted
+  // volume); keep it at zero.
+
+  const std::uint64_t ddr_share =
+      base_.node.ddr.capacity_bytes / static_cast<std::uint64_t>(app_.ranks);
+
+  for (const auto& strategy : strategies) {
+    for (const std::uint64_t budget : budgets) {
+      advisor::MemorySpec spec = advisor::MemorySpec::two_tier(
+          budget, ddr_share, base_.node.mcdram.relative_performance);
+      advisor::Options adv_options = strategy.options;
+      if (base_.advisor.virtual_budget_bytes > 0) {
+        adv_options.virtual_budget_bytes = base_.advisor.virtual_budget_bytes;
+      }
+      advisor::HmemAdvisor adv(spec, adv_options);
+      const advisor::Placement placement = adv.advise(report_.objects);
+      const advisor::Placement parsed = advisor::read_placement_report(
+          advisor::write_placement_report(placement));
+
+      RunOptions opts;
+      opts.condition = Condition::kFramework;
+      opts.placement = &parsed;
+      opts.runtime_options = base_.runtime_options;
+      opts.seed = base_.production_seed;
+      opts.node = base_.node;
+      const RunResult r = run_app(app_, opts);
+
+      Fig4Cell cell;
+      cell.strategy = strategy.label;
+      cell.budget_bytes = budget;
+      cell.fom = r.fom;
+      cell.hwm_bytes = r.mcdram_hwm_bytes;
+      cell.dfom_per_mb = dfom_per_mb(r.fom, row.ddr.fom, budget);
+      cell.any_overflow = r.autohbw.has_value() && r.autohbw->any_overflow;
+      row.cells.push_back(std::move(cell));
+    }
+  }
+  return row;
+}
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[48];
+  if (v != 0 && (std::abs(v) < 0.01 || std::abs(v) >= 1e6)) {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string format_fig4_row(const Fig4Row& row,
+                            const std::vector<std::uint64_t>& budgets,
+                            const std::vector<StrategyConfig>& strategies) {
+  std::ostringstream os;
+  auto print_table = [&](const std::string& title, auto cell_value,
+                         bool with_baselines) {
+    os << "== " << row.app << " - " << title << " ==\n";
+    os << "  budget";
+    for (const auto& s : strategies) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " %14s", s.label.c_str());
+      os << buf;
+    }
+    os << '\n';
+    for (const std::uint64_t b : budgets) {
+      char head[32];
+      std::snprintf(head, sizeof(head), "%8s",
+                    format_bytes(b).c_str());
+      os << head;
+      for (const auto& s : strategies) {
+        const Fig4Cell& c = row.cell(s.label, b);
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), " %14s",
+                      fmt_double(cell_value(c)).c_str());
+        os << buf;
+      }
+      os << '\n';
+    }
+    if (with_baselines) {
+      os << "  lines: DDR=" << fmt_double(row.ddr.fom)
+         << " MCDRAM*=" << fmt_double(row.numactl.fom)
+         << " cache=" << fmt_double(row.cache.fom)
+         << " autohbw/1m=" << fmt_double(row.autohbw.fom) << " ("
+         << row.fom_unit << ")\n";
+    }
+    os << '\n';
+  };
+
+  print_table("FOM (" + row.fom_unit + ")",
+              [](const Fig4Cell& c) { return c.fom; }, true);
+  print_table("MCDRAM HWM (MiB/rank)",
+              [](const Fig4Cell& c) {
+                return static_cast<double>(c.hwm_bytes) /
+                       static_cast<double>(kMiB);
+              },
+              false);
+  print_table("dFOM/MByte",
+              [](const Fig4Cell& c) { return c.dfom_per_mb; }, false);
+  os << "  dFOM/MByte lines: MCDRAM*=" << fmt_double(row.numactl.dfom_per_mb)
+     << " cache=" << fmt_double(row.cache.dfom_per_mb) << '\n';
+  return os.str();
+}
+
+std::string fig4_row_to_csv(const Fig4Row& row) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row({"app", "kind", "strategy", "budget_mib", "fom",
+                    "hwm_mib", "dfom_per_mb"});
+  auto baseline = [&](const BaselineResult& b) {
+    writer.write_row({row.app, "baseline", b.condition, "",
+                      fmt_double(b.fom),
+                      fmt_double(static_cast<double>(b.mcdram_hwm_bytes) /
+                                 static_cast<double>(kMiB)),
+                      fmt_double(b.dfom_per_mb)});
+  };
+  baseline(row.ddr);
+  baseline(row.numactl);
+  baseline(row.autohbw);
+  baseline(row.cache);
+  for (const auto& c : row.cells) {
+    writer.write_row(
+        {row.app, "framework", c.strategy,
+         std::to_string(c.budget_bytes / kMiB), fmt_double(c.fom),
+         fmt_double(static_cast<double>(c.hwm_bytes) /
+                    static_cast<double>(kMiB)),
+         fmt_double(c.dfom_per_mb)});
+  }
+  return os.str();
+}
+
+}  // namespace hmem::engine

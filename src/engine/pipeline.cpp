@@ -1,0 +1,54 @@
+#include "engine/pipeline.hpp"
+
+#include "advisor/advisor.hpp"
+#include "common/assert.hpp"
+
+namespace hmem::engine {
+
+PipelineResult run_pipeline(const apps::AppSpec& app,
+                            const PipelineOptions& options) {
+  PipelineResult result;
+
+  // Stage 1: profile the application in its default placement (DDR).
+  RunOptions profile_opts;
+  profile_opts.condition = Condition::kDdr;
+  profile_opts.profile = true;
+  profile_opts.sampler = options.sampler;
+  profile_opts.min_alloc_bytes = options.min_alloc_bytes;
+  profile_opts.seed = options.profile_seed;
+  profile_opts.node = options.node;
+  result.profile_run = run_app(app, profile_opts);
+  HMEM_ASSERT(result.profile_run.trace != nullptr);
+
+  // Stage 2: aggregate the trace into per-object statistics.
+  result.report =
+      analysis::aggregate_trace(*result.profile_run.trace,
+                                *result.profile_run.sites);
+
+  // Stage 3: compute the placement for the requested budget. The DDR tier
+  // is the per-rank fallback share.
+  const std::uint64_t ddr_share =
+      options.node.ddr.capacity_bytes / static_cast<std::uint64_t>(app.ranks);
+  advisor::MemorySpec spec = advisor::MemorySpec::two_tier(
+      options.fast_budget_per_rank, ddr_share,
+      options.node.mcdram.relative_performance);
+  advisor::HmemAdvisor adv(spec, options.advisor);
+  result.placement = adv.advise(result.report.objects);
+  result.placement_report_text =
+      advisor::write_placement_report(result.placement);
+
+  // Stage 4: production run, consuming the *parsed text report* under a
+  // fresh ASLR image.
+  const advisor::Placement parsed =
+      advisor::read_placement_report(result.placement_report_text);
+  RunOptions production_opts;
+  production_opts.condition = Condition::kFramework;
+  production_opts.placement = &parsed;
+  production_opts.runtime_options = options.runtime_options;
+  production_opts.seed = options.production_seed;
+  production_opts.node = options.node;
+  result.production_run = run_app(app, production_opts);
+  return result;
+}
+
+}  // namespace hmem::engine

@@ -1,0 +1,47 @@
+// Pipeline — the four-stage framework of Figure 2, end to end:
+//
+//   1. profile run (Extrae substitute): trace of allocations + PEBS samples;
+//   2. aggregation (Paramedir substitute): per-object misses and sizes;
+//   3. hmem_advisor: placement for a given memory spec and strategy;
+//   4. production run with auto-hbwmalloc honouring the placement.
+//
+// The placement report round-trips through its text form between stages 3
+// and 4 — the production run consumes exactly what a user would read —
+// and the production run uses a different ASLR seed than the profiling run,
+// so the symbolic matching is exercised the way the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/aggregator.hpp"
+#include "engine/execution.hpp"
+
+namespace hmem::engine {
+
+struct PipelineOptions {
+  /// Per-rank fast-tier budget for the advisor (Figure 4's x-axis).
+  std::uint64_t fast_budget_per_rank = 256ULL << 20;
+  advisor::Options advisor;
+  runtime::AutoHbwOptions runtime_options;
+  pebs::SamplerConfig sampler;
+  std::uint64_t min_alloc_bytes = 4096;
+  std::uint64_t profile_seed = 42;
+  std::uint64_t production_seed = 1042;  ///< different ASLR image
+  memsim::MachineConfig node =
+      memsim::MachineConfig::knl7250(memsim::MemMode::kFlat);
+};
+
+struct PipelineResult {
+  RunResult profile_run;             ///< stage 1
+  analysis::AggregateResult report;  ///< stage 2
+  advisor::Placement placement;      ///< stage 3
+  std::string placement_report_text;
+  RunResult production_run;          ///< stage 4
+};
+
+/// Runs all four stages for one application.
+PipelineResult run_pipeline(const apps::AppSpec& app,
+                            const PipelineOptions& options);
+
+}  // namespace hmem::engine

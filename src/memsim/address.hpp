@@ -1,0 +1,39 @@
+// Address-space model of the simulated Knights Landing node.
+//
+// Flat mode exposes DDR and MCDRAM as two disjoint physical ranges (two NUMA
+// nodes on real hardware). We pin both ranges at fixed simulated physical
+// bases so that "which tier owns this address" is a range check, exactly the
+// property the real machine gives the OS.
+#pragma once
+
+#include <cstdint>
+
+namespace hmem::memsim {
+
+using Address = std::uint64_t;
+
+inline constexpr std::uint64_t kCacheLineBytes = 64;
+inline constexpr std::uint64_t kPageBytes = 4096;
+
+/// Simulated physical layout. MCDRAM sits above DDR with a guard gap so
+/// out-of-range bugs trip the range checks instead of aliasing.
+inline constexpr Address kDdrBase = 0x0000'0001'0000'0000ULL;      // 4 GiB
+inline constexpr Address kMcdramBase = 0x0000'0040'0000'0000ULL;   // 256 GiB
+
+constexpr Address line_of(Address addr) {
+  return addr & ~(kCacheLineBytes - 1);
+}
+
+constexpr Address page_of(Address addr) { return addr & ~(kPageBytes - 1); }
+
+/// Rounds a byte count up to whole pages — the granularity at which the
+/// advisor's knapsack charges objects against a tier budget.
+constexpr std::uint64_t round_up_pages(std::uint64_t bytes) {
+  return (bytes + kPageBytes - 1) & ~(kPageBytes - 1);
+}
+
+constexpr std::uint64_t round_up_lines(std::uint64_t bytes) {
+  return (bytes + kCacheLineBytes - 1) & ~(kCacheLineBytes - 1);
+}
+
+}  // namespace hmem::memsim

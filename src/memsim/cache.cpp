@@ -1,0 +1,63 @@
+#include "memsim/cache.hpp"
+
+#include "common/assert.hpp"
+
+namespace hmem::memsim {
+
+namespace {
+bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  HMEM_ASSERT(is_pow2(config.line_bytes));
+  HMEM_ASSERT(config.ways > 0);
+  HMEM_ASSERT(config.size_bytes >=
+              static_cast<std::uint64_t>(config.line_bytes) * config.ways);
+  sets_ = config.size_bytes /
+          (static_cast<std::uint64_t>(config.line_bytes) * config.ways);
+  HMEM_ASSERT_MSG(is_pow2(sets_), "cache size must yield power-of-two sets");
+  ways_.resize(sets_ * config.ways);
+}
+
+std::uint64_t Cache::set_of(Address addr) const {
+  return (addr / config_.line_bytes) & (sets_ - 1);
+}
+
+bool Cache::access(Address addr) {
+  ++stats_.accesses;
+  ++tick_;
+  const Address tag = addr / config_.line_bytes;
+  Way* set = &ways_[set_of(addr) * config_.ways];
+
+  Way* lru_way = set;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Way& way = set[w];
+    if (way.lru != 0 && way.tag == tag) {
+      way.lru = tick_;
+      ++stats_.hits;
+      return true;
+    }
+    if (way.lru < lru_way->lru) lru_way = &set[w];
+  }
+  ++stats_.misses;
+  if (lru_way->lru != 0) ++stats_.evictions;
+  lru_way->tag = tag;
+  lru_way->lru = tick_;
+  return false;
+}
+
+bool Cache::contains(Address addr) const {
+  const Address tag = addr / config_.line_bytes;
+  const Way* set = &ways_[set_of(addr) * config_.ways];
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (set[w].lru != 0 && set[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (auto& way : ways_) way = Way{};
+  tick_ = 0;
+}
+
+}  // namespace hmem::memsim

@@ -1,0 +1,193 @@
+#include "memsim/machine.hpp"
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace hmem::memsim {
+
+const char* mem_mode_name(MemMode mode) {
+  switch (mode) {
+    case MemMode::kFlat:
+      return "flat";
+    case MemMode::kCache:
+      return "cache";
+  }
+  return "?";
+}
+
+const char* served_by_name(ServedBy served) {
+  switch (served) {
+    case ServedBy::kLlc:
+      return "LLC";
+    case ServedBy::kDdr:
+      return "DDR";
+    case ServedBy::kMcdram:
+      return "MCDRAM";
+    case ServedBy::kMcdramCacheHit:
+      return "MCDRAM$hit";
+    case ServedBy::kMcdramCacheMiss:
+      return "MCDRAM$miss";
+  }
+  return "?";
+}
+
+MachineConfig MachineConfig::knl7250(MemMode mode) {
+  MachineConfig cfg;
+  cfg.name = "knl7250";
+  cfg.cores = 68;
+  cfg.freq_ghz = 1.40;
+  cfg.ipc = 2.0;  // two-wide out-of-order silvermont-derived core
+  // 34 tiles x 1 MiB L2, modelled as one aggregate LLC; rounded to 32 MiB to
+  // keep the set count a power of two.
+  cfg.llc = CacheConfig{32ULL * kMiB, 64, 16};
+  cfg.ddr = TierSpec{
+      .name = "DDR",
+      .kind = TierKind::kDdr,
+      .capacity_bytes = 96ULL * kGiB,
+      .latency_ns = 130.0,
+      .per_core_bw_gbs = 6.5,
+      .peak_bw_gbs = 90.0,
+      .relative_performance = 1.0,
+  };
+  // MCDRAM: higher idle latency than DDR on KNL but ~5x the bandwidth.
+  cfg.mcdram = TierSpec{
+      .name = "MCDRAM",
+      .kind = TierKind::kMcdram,
+      .capacity_bytes = 16ULL * kGiB,
+      .latency_ns = 155.0,
+      .per_core_bw_gbs = 9.5,
+      .peak_bw_gbs = 480.0,
+      .relative_performance = 5.0,
+  };
+  cfg.mode = mode;
+  cfg.llc_latency_ns = 12.0;
+  cfg.mem_cache_tag_ns = 12.0;
+  cfg.mem_cache_block_bytes = kPageBytes;
+  return cfg;
+}
+
+MachineConfig MachineConfig::test_node(MemMode mode) {
+  MachineConfig cfg;
+  cfg.name = "test_node";
+  cfg.cores = 4;
+  cfg.freq_ghz = 1.0;
+  cfg.ipc = 1.0;
+  cfg.llc = CacheConfig{16ULL * kKiB, 64, 4};
+  cfg.ddr = TierSpec{
+      .name = "DDR",
+      .kind = TierKind::kDdr,
+      .capacity_bytes = 64ULL * kMiB,
+      .latency_ns = 100.0,
+      .per_core_bw_gbs = 5.0,
+      .peak_bw_gbs = 10.0,
+      .relative_performance = 1.0,
+  };
+  cfg.mcdram = TierSpec{
+      .name = "MCDRAM",
+      .kind = TierKind::kMcdram,
+      .capacity_bytes = 8ULL * kMiB,
+      .latency_ns = 120.0,
+      .per_core_bw_gbs = 10.0,
+      .peak_bw_gbs = 40.0,
+      .relative_performance = 5.0,
+  };
+  cfg.mode = mode;
+  cfg.llc_latency_ns = 5.0;
+  cfg.mem_cache_tag_ns = 10.0;
+  cfg.mem_cache_block_bytes = kPageBytes;
+  return cfg;
+}
+
+Machine::Machine(MachineConfig config)
+    : config_(std::move(config)),
+      llc_(config_.llc),
+      ddr_(config_.ddr),
+      mcdram_(config_.mcdram) {
+  if (config_.mode == MemMode::kCache) {
+    mem_cache_ = std::make_unique<DirectMappedMemCache>(
+        config_.mcdram.capacity_bytes, config_.mem_cache_block_bytes);
+  }
+}
+
+bool Machine::in_mcdram(Address addr) const {
+  return addr >= kMcdramBase &&
+         addr < kMcdramBase + config_.mcdram.capacity_bytes;
+}
+
+bool Machine::in_ddr(Address addr) const {
+  return addr >= kDdrBase && addr < kDdrBase + config_.ddr.capacity_bytes;
+}
+
+TierKind Machine::owning_tier(Address addr) const {
+  return in_mcdram(addr) ? TierKind::kMcdram : TierKind::kDdr;
+}
+
+AccessResult Machine::access(Address addr, bool is_write) {
+  AccessResult result;
+  result.llc_hit = llc_.access(addr);
+  if (result.llc_hit) {
+    result.served_by = ServedBy::kLlc;
+    result.latency_ns = config_.llc_latency_ns;
+    return result;
+  }
+
+  if (config_.mode == MemMode::kFlat) {
+    if (in_mcdram(addr)) {
+      result.served_by = ServedBy::kMcdram;
+      result.latency_ns = config_.mcdram.latency_ns;
+      result.mcdram_bytes = kCacheLineBytes;
+      if (is_write)
+        mcdram_.record_write(kCacheLineBytes);
+      else
+        mcdram_.record_read(kCacheLineBytes);
+    } else {
+      result.served_by = ServedBy::kDdr;
+      result.latency_ns = config_.ddr.latency_ns;
+      result.ddr_bytes = kCacheLineBytes;
+      if (is_write)
+        ddr_.record_write(kCacheLineBytes);
+      else
+        ddr_.record_read(kCacheLineBytes);
+    }
+    return result;
+  }
+
+  // Cache mode: every LLC miss consults the memory-side tag directory.
+  HMEM_ASSERT(mem_cache_ != nullptr);
+  const bool mc_hit = mem_cache_->access(addr);
+  if (mc_hit) {
+    result.served_by = ServedBy::kMcdramCacheHit;
+    result.latency_ns = config_.mcdram.latency_ns + config_.mem_cache_tag_ns;
+    result.mcdram_bytes = kCacheLineBytes;
+    if (is_write)
+      mcdram_.record_write(kCacheLineBytes);
+    else
+      mcdram_.record_read(kCacheLineBytes);
+  } else {
+    // Served by DDR; the line is also filled into MCDRAM (extra write
+    // traffic on the MCDRAM side — the cost of the memory-side fill).
+    result.served_by = ServedBy::kMcdramCacheMiss;
+    result.latency_ns = config_.ddr.latency_ns + config_.mem_cache_tag_ns;
+    result.ddr_bytes = kCacheLineBytes;
+    result.mcdram_bytes = kCacheLineBytes;
+    if (is_write)
+      ddr_.record_write(kCacheLineBytes);
+    else
+      ddr_.record_read(kCacheLineBytes);
+    mcdram_.record_write(kCacheLineBytes);
+  }
+  return result;
+}
+
+void Machine::reset() {
+  llc_.flush();
+  llc_.reset_stats();
+  ddr_.reset_stats();
+  mcdram_.reset_stats();
+  if (mem_cache_ != nullptr) {
+    mem_cache_->flush();
+    mem_cache_->reset_stats();
+  }
+}
+
+}  // namespace hmem::memsim

@@ -1,0 +1,49 @@
+#include "memsim/mcdram_cache.hpp"
+
+#include "common/assert.hpp"
+
+namespace hmem::memsim {
+
+namespace {
+bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+DirectMappedMemCache::DirectMappedMemCache(std::uint64_t capacity_bytes,
+                                           std::uint64_t block_bytes)
+    : block_bytes_(block_bytes) {
+  HMEM_ASSERT(is_pow2(block_bytes));
+  HMEM_ASSERT(capacity_bytes >= block_bytes);
+  HMEM_ASSERT(capacity_bytes % block_bytes == 0);
+  const std::uint64_t blocks = capacity_bytes / block_bytes;
+  HMEM_ASSERT(is_pow2(blocks));
+  tags_.assign(blocks, 0);
+}
+
+std::uint64_t DirectMappedMemCache::index_of(Address addr) const {
+  return (addr / block_bytes_) & (tags_.size() - 1);
+}
+
+bool DirectMappedMemCache::access(Address addr) {
+  ++stats_.accesses;
+  const Address tag = addr / block_bytes_ + 1;  // +1 keeps 0 as "invalid"
+  Address& slot = tags_[index_of(addr)];
+  if (slot == tag) {
+    ++stats_.hits;
+    return true;
+  }
+  ++stats_.misses;
+  if (slot != 0) ++stats_.conflict_evictions;
+  slot = tag;
+  return false;
+}
+
+bool DirectMappedMemCache::contains(Address addr) const {
+  const Address tag = addr / block_bytes_ + 1;
+  return tags_[index_of(addr)] == tag;
+}
+
+void DirectMappedMemCache::flush() {
+  for (auto& t : tags_) t = 0;
+}
+
+}  // namespace hmem::memsim

@@ -1,0 +1,25 @@
+#include "memsim/tier.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hmem::memsim {
+
+const char* tier_name(TierKind kind) {
+  switch (kind) {
+    case TierKind::kDdr:
+      return "DDR";
+    case TierKind::kMcdram:
+      return "MCDRAM";
+  }
+  return "?";
+}
+
+double effective_bandwidth_gbs(const TierSpec& spec, int cores) {
+  HMEM_ASSERT(cores > 0);
+  return std::min(static_cast<double>(cores) * spec.per_core_bw_gbs,
+                  spec.peak_bw_gbs);
+}
+
+}  // namespace hmem::memsim

@@ -1,0 +1,66 @@
+// Memory-tier model.
+//
+// A tier is defined by capacity, idle latency and a two-parameter bandwidth
+// curve: per-core achievable bandwidth (limited by outstanding-miss buffers)
+// and an aggregate peak. min(cores * per_core, peak) reproduces the shape of
+// the paper's Figure 1: DDR saturates around 90 GB/s after a handful of
+// cores while flat MCDRAM keeps scaling to ~480 GB/s.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hmem::memsim {
+
+enum class TierKind { kDdr, kMcdram };
+
+const char* tier_name(TierKind kind);
+
+struct TierSpec {
+  std::string name;
+  TierKind kind = TierKind::kDdr;
+  std::uint64_t capacity_bytes = 0;
+  double latency_ns = 0.0;        ///< idle load-to-use latency
+  double per_core_bw_gbs = 0.0;   ///< bandwidth one core can extract
+  double peak_bw_gbs = 0.0;       ///< aggregate saturation bandwidth
+  /// Relative performance weight used by the advisor's memory spec to order
+  /// knapsacks (higher = faster tier, filled first).
+  double relative_performance = 1.0;
+};
+
+struct TierStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  std::uint64_t accesses() const { return reads + writes; }
+  std::uint64_t bytes() const { return bytes_read + bytes_written; }
+};
+
+/// Achievable bandwidth (GB/s) with `cores` cores streaming concurrently.
+double effective_bandwidth_gbs(const TierSpec& spec, int cores);
+
+class MemoryTier {
+ public:
+  explicit MemoryTier(TierSpec spec) : spec_(std::move(spec)) {}
+
+  const TierSpec& spec() const { return spec_; }
+  const TierStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = TierStats{}; }
+
+  void record_read(std::uint64_t bytes) {
+    ++stats_.reads;
+    stats_.bytes_read += bytes;
+  }
+  void record_write(std::uint64_t bytes) {
+    ++stats_.writes;
+    stats_.bytes_written += bytes;
+  }
+
+ private:
+  TierSpec spec_;
+  TierStats stats_;
+};
+
+}  // namespace hmem::memsim

@@ -1,0 +1,46 @@
+#include "profiler/profiler.hpp"
+
+namespace hmem::profiler {
+
+Profiler::Profiler(ProfilerConfig config)
+    : config_(config), sampler_(config.sampler) {}
+
+void Profiler::on_alloc(double time_ns, callstack::SiteId site, Address addr,
+                        std::uint64_t size) {
+  if (size < config_.min_alloc_bytes) {
+    ++skipped_small_allocs_;
+    return;
+  }
+  ++monitored_allocs_;
+  overhead_ns_ += config_.alloc_event_cost_ns;
+  registry_.on_alloc(addr, size, site);
+  trace_.add(trace::AllocEvent{time_ns, site, addr, size});
+}
+
+void Profiler::on_free(double time_ns, Address addr) {
+  const auto removed = registry_.on_free(addr);
+  if (!removed) return;  // unmonitored (small) allocation
+  overhead_ns_ += config_.alloc_event_cost_ns * 0.5;  // free is cheaper
+  trace_.add(trace::FreeEvent{time_ns, addr});
+}
+
+void Profiler::on_llc_miss(double time_ns, Address addr, bool is_write,
+                           std::uint64_t count) {
+  const std::uint64_t fires =
+      sampler_.on_llc_misses(time_ns, addr, is_write, count);
+  if (fires == 0) return;
+  overhead_ns_ += config_.sample_cost_ns * static_cast<double>(fires);
+  trace_.add(trace::SampleEvent{time_ns, addr, is_write,
+                                fires * sampler_.config().period});
+}
+
+void Profiler::on_phase(double time_ns, const std::string& name, bool begin) {
+  trace_.add(trace::PhaseEvent{time_ns, name, begin});
+}
+
+void Profiler::on_counter(double time_ns, const std::string& name,
+                          double value) {
+  trace_.add(trace::CounterEvent{time_ns, name, value});
+}
+
+}  // namespace hmem::profiler

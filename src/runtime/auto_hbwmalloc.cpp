@@ -1,0 +1,122 @@
+#include "runtime/auto_hbwmalloc.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hmem::runtime {
+
+AutoHbwMalloc::AutoHbwMalloc(const advisor::Placement& placement,
+                             Allocator& slow, Allocator& fast,
+                             callstack::Unwinder& unwinder,
+                             callstack::Translator& translator,
+                             AutoHbwOptions options)
+    : PlacementPolicy(slow, &fast),
+      placement_(placement),
+      unwinder_(&unwinder),
+      translator_(&translator),
+      options_(options) {
+  HMEM_ASSERT(!placement_.tiers.empty());
+  const auto& fast_objects = placement_.fast().objects;
+  site_stats_.resize(fast_objects.size());
+  for (std::size_t i = 0; i < fast_objects.size(); ++i) {
+    selected_.emplace(fast_objects[i].stack, i);
+  }
+}
+
+AutoHbwMalloc::Decision AutoHbwMalloc::match(
+    const callstack::SymbolicCallStack& symbolic) const {
+  const auto it = selected_.find(symbolic);
+  if (it == selected_.end()) return Decision{false, 0};
+  return Decision{true, it->second};
+}
+
+AllocOutcome AutoHbwMalloc::allocate(
+    std::uint64_t size, const callstack::SymbolicCallStack& context) {
+  ++stats_.intercepted_allocs;
+  double overhead_ns = 0;
+
+  // Line 3: size pre-filter. Anything outside [lb, ub] cannot be a selected
+  // object, so skip the expensive unwind/translate path entirely.
+  if (options_.use_size_filter &&
+      (size < placement_.lb_size || size > placement_.ub_size)) {
+    ++stats_.size_filtered_out;
+    return from_allocator(*slow_, size, /*promoted=*/false, overhead_ns);
+  }
+
+  // Line 4: unwind (always needed beyond this point).
+  const double unwind_before = unwinder_->total_cost_ns();
+  const callstack::CallStack raw = unwinder_->unwind(context);
+  overhead_ns += unwinder_->total_cost_ns() - unwind_before;
+
+  // Lines 5-10: decision cache, translate + match on miss.
+  Decision decision;
+  bool have_decision = false;
+  const std::uint64_t key = raw.hash();
+  if (options_.use_decision_cache) {
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      decision = it->second;
+      have_decision = true;
+      ++stats_.cache_hits;
+    }
+  }
+  if (!have_decision) {
+    ++stats_.cache_misses;
+    const double tx_before = translator_->total_cost_ns();
+    const auto symbolic = translator_->translate(raw);
+    overhead_ns += translator_->total_cost_ns() - tx_before;
+    HMEM_ASSERT_MSG(symbolic.has_value(),
+                    "unwound frame not translatable — module map mismatch");
+    decision = match(*symbolic);
+    if (options_.use_decision_cache) cache_[key] = decision;
+  }
+
+  if (decision.in) {
+    ++stats_.matched;
+    SiteRuntimeStats& ss = site_stats_[decision.object_index];
+    // Line 12: FITS — both the advisor budget (we must not request more
+    // alternate memory than advised) and the physical arena must accept it.
+    const std::uint64_t budget = placement_.enforced_fast_budget_bytes;
+    const bool within_budget = stats_.fast_bytes_in_use + size <= budget;
+    if (within_budget && fast_->fits(size)) {
+      AllocOutcome outcome =
+          from_allocator(*fast_, size, /*promoted=*/true, overhead_ns);
+      if (outcome.addr != 0) {
+        // Line 14: annotate the alternate region; line 15: stats.
+        fast_regions_[outcome.addr] = size;
+        stats_.fast_bytes_in_use += size;
+        stats_.fast_hwm =
+            std::max(stats_.fast_hwm, stats_.fast_bytes_in_use);
+        ++stats_.promoted;
+        ++ss.allocations;
+        ss.bytes += size;
+        return outcome;
+      }
+    }
+    ++stats_.budget_rejections;
+    ++ss.rejected_budget;
+    stats_.any_overflow = true;
+  }
+
+  // Line 21: default allocator.
+  return from_allocator(*slow_, size, /*promoted=*/false, overhead_ns);
+}
+
+double AutoHbwMalloc::deallocate(Address addr) {
+  // Frees must be routed to the package that produced the pointer; the
+  // alternate-region annotation is the source of truth.
+  const auto it = fast_regions_.find(addr);
+  if (it != fast_regions_.end()) {
+    stats_.fast_bytes_in_use -= it->second;
+    fast_regions_.erase(it);
+    const bool ok = fast_->deallocate(addr);
+    HMEM_ASSERT_MSG(ok, "annotated fast region not live in fast allocator");
+    return fast_->free_cost_ns();
+  }
+  const bool ok = slow_->deallocate(addr);
+  HMEM_ASSERT_MSG(ok, "free of unknown address");
+  return slow_->free_cost_ns();
+}
+
+}  // namespace hmem::runtime

@@ -1,0 +1,104 @@
+// auto-hbwmalloc — stage 4 of the framework (the paper's Algorithm 1).
+//
+// An interposition library that, on every intercepted allocation:
+//   line 3   pre-filters by size against the advisor's [lb_size, ub_size];
+//   line 4   unwinds the call-stack (cost: Figure 3's unwind curve);
+//   line 5/9 consults/updates a decision cache keyed by the raw unwound
+//            addresses, skipping translation+matching on repeat sites;
+//   line 7   translates the raw stack (ASLR!) to symbolic form;
+//   line 8   matches it against the advisor-selected call-stacks;
+//   line 12  checks the allocation fits the advisor budget *and* the
+//            physical fast memory — the advisor may have under-estimated
+//            (max-size-per-site heuristic, inlined shared call-stacks), so
+//            the budget is enforced at run time;
+//   line 13+ forwards to the alternate (memkind) allocator, annotating the
+//            region so the matching free is routed to the same package;
+//   line 21  falls back to the default allocator otherwise.
+//
+// The decision cache and the size filter can be disabled (Options) — the
+// ablation bench quantifies what each contributes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "advisor/placement_report.hpp"
+#include "alloc/allocator.hpp"
+#include "callstack/unwind.hpp"
+#include "runtime/policy.hpp"
+
+namespace hmem::runtime {
+
+struct AutoHbwOptions {
+  bool use_decision_cache = true;
+  bool use_size_filter = true;
+};
+
+/// Per-selected-object runtime statistics (the paper's alloc->STATS_ADD).
+struct SiteRuntimeStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t rejected_budget = 0;  ///< did not fit the advisor budget
+};
+
+struct AutoHbwStats {
+  std::uint64_t intercepted_allocs = 0;
+  std::uint64_t size_filtered_out = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t matched = 0;
+  std::uint64_t promoted = 0;
+  std::uint64_t budget_rejections = 0;
+  std::uint64_t fast_bytes_in_use = 0;
+  std::uint64_t fast_hwm = 0;  ///< the HWM reported in Figure 4 (middle)
+  /// Set when any selected object failed to fit — the "did not fit into
+  /// memory due to user size limitations" debug metric.
+  bool any_overflow = false;
+};
+
+class AutoHbwMalloc final : public PlacementPolicy {
+ public:
+  AutoHbwMalloc(const advisor::Placement& placement, Allocator& slow,
+                Allocator& fast, callstack::Unwinder& unwinder,
+                callstack::Translator& translator,
+                AutoHbwOptions options = {});
+
+  AllocOutcome allocate(std::uint64_t size,
+                        const callstack::SymbolicCallStack& context) override;
+  double deallocate(Address addr) override;
+  const std::string& name() const override { return name_; }
+
+  const AutoHbwStats& stats() const { return stats_; }
+  /// Per-object stats, parallel to the placement's fast-tier object list.
+  const std::vector<SiteRuntimeStats>& site_stats() const {
+    return site_stats_;
+  }
+  const advisor::Placement& placement() const { return placement_; }
+
+ private:
+  struct Decision {
+    bool in = false;              ///< selected for the fast tier
+    std::size_t object_index = 0; ///< into placement.fast().objects
+  };
+
+  Decision match(const callstack::SymbolicCallStack& symbolic) const;
+
+  std::string name_ = "framework";
+  advisor::Placement placement_;
+  callstack::Unwinder* unwinder_;
+  callstack::Translator* translator_;
+  AutoHbwOptions options_;
+
+  /// Selected call-stacks, hashed for O(1) matching (line 8's MATCH).
+  std::unordered_map<callstack::SymbolicCallStack, std::size_t> selected_;
+  /// Decision cache keyed by the hash of the *raw* unwound stack (line 5).
+  std::unordered_map<std::uint64_t, Decision> cache_;
+  /// Alternate-region annotation: fast-tier address -> size (line 14).
+  std::unordered_map<Address, std::uint64_t> fast_regions_;
+
+  AutoHbwStats stats_;
+  std::vector<SiteRuntimeStats> site_stats_;
+};
+
+}  // namespace hmem::runtime

@@ -1,0 +1,111 @@
+#include "runtime/interpose.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace hmem::runtime {
+
+namespace {
+bool valid_alignment(std::uint64_t alignment) {
+  return alignment >= sizeof(void*) &&
+         (alignment & (alignment - 1)) == 0;
+}
+}  // namespace
+
+Address MallocInterposer::allocate_common(
+    std::uint64_t size, std::uint64_t alignment,
+    const callstack::SymbolicCallStack& context) {
+  // Backing arenas align to 64; stricter alignment is satisfied by
+  // over-allocating and sliding the user pointer inside the block.
+  const std::uint64_t slack = alignment > 64 ? alignment : 0;
+  const AllocOutcome out = policy_->allocate(size + slack, context);
+  stats_.total_cost_ns += out.cost_ns;
+  if (out.addr == 0) return 0;
+  Address user = out.addr;
+  if (alignment > 64) {
+    user = (out.addr + alignment - 1) & ~(alignment - 1);
+  }
+  live_[user] = Live{out.addr, size};
+  return user;
+}
+
+Address MallocInterposer::malloc(std::uint64_t size,
+                                 const callstack::SymbolicCallStack& context) {
+  ++stats_.malloc_calls;
+  return allocate_common(size, 0, context);
+}
+
+void MallocInterposer::free(Address ptr) {
+  if (ptr == 0) return;  // free(NULL) is a no-op
+  ++stats_.free_calls;
+  const auto it = live_.find(ptr);
+  HMEM_ASSERT_MSG(it != live_.end(), "free of unknown pointer");
+  stats_.total_cost_ns += policy_->deallocate(it->second.base);
+  live_.erase(it);
+}
+
+Address MallocInterposer::realloc(Address ptr, std::uint64_t size,
+                                  const callstack::SymbolicCallStack& context) {
+  ++stats_.realloc_calls;
+  if (ptr == 0) return allocate_common(size, 0, context);
+  const auto it = live_.find(ptr);
+  HMEM_ASSERT_MSG(it != live_.end(), "realloc of unknown pointer");
+  if (size == 0) {
+    stats_.total_cost_ns += policy_->deallocate(it->second.base);
+    live_.erase(it);
+    return 0;
+  }
+  const std::uint64_t old_size = it->second.size;
+  const Address fresh = allocate_common(size, 0, context);
+  if (fresh == 0) return 0;  // original block stays valid, like realloc(3)
+  const std::uint64_t copied = std::min(old_size, size);
+  stats_.realloc_copied_bytes += copied;
+  stats_.total_cost_ns += static_cast<double>(copied) / kCopyBytesPerNs;
+  stats_.total_cost_ns += policy_->deallocate(it->second.base);
+  live_.erase(it);
+  return fresh;
+}
+
+Address MallocInterposer::posix_memalign(
+    std::uint64_t alignment, std::uint64_t size,
+    const callstack::SymbolicCallStack& context) {
+  ++stats_.memalign_calls;
+  if (!valid_alignment(alignment)) return 0;
+  return allocate_common(size, alignment, context);
+}
+
+Address MallocInterposer::kmp_malloc(
+    std::uint64_t size, const callstack::SymbolicCallStack& context) {
+  ++stats_.kmp_calls;
+  return allocate_common(size, 0, context);
+}
+
+Address MallocInterposer::kmp_aligned_malloc(
+    std::uint64_t alignment, std::uint64_t size,
+    const callstack::SymbolicCallStack& context) {
+  ++stats_.kmp_calls;
+  if (!valid_alignment(alignment)) return 0;
+  return allocate_common(size, alignment, context);
+}
+
+Address MallocInterposer::kmp_realloc(
+    Address ptr, std::uint64_t size,
+    const callstack::SymbolicCallStack& context) {
+  ++stats_.kmp_calls;
+  return realloc(ptr, size, context);
+}
+
+void MallocInterposer::kmp_free(Address ptr) {
+  ++stats_.kmp_calls;
+  free(ptr);
+}
+
+std::optional<std::uint64_t> MallocInterposer::allocation_size(
+    Address ptr) const {
+  const auto it = live_.find(ptr);
+  if (it == live_.end()) return std::nullopt;
+  return it->second.size;
+}
+
+}  // namespace hmem::runtime

@@ -1,0 +1,92 @@
+// MallocInterposer — the full wrapper surface of auto-hbwmalloc.
+//
+// The paper's library substitutes "malloc, realloc, posix_memalign, free,
+// kmp_malloc, kmp_aligned_malloc, kmp_free and kmp_realloc" (footnote 5).
+// This facade exposes exactly those entry points over any PlacementPolicy,
+// adding what the raw policy interface lacks:
+//  * size tracking per live pointer (realloc needs the old size to copy);
+//  * realloc semantics: grow/shrink in place is not modelled — a new block
+//    is allocated through the policy (so a realloc can migrate between
+//    tiers, as with real memkind) and the copy cost is charged;
+//  * alignment handling for posix_memalign / kmp_aligned_malloc (the
+//    backing arenas are 64-byte aligned; stricter alignments are satisfied
+//    by over-allocation);
+//  * the OpenMP kmp_* entry points, which route identically but are counted
+//    separately (Table I tallies them apart).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "runtime/policy.hpp"
+
+namespace hmem::runtime {
+
+struct InterposerStats {
+  std::uint64_t malloc_calls = 0;
+  std::uint64_t free_calls = 0;
+  std::uint64_t realloc_calls = 0;
+  std::uint64_t memalign_calls = 0;
+  std::uint64_t kmp_calls = 0;
+  std::uint64_t realloc_copied_bytes = 0;
+  double total_cost_ns = 0;
+};
+
+class MallocInterposer {
+ public:
+  explicit MallocInterposer(PlacementPolicy& policy) : policy_(&policy) {}
+
+  /// malloc(size). Returns 0 on simulated OOM.
+  Address malloc(std::uint64_t size,
+                 const callstack::SymbolicCallStack& context);
+
+  /// free(ptr). Ignores 0 (like free(NULL)); asserts on unknown pointers.
+  void free(Address ptr);
+
+  /// realloc(ptr, size): 0-pointer behaves like malloc, size 0 like free
+  /// (returning 0). Data is copied (cost charged) and the new block is
+  /// placed afresh by the policy — it may change tier.
+  Address realloc(Address ptr, std::uint64_t size,
+                  const callstack::SymbolicCallStack& context);
+
+  /// posix_memalign(&p, alignment, size). Returns 0 on invalid alignment
+  /// (not a power of two, or < sizeof(void*)) or OOM; the returned address
+  /// is `alignment`-aligned.
+  Address posix_memalign(std::uint64_t alignment, std::uint64_t size,
+                         const callstack::SymbolicCallStack& context);
+
+  /// The OpenMP runtime entry points.
+  Address kmp_malloc(std::uint64_t size,
+                     const callstack::SymbolicCallStack& context);
+  Address kmp_aligned_malloc(std::uint64_t alignment, std::uint64_t size,
+                             const callstack::SymbolicCallStack& context);
+  Address kmp_realloc(Address ptr, std::uint64_t size,
+                      const callstack::SymbolicCallStack& context);
+  void kmp_free(Address ptr);
+
+  /// Usable size of a live allocation (malloc_usable_size analogue).
+  std::optional<std::uint64_t> allocation_size(Address ptr) const;
+
+  std::size_t live_allocations() const { return live_.size(); }
+  const InterposerStats& stats() const { return stats_; }
+
+  /// Simulated copy throughput for realloc moves.
+  static constexpr double kCopyBytesPerNs = 8.0;
+
+ private:
+  struct Live {
+    Address base;  ///< address returned by the policy (pre-alignment)
+    std::uint64_t size;
+  };
+
+  Address allocate_common(std::uint64_t size, std::uint64_t alignment,
+                          const callstack::SymbolicCallStack& context);
+
+  PlacementPolicy* policy_;
+  /// user pointer -> backing allocation record.
+  std::unordered_map<Address, Live> live_;
+  InterposerStats stats_;
+};
+
+}  // namespace hmem::runtime

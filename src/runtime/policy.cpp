@@ -1,0 +1,81 @@
+#include "runtime/policy.hpp"
+
+#include "common/assert.hpp"
+
+namespace hmem::runtime {
+
+AllocOutcome PlacementPolicy::from_allocator(Allocator& a, std::uint64_t size,
+                                             bool promoted, double extra_ns) {
+  AllocOutcome outcome;
+  outcome.cost_ns = a.alloc_cost_ns(size) + extra_ns;
+  const auto addr = a.allocate(size);
+  if (addr) {
+    outcome.addr = *addr;
+    outcome.owner = &a;
+    outcome.promoted = promoted;
+  }
+  return outcome;
+}
+
+double PlacementPolicy::free_from(Address addr) {
+  if (fast_ != nullptr && fast_->owns(addr)) {
+    const bool ok = fast_->deallocate(addr);
+    HMEM_ASSERT_MSG(ok, "free of address not live in fast allocator");
+    return fast_->free_cost_ns();
+  }
+  const bool ok = slow_->deallocate(addr);
+  HMEM_ASSERT_MSG(ok, "free of unknown address");
+  return slow_->free_cost_ns();
+}
+
+AllocOutcome PlacementPolicy::allocate_static(std::uint64_t size) {
+  return from_allocator(*slow_, size, /*promoted=*/false);
+}
+
+DdrPolicy::DdrPolicy(Allocator& slow) : PlacementPolicy(slow, nullptr) {}
+
+AllocOutcome DdrPolicy::allocate(std::uint64_t size,
+                                 const callstack::SymbolicCallStack&) {
+  return from_allocator(*slow_, size, /*promoted=*/false);
+}
+
+double DdrPolicy::deallocate(Address addr) { return free_from(addr); }
+
+NumactlPolicy::NumactlPolicy(Allocator& slow, Allocator& fast)
+    : PlacementPolicy(slow, &fast) {}
+
+AllocOutcome NumactlPolicy::allocate(std::uint64_t size,
+                                     const callstack::SymbolicCallStack&) {
+  // Preferred policy: try the fast node first regardless of the object's
+  // importance; fall back to DDR once MCDRAM is exhausted.
+  if (fast_->fits(size)) {
+    AllocOutcome outcome = from_allocator(*fast_, size, /*promoted=*/true);
+    if (outcome.addr != 0) return outcome;
+  }
+  return from_allocator(*slow_, size, /*promoted=*/false);
+}
+
+AllocOutcome NumactlPolicy::allocate_static(std::uint64_t size) {
+  // numactl is the one regime that also carries static and automatic data
+  // into the fast tier.
+  return allocate(size, {});
+}
+
+double NumactlPolicy::deallocate(Address addr) { return free_from(addr); }
+
+AutoHbwLibPolicy::AutoHbwLibPolicy(Allocator& slow, Allocator& fast,
+                                   std::uint64_t threshold_bytes)
+    : PlacementPolicy(slow, &fast), threshold_(threshold_bytes) {}
+
+AllocOutcome AutoHbwLibPolicy::allocate(std::uint64_t size,
+                                        const callstack::SymbolicCallStack&) {
+  if (size >= threshold_ && fast_->fits(size)) {
+    AllocOutcome outcome = from_allocator(*fast_, size, /*promoted=*/true);
+    if (outcome.addr != 0) return outcome;
+  }
+  return from_allocator(*slow_, size, /*promoted=*/false);
+}
+
+double AutoHbwLibPolicy::deallocate(Address addr) { return free_from(addr); }
+
+}  // namespace hmem::runtime

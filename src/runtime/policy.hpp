@@ -1,0 +1,121 @@
+// Placement policies — the execution conditions of the paper's evaluation.
+//
+// Every experiment runs the same application under one of five placement
+// regimes. A policy owns the routing of each dynamic allocation (and of the
+// process's static/stack image) to a backing allocator:
+//
+//  * DdrPolicy        — everything in DDR (the reference line).
+//  * NumactlPolicy    — `numactl -p 1`: *all* data (static, automatic and
+//                       dynamic) preferred into MCDRAM, FCFS until
+//                       exhausted, DDR fallback.
+//  * AutoHbwLibPolicy — memkind's autohbw library: dynamic allocations of at
+//                       least a size threshold (1 MiB in the paper) go to
+//                       MCDRAM when they fit.
+//  * AutoHbwMalloc    — the paper's contribution (see auto_hbwmalloc.hpp);
+//                       implements this same interface.
+//  * cache mode       — not a policy: everything goes to DDR (DdrPolicy)
+//                       and the Machine runs with MemMode::kCache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "alloc/allocator.hpp"
+#include "callstack/callstack.hpp"
+
+namespace hmem::runtime {
+
+using alloc::Address;
+using alloc::Allocator;
+
+struct AllocOutcome {
+  /// 0 on failure (simulated OOM — callers treat it as fatal).
+  Address addr = 0;
+  Allocator* owner = nullptr;
+  /// Simulated CPU cost of the allocation path (allocator cost plus any
+  /// interposition overhead), charged to execution time by the engine.
+  double cost_ns = 0;
+  /// True when the bytes landed in the fast tier.
+  bool promoted = false;
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Routes one dynamic allocation. `context` is the allocation call-stack
+  /// (what backtrace() would see).
+  virtual AllocOutcome allocate(std::uint64_t size,
+                                const callstack::SymbolicCallStack& context) = 0;
+
+  /// Frees a prior allocation; returns the simulated cost. Asserts on
+  /// addresses this policy never returned.
+  virtual double deallocate(Address addr) = 0;
+
+  /// Places one static/automatic region at process load. Policies other
+  /// than numactl cannot retarget these, so the default goes to the slow
+  /// allocator.
+  virtual AllocOutcome allocate_static(std::uint64_t size);
+
+  virtual const std::string& name() const = 0;
+
+ protected:
+  PlacementPolicy(Allocator& slow, Allocator* fast)
+      : slow_(&slow), fast_(fast) {}
+
+  AllocOutcome from_allocator(Allocator& a, std::uint64_t size,
+                              bool promoted, double extra_ns = 0.0);
+  double free_from(Address addr);
+
+  Allocator* slow_;
+  Allocator* fast_;  ///< null in cache mode / DDR-only setups
+};
+
+/// Reference: everything in DDR.
+class DdrPolicy final : public PlacementPolicy {
+ public:
+  explicit DdrPolicy(Allocator& slow);
+
+  AllocOutcome allocate(std::uint64_t size,
+                        const callstack::SymbolicCallStack& context) override;
+  double deallocate(Address addr) override;
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_ = "ddr";
+};
+
+/// numactl -p 1: FCFS into MCDRAM (including statics), DDR fallback.
+class NumactlPolicy final : public PlacementPolicy {
+ public:
+  NumactlPolicy(Allocator& slow, Allocator& fast);
+
+  AllocOutcome allocate(std::uint64_t size,
+                        const callstack::SymbolicCallStack& context) override;
+  double deallocate(Address addr) override;
+  AllocOutcome allocate_static(std::uint64_t size) override;
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_ = "numactl";
+};
+
+/// memkind autohbw: dynamic allocations >= threshold go fast when they fit.
+class AutoHbwLibPolicy final : public PlacementPolicy {
+ public:
+  AutoHbwLibPolicy(Allocator& slow, Allocator& fast,
+                   std::uint64_t threshold_bytes = 1ULL << 20);
+
+  AllocOutcome allocate(std::uint64_t size,
+                        const callstack::SymbolicCallStack& context) override;
+  double deallocate(Address addr) override;
+  const std::string& name() const override { return name_; }
+
+  std::uint64_t threshold_bytes() const { return threshold_; }
+
+ private:
+  std::string name_ = "autohbw";
+  std::uint64_t threshold_;
+};
+
+}  // namespace hmem::runtime

@@ -1,0 +1,78 @@
+// Trace events — the substitute for Extrae's Paraver trace-file contents.
+//
+// The paper's stage 1 records exactly two things the rest of the pipeline
+// needs: dynamic-memory (de)allocations (pointer, size, call-stack) and
+// PEBS-sampled LLC-miss references (address). We also keep phase markers and
+// named counters, which the Folding analysis (Figure 5) consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "callstack/sitedb.hpp"
+#include "memsim/address.hpp"
+
+namespace hmem::trace {
+
+using memsim::Address;
+using callstack::SiteId;
+
+struct AllocEvent {
+  double time_ns = 0;
+  SiteId site = callstack::kInvalidSite;
+  Address addr = 0;
+  std::uint64_t size = 0;
+};
+
+struct FreeEvent {
+  double time_ns = 0;
+  Address addr = 0;
+};
+
+/// One PEBS sample: an LLC miss whose referenced address was captured.
+/// `weight` is the sampling period — each sample statistically represents
+/// `weight` misses.
+struct SampleEvent {
+  double time_ns = 0;
+  Address addr = 0;
+  bool is_write = false;
+  std::uint64_t weight = 1;
+};
+
+struct PhaseEvent {
+  double time_ns = 0;
+  std::string name;
+  bool begin = true;
+};
+
+/// Periodic named counter reading (e.g. instructions retired), used by the
+/// Folding analysis to reconstruct MIPS-over-time.
+struct CounterEvent {
+  double time_ns = 0;
+  std::string name;
+  double value = 0;
+};
+
+using Event =
+    std::variant<AllocEvent, FreeEvent, SampleEvent, PhaseEvent, CounterEvent>;
+
+double event_time_ns(const Event& event);
+
+/// Append-only in-memory trace. Events are expected (and verified by the
+/// reader/aggregator) to be in non-decreasing time order.
+class TraceBuffer {
+ public:
+  void add(Event event) { events_.push_back(std::move(event)); }
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace hmem::trace

@@ -1,0 +1,36 @@
+// Trace (de)serialisation.
+//
+// A trace file is self-contained: a header of site definitions (id, object
+// name, dynamic flag, symbolic call-stack) followed by one line per event.
+// The format is line-oriented text — the volumes are small (the paper
+// stresses that sampling keeps traces tiny, up to ~38 K samples per process)
+// and a human-inspectable trace is worth far more than a compact one.
+//
+//   S|<id>|<name>|<dyn>|<stack>          site definition
+//   A|<t>|<site>|<addr>|<size>           allocation
+//   F|<t>|<addr>                         deallocation
+//   M|<t>|<addr>|<w>|<weight>            sampled LLC miss (w: 0 load 1 store)
+//   P|<t>|<B or E>|<name>                phase begin/end
+//   C|<t>|<name>|<value>                 counter reading
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "callstack/sitedb.hpp"
+#include "trace/event.hpp"
+
+namespace hmem::trace {
+
+/// Writes sites then events. Returns the number of event lines written.
+std::size_t write_trace(std::ostream& out, const callstack::SiteDb& sites,
+                        const TraceBuffer& trace);
+
+/// Parses a trace written by write_trace. Site ids are re-interned into
+/// `sites` and event site references remapped accordingly, so a reader can
+/// merge several traces into one SiteDb. Throws std::runtime_error on
+/// malformed input.
+void read_trace(std::istream& in, callstack::SiteDb& sites,
+                TraceBuffer& trace);
+
+}  // namespace hmem::trace

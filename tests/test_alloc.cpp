@@ -1,0 +1,198 @@
+// Tests for the arena allocator and the backing allocators, including a
+// randomized property sweep over the arena invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "alloc/allocators.hpp"
+#include "alloc/arena.hpp"
+#include "common/prng.hpp"
+#include "common/units.hpp"
+
+namespace hmem::alloc {
+namespace {
+
+constexpr Address kBase = 0x100000000ULL;
+
+TEST(Arena, AllocatesDisjointRanges) {
+  Arena arena(kBase, 1 << 20);
+  const auto a = arena.allocate(1000);
+  const auto b = arena.allocate(1000);
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(*a, *b);
+  EXPECT_GE(*b, *a + 1000);
+  EXPECT_TRUE(arena.check_invariants());
+}
+
+TEST(Arena, AlignmentRespected) {
+  Arena arena(kBase, 1 << 20, 64);
+  for (int i = 0; i < 10; ++i) {
+    const auto p = arena.allocate(33);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p % 64, 0u);
+  }
+}
+
+TEST(Arena, FreeAndCoalesce) {
+  Arena arena(kBase, 1 << 20);
+  const auto a = arena.allocate(1000);
+  const auto b = arena.allocate(1000);
+  const auto c = arena.allocate(1000);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_TRUE(arena.deallocate(*a).has_value());
+  EXPECT_TRUE(arena.deallocate(*c).has_value());
+  EXPECT_TRUE(arena.deallocate(*b).has_value());
+  EXPECT_TRUE(arena.check_invariants());
+  EXPECT_EQ(arena.free_blocks(), 1u);  // fully coalesced
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  // Whole capacity available again.
+  EXPECT_TRUE(arena.allocate((1 << 20) - 64).has_value());
+}
+
+TEST(Arena, ExhaustionReturnsNullopt) {
+  Arena arena(kBase, 4096);
+  EXPECT_TRUE(arena.allocate(4096).has_value());
+  EXPECT_FALSE(arena.allocate(1).has_value());
+}
+
+TEST(Arena, ReusesFreedSpaceFirstFit) {
+  Arena arena(kBase, 1 << 20);
+  const auto a = arena.allocate(4096);
+  arena.allocate(4096);
+  arena.deallocate(*a);
+  const auto c = arena.allocate(4096);
+  EXPECT_EQ(*c, *a);  // first-fit reuses the lowest hole
+}
+
+TEST(Arena, DoubleFreeAndForeignFreeRejected) {
+  Arena arena(kBase, 1 << 20);
+  const auto a = arena.allocate(64);
+  EXPECT_TRUE(arena.deallocate(*a).has_value());
+  EXPECT_FALSE(arena.deallocate(*a).has_value());
+  EXPECT_FALSE(arena.deallocate(kBase + 999999).has_value());
+}
+
+TEST(Arena, ZeroSizeAllocationStillDistinct) {
+  Arena arena(kBase, 1 << 20);
+  const auto a = arena.allocate(0);
+  const auto b = arena.allocate(0);
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(*a, *b);
+}
+
+TEST(Arena, LargestFreeBlockTracksFragmentation) {
+  Arena arena(kBase, 64 * 1024);
+  std::vector<Address> ptrs;
+  for (int i = 0; i < 8; ++i) ptrs.push_back(*arena.allocate(8 * 1024));
+  // Free alternating blocks: largest hole stays 8 KiB.
+  for (int i = 0; i < 8; i += 2) arena.deallocate(ptrs[i]);
+  EXPECT_EQ(arena.largest_free_block(), 8u * 1024);
+  EXPECT_FALSE(arena.allocate(16 * 1024).has_value());  // fragmented
+  EXPECT_TRUE(arena.allocate(8 * 1024).has_value());
+}
+
+class ArenaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArenaProperty, RandomOpsPreserveInvariants) {
+  const std::uint64_t seed = GetParam();
+  Arena arena(kBase, 1 << 20);
+  Xoshiro256 rng(seed);
+  std::map<Address, std::uint64_t> live;
+  for (int step = 0; step < 3000; ++step) {
+    if (live.empty() || rng.uniform() < 0.6) {
+      const std::uint64_t size = 1 + rng.below(8192);
+      const auto p = arena.allocate(size);
+      if (p) {
+        // Returned range must not overlap any live allocation.
+        for (const auto& [addr, len] : live) {
+          EXPECT_TRUE(*p + size <= addr || addr + len <= *p);
+        }
+        live[*p] = size;
+      }
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.below(live.size()));
+      EXPECT_TRUE(arena.deallocate(it->first).has_value());
+      live.erase(it);
+    }
+    if (step % 500 == 0) ASSERT_TRUE(arena.check_invariants());
+  }
+  ASSERT_TRUE(arena.check_invariants());
+  for (const auto& [addr, len] : live) {
+    (void)len;
+    EXPECT_TRUE(arena.deallocate(addr).has_value());
+  }
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_TRUE(arena.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArenaProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------- allocators ----
+
+TEST(PosixAllocator, StatsAndHwm) {
+  PosixAllocator posix(kBase, 1 << 20);
+  const auto a = posix.allocate(100 * 1024);
+  const auto b = posix.allocate(200 * 1024);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(posix.stats().alloc_calls, 2u);
+  const auto hwm = posix.stats().high_water_mark;
+  EXPECT_GE(hwm, 300u * 1024);
+  posix.deallocate(*a);
+  posix.deallocate(*b);
+  EXPECT_EQ(posix.stats().bytes_in_use, 0u);
+  EXPECT_EQ(posix.stats().high_water_mark, hwm);  // HWM sticks
+  EXPECT_EQ(posix.stats().free_calls, 2u);
+}
+
+TEST(PosixAllocator, FailedAllocCounted) {
+  PosixAllocator posix(kBase, 4096);
+  EXPECT_TRUE(posix.allocate(4096).has_value());
+  EXPECT_FALSE(posix.allocate(64).has_value());
+  EXPECT_EQ(posix.stats().failed_allocs, 1u);
+}
+
+TEST(MemkindAllocator, AnomalyCostWindow) {
+  MemkindAllocator hbw(kBase, 64ULL * kMiB);
+  const double below = hbw.alloc_cost_ns(512 * 1024);
+  const double inside = hbw.alloc_cost_ns(1536 * 1024);
+  const double above = hbw.alloc_cost_ns(4 * 1024 * 1024);
+  // The paper's 1-2 MiB memkind anomaly: far more expensive than neighbours.
+  EXPECT_GT(inside, below + MemkindAllocator::kAnomalyExtraNs * 0.9);
+  EXPECT_GT(inside, above);
+  EXPECT_GT(hbw.alloc_cost_ns(MemkindAllocator::kAnomalyLo),
+            below + MemkindAllocator::kAnomalyExtraNs * 0.9);
+}
+
+TEST(MemkindAllocator, FitsReflectsFreeSpace) {
+  MemkindAllocator hbw(kBase, 1 << 20);
+  EXPECT_TRUE(hbw.fits(1 << 20));
+  const auto a = hbw.allocate(900 * 1024);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(hbw.fits(512 * 1024));
+  EXPECT_TRUE(hbw.fits(64 * 1024));
+}
+
+TEST(Allocators, OwnershipIsRangeBased) {
+  PosixAllocator posix(kBase, 1 << 20);
+  MemkindAllocator hbw(kBase + (1ULL << 30), 1 << 20);
+  const auto p = posix.allocate(64);
+  const auto h = hbw.allocate(64);
+  EXPECT_TRUE(posix.owns(*p));
+  EXPECT_FALSE(posix.owns(*h));
+  EXPECT_TRUE(hbw.owns(*h));
+  EXPECT_FALSE(hbw.deallocate(*p));
+  EXPECT_EQ(hbw.allocation_size(*h).value(), 64u);
+  EXPECT_FALSE(hbw.allocation_size(*p).has_value());
+}
+
+TEST(Allocators, AverageAllocSize) {
+  PosixAllocator posix(kBase, 1 << 20);
+  posix.allocate(100);
+  posix.allocate(300);
+  EXPECT_DOUBLE_EQ(posix.stats().average_alloc_size(), 200.0);
+}
+
+}  // namespace
+}  // namespace hmem::alloc

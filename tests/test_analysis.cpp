@@ -1,0 +1,176 @@
+// Tests for the Paramedir-substitute aggregator and the Folding analysis.
+#include <gtest/gtest.h>
+
+#include "analysis/aggregator.hpp"
+#include "analysis/folding.hpp"
+
+namespace hmem::analysis {
+namespace {
+
+using trace::AllocEvent;
+using trace::CounterEvent;
+using trace::FreeEvent;
+using trace::PhaseEvent;
+using trace::SampleEvent;
+
+callstack::SymbolicCallStack stack_of(const std::string& fn) {
+  callstack::SymbolicCallStack s;
+  s.frames.push_back(callstack::CodeLocation{"app.x", fn, 1});
+  return s;
+}
+
+TEST(Aggregator, AttributesSamplesToLiveObjects) {
+  callstack::SiteDb sites;
+  const auto a = sites.intern("A", stack_of("alloc_A"));
+  const auto b = sites.intern("B", stack_of("alloc_B"));
+  trace::TraceBuffer buf;
+  buf.add(AllocEvent{0, a, 0x1000, 0x1000});
+  buf.add(AllocEvent{1, b, 0x8000, 0x1000});
+  buf.add(SampleEvent{2, 0x1100, false, 100});
+  buf.add(SampleEvent{3, 0x8000, false, 100});
+  buf.add(SampleEvent{4, 0x1fff, false, 100});
+
+  const auto result = aggregate_trace(buf, sites);
+  ASSERT_EQ(result.objects.size(), 2u);
+  // Sorted descending by misses: A (200) then B (100).
+  EXPECT_EQ(result.objects[0].name, "A");
+  EXPECT_EQ(result.objects[0].llc_misses, 200u);
+  EXPECT_EQ(result.objects[1].llc_misses, 100u);
+  EXPECT_EQ(result.unattributed_samples, 0u);
+  EXPECT_EQ(result.total_weighted_misses, 300u);
+}
+
+TEST(Aggregator, UnattributedSamplesCounted) {
+  callstack::SiteDb sites;
+  sites.intern("A", stack_of("alloc_A"));
+  trace::TraceBuffer buf;
+  buf.add(AllocEvent{0, 0, 0x1000, 0x100});
+  buf.add(SampleEvent{1, 0xdead0000, false, 50});  // stack/static reference
+  const auto result = aggregate_trace(buf, sites);
+  EXPECT_EQ(result.unattributed_samples, 1u);
+  EXPECT_EQ(result.unattributed_misses, 50u);
+  EXPECT_GT(result.unattributed_fraction(), 0.99);
+}
+
+TEST(Aggregator, FreedObjectsStopAccumulating) {
+  callstack::SiteDb sites;
+  const auto a = sites.intern("A", stack_of("alloc_A"));
+  trace::TraceBuffer buf;
+  buf.add(AllocEvent{0, a, 0x1000, 0x100});
+  buf.add(SampleEvent{1, 0x1000, false, 10});
+  buf.add(FreeEvent{2, 0x1000});
+  buf.add(SampleEvent{3, 0x1000, false, 10});  // dangling: unattributed
+  const auto result = aggregate_trace(buf, sites);
+  EXPECT_EQ(result.objects[0].llc_misses, 10u);
+  EXPECT_EQ(result.unattributed_samples, 1u);
+}
+
+TEST(Aggregator, LoopingSiteReportsMaxSize) {
+  // "we report the maximum requested size observed for each repeated
+  // allocation site"
+  callstack::SiteDb sites;
+  const auto a = sites.intern("A", stack_of("alloc_A"));
+  trace::TraceBuffer buf;
+  buf.add(AllocEvent{0, a, 0x1000, 4096});
+  buf.add(FreeEvent{1, 0x1000});
+  buf.add(AllocEvent{2, a, 0x2000, 16384});
+  buf.add(FreeEvent{3, 0x2000});
+  buf.add(AllocEvent{4, a, 0x3000, 8192});
+  const auto result = aggregate_trace(buf, sites);
+  ASSERT_EQ(result.objects.size(), 1u);
+  EXPECT_EQ(result.objects[0].max_size_bytes, 16384u);
+}
+
+TEST(Aggregator, PropagatesStaticFlag) {
+  callstack::SiteDb sites;
+  const auto s = sites.intern("st", stack_of("static_st"), false);
+  trace::TraceBuffer buf;
+  buf.add(AllocEvent{0, s, 0x1000, 4096});
+  const auto result = aggregate_trace(buf, sites);
+  EXPECT_FALSE(result.objects[0].is_dynamic);
+}
+
+TEST(AggregatorDeathTest, OutOfOrderTraceAsserts) {
+  callstack::SiteDb sites;
+  sites.intern("A", stack_of("alloc_A"));
+  trace::TraceBuffer buf;
+  buf.add(AllocEvent{5, 0, 0x1000, 64});
+  buf.add(AllocEvent{1, 0, 0x2000, 64});
+  EXPECT_DEATH(aggregate_trace(buf, sites), "time order");
+}
+
+TEST(ObjectsCsv, RoundTrip) {
+  std::vector<advisor::ObjectInfo> objects(2);
+  objects[0].name = "A";
+  objects[0].site = 0;
+  objects[0].max_size_bytes = 4096;
+  objects[0].llc_misses = 1000;
+  objects[1].name = "B, with comma";
+  objects[1].site = 1;
+  objects[1].is_dynamic = false;
+  objects[1].max_size_bytes = 100;
+  objects[1].llc_misses = 5;
+  const auto csv = objects_to_csv(objects);
+  const auto parsed = objects_from_csv(csv);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].name, "A");
+  EXPECT_EQ(parsed[0].llc_misses, 1000u);
+  EXPECT_EQ(parsed[1].name, "B, with comma");
+  EXPECT_FALSE(parsed[1].is_dynamic);
+}
+
+// ------------------------------------------------------------- folding ----
+
+trace::TraceBuffer folding_trace() {
+  trace::TraceBuffer buf;
+  // Two alternating routines over [0, 1000) ns with samples and counters.
+  buf.add(PhaseEvent{0, "octsweep", true});
+  buf.add(SampleEvent{100, 0x1000, false, 1});
+  buf.add(SampleEvent{400, 0x2000, false, 1});
+  buf.add(CounterEvent{0, "instructions", 0});
+  buf.add(PhaseEvent{500, "octsweep", false});
+  buf.add(PhaseEvent{500, "outer_src_calc", true});
+  buf.add(CounterEvent{500, "instructions", 1000});
+  buf.add(SampleEvent{700, 0xf000, false, 1});
+  buf.add(CounterEvent{1000, "instructions", 1100});
+  buf.add(PhaseEvent{1000, "outer_src_calc", false});
+  return buf;
+}
+
+TEST(Folding, DominantPhasePerBin) {
+  const auto result = fold(folding_trace(), 0, 1000, 4);
+  ASSERT_EQ(result.bins.size(), 4u);
+  EXPECT_EQ(result.bins[0].dominant_phase, "octsweep");
+  EXPECT_EQ(result.bins[1].dominant_phase, "octsweep");
+  EXPECT_EQ(result.bins[2].dominant_phase, "outer_src_calc");
+  EXPECT_EQ(result.bins[3].dominant_phase, "outer_src_calc");
+}
+
+TEST(Folding, SamplesLandInBins) {
+  const auto result = fold(folding_trace(), 0, 1000, 4);
+  EXPECT_EQ(result.bins[0].sample_count, 1u);
+  EXPECT_EQ(result.bins[1].sample_count, 1u);
+  EXPECT_EQ(result.bins[2].sample_count, 1u);
+  EXPECT_EQ(result.bins[0].min_addr, 0x1000u);
+  EXPECT_EQ(result.bins[2].min_addr, 0xf000u);
+}
+
+TEST(Folding, MipsReflectsCounterDeltas) {
+  const auto result = fold(folding_trace(), 0, 1000, 2);
+  // First half: 1000 instructions in 500 ns -> 2e9 IPS = 2000 MIPS.
+  EXPECT_NEAR(result.bins[0].mips, 2000.0, 1.0);
+  // Second half: 100 instructions in 500 ns -> 200 MIPS (the dip).
+  EXPECT_NEAR(result.bins[1].mips, 200.0, 1.0);
+  EXPECT_GT(result.bins[0].mips, result.bins[1].mips * 5);
+}
+
+TEST(Folding, CsvHasHeaderAndRows) {
+  const auto result = fold(folding_trace(), 0, 1000, 4);
+  const auto csv = folding_to_csv(result);
+  EXPECT_NE(csv.find("bin,t_mid_ms,phase"), std::string::npos);
+  EXPECT_NE(csv.find("octsweep"), std::string::npos);
+  EXPECT_NE(csv.find("outer_src_calc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmem::analysis

@@ -1,0 +1,117 @@
+// Parameterized cross-application sweep: engine-level invariants that must
+// hold for every one of the paper's eight workloads under every execution
+// condition. These are the properties the evaluation takes for granted —
+// determinism, conservation of traffic, HWM consistency, baseline sanity.
+#include <gtest/gtest.h>
+
+#include "apps/workloads.hpp"
+#include "engine/execution.hpp"
+
+namespace hmem::engine {
+namespace {
+
+class AppSweep : public ::testing::TestWithParam<std::string> {
+ protected:
+  apps::AppSpec app() const { return apps::app_by_name(GetParam()); }
+
+  RunResult run(Condition condition, std::uint64_t seed = 42) const {
+    RunOptions opts;
+    opts.condition = condition;
+    opts.seed = seed;
+    return run_app(app(), opts);
+  }
+};
+
+TEST_P(AppSweep, DeterministicAcrossRepeats) {
+  const auto a = run(Condition::kNumactl);
+  const auto b = run(Condition::kNumactl);
+  EXPECT_DOUBLE_EQ(a.fom, b.fom);
+  EXPECT_EQ(a.ddr_bytes, b.ddr_bytes);
+  EXPECT_EQ(a.mcdram_bytes, b.mcdram_bytes);
+  EXPECT_EQ(a.llc_misses, b.llc_misses);
+}
+
+TEST_P(AppSweep, SeedChangesAslrNotPhysics) {
+  // A different seed permutes addresses and sampling but the performance
+  // model must stay within a tight band (same signature, same machine).
+  const auto a = run(Condition::kDdr, 42);
+  const auto b = run(Condition::kDdr, 4242);
+  EXPECT_NEAR(a.fom, b.fom, a.fom * 0.02);
+}
+
+TEST_P(AppSweep, DdrRunTouchesOnlyDdr) {
+  const auto r = run(Condition::kDdr);
+  EXPECT_GT(r.ddr_bytes, 0u);
+  EXPECT_EQ(r.mcdram_bytes, 0u);
+  EXPECT_EQ(r.mcdram_hwm_bytes, 0u);
+}
+
+TEST_P(AppSweep, EveryConditionBeatsOrMatchesDdr) {
+  // No placement regime should lose more than the known autohbw/Lulesh
+  // pathology (a few percent); most should gain.
+  const double ddr = run(Condition::kDdr).fom;
+  for (const auto condition : {Condition::kNumactl, Condition::kCacheMode}) {
+    EXPECT_GT(run(condition).fom, ddr * 0.99)
+        << condition_name(condition);
+  }
+  EXPECT_GT(run(Condition::kAutoHbw).fom, ddr * 0.90);
+}
+
+TEST_P(AppSweep, NumactlHwmBoundedByMcdramShare) {
+  const auto r = run(Condition::kNumactl);
+  const auto spec = app();
+  const std::uint64_t share = (16ULL << 30) / spec.ranks;
+  EXPECT_LE(r.mcdram_hwm_bytes, share);
+  EXPECT_GT(r.mcdram_hwm_bytes, 0u);
+}
+
+TEST_P(AppSweep, TrafficConservation) {
+  // Promoting data moves traffic between tiers; it must not create or
+  // destroy much of it (cache mode adds fill traffic, flat modes do not).
+  const auto ddr = run(Condition::kDdr);
+  const auto numactl = run(Condition::kNumactl);
+  const double total_ddr = static_cast<double>(ddr.ddr_bytes);
+  const double total_numactl =
+      static_cast<double>(numactl.ddr_bytes + numactl.mcdram_bytes);
+  EXPECT_NEAR(total_numactl, total_ddr, total_ddr * 0.15);
+}
+
+TEST_P(AppSweep, ProfiledRunMatchesUnprofiledPlacement) {
+  // Profiling must observe, not perturb: same placement, same traffic,
+  // only the monitoring overhead added to time.
+  RunOptions plain;
+  const auto a = run_app(app(), plain);
+  RunOptions profiled;
+  profiled.profile = true;
+  const auto b = run_app(app(), profiled);
+  EXPECT_EQ(a.ddr_bytes, b.ddr_bytes);
+  EXPECT_GE(b.time_s, a.time_s);  // overhead only adds
+  EXPECT_GT(b.samples, 0u);
+}
+
+TEST_P(AppSweep, SamplesScaleWithPeriodInverse) {
+  RunOptions coarse;
+  coarse.profile = true;
+  coarse.sampler.period = 80000;
+  RunOptions fine = coarse;
+  fine.sampler.period = 20000;
+  const auto nc = run_app(app(), coarse).samples;
+  const auto nf = run_app(app(), fine).samples;
+  EXPECT_NEAR(static_cast<double>(nf), static_cast<double>(nc) * 4.0,
+              static_cast<double>(nc));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperApps, AppSweep,
+    ::testing::Values("hpcg", "lulesh", "bt", "minife", "cgpop", "snap",
+                      "maxw-dgtd", "gtc-p"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace hmem::engine

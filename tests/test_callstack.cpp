@@ -1,0 +1,185 @@
+// Unit tests for call-stack representation, ASLR module map, unwinder and
+// translator cost model (Figure 3), and the allocation-site registry.
+#include <gtest/gtest.h>
+
+#include "callstack/callstack.hpp"
+#include "callstack/modulemap.hpp"
+#include "callstack/sitedb.hpp"
+#include "callstack/unwind.hpp"
+
+namespace hmem::callstack {
+namespace {
+
+SymbolicCallStack make_stack(int depth) {
+  SymbolicCallStack s;
+  for (int i = 0; i < depth; ++i) {
+    s.frames.push_back(
+        CodeLocation{"app.x", "fn" + std::to_string(i),
+                     static_cast<std::uint32_t>(10 + i)});
+  }
+  return s;
+}
+
+// ------------------------------------------------------------ encoding ----
+
+TEST(CodeLocation, RoundTrip) {
+  CodeLocation loc{"libm.so", "do_work", 42};
+  CodeLocation parsed;
+  ASSERT_TRUE(CodeLocation::from_string(loc.to_string(), parsed));
+  EXPECT_EQ(parsed, loc);
+}
+
+TEST(CodeLocation, RejectsMalformed) {
+  CodeLocation out;
+  EXPECT_FALSE(CodeLocation::from_string("", out));
+  EXPECT_FALSE(CodeLocation::from_string("no-bang:12", out));
+  EXPECT_FALSE(CodeLocation::from_string("mod!fn", out));
+  EXPECT_FALSE(CodeLocation::from_string("mod!fn:abc", out));
+  EXPECT_FALSE(CodeLocation::from_string("!fn:1", out));
+}
+
+TEST(SymbolicCallStack, RoundTripMultiFrame) {
+  const auto stack = make_stack(4);
+  SymbolicCallStack parsed;
+  ASSERT_TRUE(SymbolicCallStack::from_string(stack.to_string(), parsed));
+  EXPECT_EQ(parsed, stack);
+}
+
+TEST(SymbolicCallStack, HashDistinguishesFrames) {
+  EXPECT_NE(make_stack(3).hash(), make_stack(4).hash());
+  auto a = make_stack(3);
+  auto b = make_stack(3);
+  b.frames[1].line += 1;
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), make_stack(3).hash());
+}
+
+TEST(CallStack, HashOrderSensitivity) {
+  CallStack a{{1, 2, 3}};
+  CallStack b{{3, 2, 1}};
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), (CallStack{{1, 2, 3}}).hash());
+}
+
+// ----------------------------------------------------------- modulemap ----
+
+TEST(ModuleMap, MaterializeTranslateRoundTrip) {
+  ModuleMap mm;
+  mm.add_module("app.x", 0x400000, 1 << 20);
+  mm.randomize_slides(7);
+  const auto stack = make_stack(5);
+  const CallStack raw = mm.materialize(stack);
+  ASSERT_EQ(raw.depth(), 5u);
+  const auto back = mm.translate(raw);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, stack);
+}
+
+TEST(ModuleMap, AslrChangesAddressesNotSymbols) {
+  const auto stack = make_stack(3);
+  ModuleMap run1, run2;
+  run1.add_module("app.x", 0x400000, 1 << 20);
+  run2.add_module("app.x", 0x400000, 1 << 20);
+  run1.randomize_slides(1);
+  run2.randomize_slides(2);
+  const CallStack raw1 = run1.materialize(stack);
+  const CallStack raw2 = run2.materialize(stack);
+  EXPECT_NE(raw1, raw2);  // ASLR: raw addresses differ across runs
+  EXPECT_EQ(run1.translate(raw1).value(), run2.translate(raw2).value());
+  // A raw stack from run 1 does not translate correctly in run 2's image:
+  // either it falls outside the module or yields different symbols.
+  const auto cross = run2.translate(raw1);
+  if (cross.has_value()) EXPECT_NE(*cross, stack);
+}
+
+TEST(ModuleMap, StableAddressesWithinOneRun) {
+  ModuleMap mm;
+  mm.add_module("app.x", 0x400000, 1 << 20);
+  const auto stack = make_stack(2);
+  EXPECT_EQ(mm.materialize(stack), mm.materialize(stack));
+}
+
+TEST(ModuleMap, UnknownAddressFailsTranslation) {
+  ModuleMap mm;
+  mm.add_module("app.x", 0x400000, 1 << 20);
+  EXPECT_FALSE(mm.translate(Address{0xdeadbeef00ULL}).has_value());
+}
+
+TEST(ModuleMap, MultipleModulesDisjoint) {
+  ModuleMap mm;
+  mm.add_module("a.so", 0x400000, 1 << 20);
+  mm.add_module("b.so", 0x40000000, 1 << 20);
+  const Address a = mm.runtime_address(CodeLocation{"a.so", "f", 1});
+  const Address b = mm.runtime_address(CodeLocation{"b.so", "f", 1});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(mm.translate(a)->module, "a.so");
+  EXPECT_EQ(mm.translate(b)->module, "b.so");
+}
+
+// ------------------------------------------------- unwinder/translator ----
+
+TEST(CostModel, Figure3CrossoverNearDepthSix) {
+  const CostModel cost;
+  EXPECT_NEAR(cost.crossover_depth(), 6.0, 0.5);
+  // Short stacks: unwinding dominates.
+  EXPECT_GT(cost.unwind_ns(1), cost.translate_ns(1));
+  EXPECT_GT(cost.unwind_ns(5), cost.translate_ns(5));
+  // Deep stacks: translation dominates (Figure 3's message).
+  EXPECT_LT(cost.unwind_ns(8), cost.translate_ns(8));
+  EXPECT_LT(cost.unwind_ns(9), cost.translate_ns(9));
+}
+
+TEST(CostModel, TranslateSlopeSteeper) {
+  const CostModel cost;
+  const double unwind_slope = cost.unwind_ns(9) - cost.unwind_ns(8);
+  const double translate_slope = cost.translate_ns(9) - cost.translate_ns(8);
+  EXPECT_GT(translate_slope, unwind_slope);
+}
+
+TEST(UnwinderTranslator, AccumulateCostsAndCounts) {
+  ModuleMap mm;
+  mm.add_module("app.x", 0x400000, 1 << 20);
+  Unwinder unwinder(mm);
+  Translator translator(mm);
+  const auto stack = make_stack(4);
+  const CallStack raw = unwinder.unwind(stack);
+  EXPECT_EQ(unwinder.calls(), 1u);
+  EXPECT_DOUBLE_EQ(unwinder.total_cost_ns(),
+                   unwinder.cost_model().unwind_ns(4));
+  const auto sym = translator.translate(raw);
+  ASSERT_TRUE(sym.has_value());
+  EXPECT_EQ(*sym, stack);
+  EXPECT_DOUBLE_EQ(translator.total_cost_ns(),
+                   translator.cost_model().translate_ns(4));
+  unwinder.reset_stats();
+  EXPECT_EQ(unwinder.calls(), 0u);
+}
+
+// -------------------------------------------------------------- sitedb ----
+
+TEST(SiteDb, InternIsIdempotent) {
+  SiteDb db;
+  const auto s1 = db.intern("obj", make_stack(3));
+  const auto s2 = db.intern("other-name-ignored", make_stack(3));
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.get(s1).object_name, "obj");  // first registration wins
+}
+
+TEST(SiteDb, DistinctStacksDistinctIds) {
+  SiteDb db;
+  const auto a = db.intern("a", make_stack(2));
+  const auto b = db.intern("b", make_stack(3));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(db.find(make_stack(2)).value(), a);
+  EXPECT_FALSE(db.find(make_stack(9)).has_value());
+}
+
+TEST(SiteDb, TracksStaticFlag) {
+  SiteDb db;
+  const auto id = db.intern("static_x", make_stack(1), /*is_dynamic=*/false);
+  EXPECT_FALSE(db.get(id).is_dynamic);
+}
+
+}  // namespace
+}  // namespace hmem::callstack

@@ -1,0 +1,244 @@
+// Tests for the execution engine, the four-stage pipeline and the
+// experiment driver.
+#include <gtest/gtest.h>
+
+#include "apps/workloads.hpp"
+#include "common/units.hpp"
+#include "engine/experiment.hpp"
+#include "engine/pipeline.hpp"
+
+namespace hmem::engine {
+namespace {
+
+/// Small, fast app with one clearly-hot object for engine-level checks.
+apps::AppSpec tiny_app() {
+  apps::AppSpec app;
+  app.name = "tiny";
+  app.fom_unit = "it/s";
+  app.ranks = 4;
+  app.threads_per_rank = 8;
+  app.iterations = 10;
+  app.accesses_per_iteration = 4000;
+  app.access_scale = 100.0;
+  app.work_per_iteration = 1.0;
+  app.stack_bytes = 1ULL << 20;
+  app.objects = {
+      apps::ObjectSpec{.name = "hot", .size_bytes = 8ULL << 20,
+                       .pattern = apps::AccessPattern::kRandom},
+      apps::ObjectSpec{.name = "cold", .size_bytes = 64ULL << 20,
+                       .pattern = apps::AccessPattern::kStream},
+      apps::ObjectSpec{.name = "tables", .size_bytes = 1ULL << 20,
+                       .pattern = apps::AccessPattern::kRandom,
+                       .is_static = true},
+  };
+  apps::PhaseSpec phase;
+  phase.name = "main";
+  phase.object_weights = {0.7, 0.2, 0.05};
+  phase.stack_weight = 0.05;
+  phase.insts_per_access = 20.0;
+  app.phases = {phase};
+  return app;
+}
+
+TEST(RunApp, DeterministicForSameSeed) {
+  const auto app = tiny_app();
+  RunOptions opts;
+  const auto a = run_app(app, opts);
+  const auto b = run_app(app, opts);
+  EXPECT_DOUBLE_EQ(a.fom, b.fom);
+  EXPECT_EQ(a.llc_misses, b.llc_misses);
+  EXPECT_EQ(a.ddr_bytes, b.ddr_bytes);
+}
+
+TEST(RunApp, DdrBaselineTouchesNoMcdram) {
+  RunOptions opts;
+  opts.condition = Condition::kDdr;
+  const auto r = run_app(tiny_app(), opts);
+  EXPECT_EQ(r.mcdram_bytes, 0u);
+  EXPECT_EQ(r.mcdram_hwm_bytes, 0u);
+  EXPECT_GT(r.ddr_bytes, 0u);
+  EXPECT_GT(r.fom, 0.0);
+}
+
+TEST(RunApp, NumactlPromotesAndSpeedsUp) {
+  RunOptions ddr_opts;
+  const auto ddr = run_app(tiny_app(), ddr_opts);
+  RunOptions numactl_opts;
+  numactl_opts.condition = Condition::kNumactl;
+  const auto numactl = run_app(tiny_app(), numactl_opts);
+  // tiny app fits the per-rank MCDRAM share entirely -> clear speedup.
+  EXPECT_GT(numactl.fom, ddr.fom * 1.1);
+  EXPECT_GT(numactl.mcdram_hwm_bytes, 0u);
+  EXPECT_GT(numactl.mcdram_bytes, 0u);
+}
+
+TEST(RunApp, CacheModeBetweenDdrAndFlat) {
+  RunOptions opts;
+  const auto ddr = run_app(tiny_app(), opts);
+  opts.condition = Condition::kCacheMode;
+  const auto cache = run_app(tiny_app(), opts);
+  opts.condition = Condition::kNumactl;
+  const auto flat = run_app(tiny_app(), opts);
+  EXPECT_GT(cache.fom, ddr.fom);
+  EXPECT_LT(cache.fom, flat.fom * 1.02);
+}
+
+TEST(RunApp, ProfiledRunProducesArtifacts) {
+  RunOptions opts;
+  opts.profile = true;
+  opts.sampler.period = 1000;  // dense sampling for a short run
+  const auto r = run_app(tiny_app(), opts);
+  ASSERT_NE(r.trace, nullptr);
+  ASSERT_NE(r.sites, nullptr);
+  EXPECT_GT(r.samples, 0u);
+  EXPECT_GT(r.monitoring_overhead, 0.0);
+  EXPECT_LT(r.monitoring_overhead, 0.6);  // dense sampling, tiny run
+  EXPECT_EQ(r.sites->size(), 3u);  // hot, cold, tables
+  EXPECT_GT(r.trace->size(), 0u);
+}
+
+TEST(RunApp, FrameworkPromotesSelectedObjectOnly) {
+  // Hand-build a placement selecting only "hot".
+  const auto app = tiny_app();
+  advisor::Placement placement;
+  advisor::TierPlacement fast;
+  fast.tier_name = "mcdram";
+  fast.budget_bytes = 16ULL << 20;
+  advisor::ObjectInfo hot;
+  hot.name = "hot";
+  hot.max_size_bytes = 8ULL << 20;
+  hot.llc_misses = 1000;
+  hot.stack = app.alloc_stack(0);
+  fast.objects.push_back(hot);
+  placement.tiers.push_back(fast);
+  placement.tiers.push_back(advisor::TierPlacement{"ddr", 1ULL << 40, {},
+                                                   0, 0});
+  placement.lb_size = 8ULL << 20;
+  placement.ub_size = 8ULL << 20;
+  placement.enforced_fast_budget_bytes = 16ULL << 20;
+
+  RunOptions opts;
+  opts.condition = Condition::kFramework;
+  opts.placement = &placement;
+  const auto r = run_app(app, opts);
+  ASSERT_TRUE(r.autohbw.has_value());
+  EXPECT_EQ(r.autohbw->promoted, 1u);
+  EXPECT_EQ(r.mcdram_hwm_bytes, 8ULL << 20);
+  EXPECT_GT(r.mcdram_bytes, 0u);
+
+  RunOptions ddr_opts;
+  const auto ddr = run_app(app, ddr_opts);
+  EXPECT_GT(r.fom, ddr.fom);  // promoting the hot object pays off
+}
+
+TEST(Pipeline, EndToEndImprovesOnDdr) {
+  PipelineOptions opts;
+  opts.fast_budget_per_rank = 16ULL << 20;
+  opts.sampler.period = 2000;
+  const auto result = run_pipeline(tiny_app(), opts);
+  // Stage 2 found the objects and attributed misses.
+  ASSERT_GE(result.report.objects.size(), 2u);
+  EXPECT_EQ(result.report.objects[0].name, "hot");  // most misses first
+  // Stage 3 selected the hot object.
+  ASSERT_FALSE(result.placement.fast().objects.empty());
+  EXPECT_EQ(result.placement.fast().objects[0].name, "hot");
+  // Report text is parseable and the production run beats the profile run
+  // (which itself carries monitoring overhead on top of DDR placement).
+  EXPECT_FALSE(result.placement_report_text.empty());
+  EXPECT_GT(result.production_run.fom, result.profile_run.fom);
+}
+
+TEST(Pipeline, ProductionRunUsesDifferentAslrImage) {
+  PipelineOptions opts;
+  opts.fast_budget_per_rank = 16ULL << 20;
+  opts.sampler.period = 2000;
+  opts.profile_seed = 1;
+  opts.production_seed = 999;  // different ASLR slides
+  const auto result = run_pipeline(tiny_app(), opts);
+  // Promotion still works because matching is symbolic, not raw-address.
+  ASSERT_TRUE(result.production_run.autohbw.has_value());
+  EXPECT_GT(result.production_run.autohbw->promoted, 0u);
+}
+
+TEST(Experiment, DfomMetricMatchesDefinition) {
+  EXPECT_DOUBLE_EQ(dfom_per_mb(150.0, 100.0, 100ULL << 20), 0.5);
+  EXPECT_DOUBLE_EQ(dfom_per_mb(100.0, 100.0, 256ULL << 20), 0.0);
+  EXPECT_LT(dfom_per_mb(90.0, 100.0, 256ULL << 20), 0.0);
+}
+
+TEST(Experiment, PaperStrategiesAndBudgets) {
+  const auto strategies = paper_strategies();
+  ASSERT_EQ(strategies.size(), 4u);
+  EXPECT_EQ(strategies[0].label, "Density");
+  EXPECT_EQ(strategies[3].label, "Misses(5%)");
+  EXPECT_DOUBLE_EQ(strategies[3].options.threshold_pct, 5.0);
+  const auto budgets = paper_budgets_mpi();
+  ASSERT_EQ(budgets.size(), 4u);
+  EXPECT_EQ(budgets.front(), 32ULL << 20);
+  EXPECT_EQ(budgets.back(), 256ULL << 20);
+  EXPECT_EQ(paper_budgets_openmp().back(), 16ULL << 30);
+}
+
+TEST(Experiment, Fig4RunnerProducesFullGrid) {
+  PipelineOptions base;
+  base.sampler.period = 2000;
+  Fig4Runner runner(tiny_app(), base);
+  const std::vector<std::uint64_t> budgets = {4ULL << 20, 16ULL << 20};
+  const auto strategies = paper_strategies();
+  const auto row = runner.run(budgets, strategies);
+  EXPECT_EQ(row.cells.size(), budgets.size() * strategies.size());
+  EXPECT_GT(row.ddr.fom, 0.0);
+  EXPECT_GT(row.numactl.fom, row.ddr.fom);
+  // Larger budget never hurts for this single-hot-object app.
+  for (const auto& s : strategies) {
+    EXPECT_GE(row.cell(s.label, 16ULL << 20).fom,
+              row.cell(s.label, 4ULL << 20).fom * 0.99);
+  }
+  // Formatting includes every strategy label and the baselines.
+  const auto text = format_fig4_row(row, budgets, strategies);
+  for (const auto& s : strategies) {
+    EXPECT_NE(text.find(s.label), std::string::npos);
+  }
+  EXPECT_NE(text.find("DDR="), std::string::npos);
+  const auto csv = fig4_row_to_csv(row);
+  EXPECT_NE(csv.find("baseline"), std::string::npos);
+  EXPECT_NE(csv.find("framework"), std::string::npos);
+}
+
+TEST(StreamTriad, BandwidthOrderingMatchesFigure1) {
+  // At high core counts: flat MCDRAM > cache mode > DDR.
+  const auto app = apps::make_stream_triad(68);
+  RunOptions opts;
+  const auto ddr = run_app(app, opts);
+  opts.condition = Condition::kCacheMode;
+  const auto cache = run_app(app, opts);
+  opts.condition = Condition::kNumactl;
+  const auto flat = run_app(app, opts);
+  EXPECT_GT(flat.achieved_bw_gbs, 400.0);
+  EXPECT_LT(ddr.achieved_bw_gbs, 100.0);
+  EXPECT_GT(cache.achieved_bw_gbs, ddr.achieved_bw_gbs * 1.5);
+  EXPECT_LT(cache.achieved_bw_gbs, flat.achieved_bw_gbs);
+}
+
+TEST(StreamTriad, DdrSaturatesWithCores) {
+  const auto bw = [](int cores) {
+    RunOptions opts;
+    return run_app(apps::make_stream_triad(cores), opts).achieved_bw_gbs;
+  };
+  const double one = bw(1);
+  const double sixteen = bw(16);
+  const double sixtyeight = bw(68);
+  EXPECT_GT(sixteen, one * 8);          // scales at low counts
+  EXPECT_NEAR(sixtyeight, sixteen, 5);  // saturated past ~16 cores
+}
+
+TEST(ConditionNames, Stable) {
+  EXPECT_STREQ(condition_name(Condition::kDdr), "ddr");
+  EXPECT_STREQ(condition_name(Condition::kNumactl), "numactl");
+  EXPECT_STREQ(condition_name(Condition::kAutoHbw), "autohbw");
+  EXPECT_STREQ(condition_name(Condition::kCacheMode), "cache");
+  EXPECT_STREQ(condition_name(Condition::kFramework), "framework");
+}
+
+}  // namespace
+}  // namespace hmem::engine

@@ -1,0 +1,165 @@
+// Tests for the full auto-hbwmalloc wrapper surface (footnote 5 of the
+// paper): malloc / free / realloc / posix_memalign / kmp_*.
+#include <gtest/gtest.h>
+
+#include "alloc/allocators.hpp"
+#include "runtime/interpose.hpp"
+#include "runtime/policy.hpp"
+
+namespace hmem::runtime {
+namespace {
+
+callstack::SymbolicCallStack ctx(const std::string& fn) {
+  callstack::SymbolicCallStack s;
+  s.frames.push_back(callstack::CodeLocation{"app.x", fn, 1});
+  return s;
+}
+
+struct Fixture {
+  Fixture()
+      : posix(0x100000000ULL, 64ULL << 20),
+        hbw(0x4000000000ULL, 16ULL << 20),
+        policy(posix, hbw, 1 << 20),
+        interposer(policy) {}
+
+  alloc::PosixAllocator posix;
+  alloc::MemkindAllocator hbw;
+  AutoHbwLibPolicy policy;  // any policy works; autohbw exercises both tiers
+  MallocInterposer interposer;
+};
+
+TEST(Interposer, MallocFreeLifecycle) {
+  Fixture f;
+  const auto p = f.interposer.malloc(1000, ctx("a"));
+  ASSERT_NE(p, 0u);
+  EXPECT_EQ(f.interposer.allocation_size(p).value(), 1000u);
+  EXPECT_EQ(f.interposer.live_allocations(), 1u);
+  f.interposer.free(p);
+  EXPECT_EQ(f.interposer.live_allocations(), 0u);
+  EXPECT_EQ(f.interposer.stats().malloc_calls, 1u);
+  EXPECT_EQ(f.interposer.stats().free_calls, 1u);
+}
+
+TEST(Interposer, FreeNullIsNoop) {
+  Fixture f;
+  f.interposer.free(0);
+  EXPECT_EQ(f.interposer.stats().free_calls, 0u);
+}
+
+TEST(InterposerDeathTest, FreeUnknownPointerAsserts) {
+  Fixture f;
+  EXPECT_DEATH(f.interposer.free(0xdeadbeef), "unknown pointer");
+}
+
+TEST(Interposer, ReallocGrowCopiesAndMoves) {
+  Fixture f;
+  const auto p = f.interposer.malloc(100, ctx("a"));
+  const auto q = f.interposer.realloc(p, 5000, ctx("a"));
+  ASSERT_NE(q, 0u);
+  EXPECT_EQ(f.interposer.allocation_size(q).value(), 5000u);
+  EXPECT_FALSE(f.interposer.allocation_size(p).has_value());  // old gone
+  EXPECT_EQ(f.interposer.stats().realloc_copied_bytes, 100u);
+  EXPECT_EQ(f.interposer.live_allocations(), 1u);
+}
+
+TEST(Interposer, ReallocShrinkCopiesNewSize) {
+  Fixture f;
+  const auto p = f.interposer.malloc(5000, ctx("a"));
+  const auto q = f.interposer.realloc(p, 100, ctx("a"));
+  ASSERT_NE(q, 0u);
+  EXPECT_EQ(f.interposer.stats().realloc_copied_bytes, 100u);
+}
+
+TEST(Interposer, ReallocNullActsAsMalloc) {
+  Fixture f;
+  const auto p = f.interposer.realloc(0, 64, ctx("a"));
+  ASSERT_NE(p, 0u);
+  EXPECT_EQ(f.interposer.allocation_size(p).value(), 64u);
+}
+
+TEST(Interposer, ReallocZeroActsAsFree) {
+  Fixture f;
+  const auto p = f.interposer.malloc(64, ctx("a"));
+  EXPECT_EQ(f.interposer.realloc(p, 0, ctx("a")), 0u);
+  EXPECT_EQ(f.interposer.live_allocations(), 0u);
+}
+
+TEST(Interposer, ReallocCanMigrateTiers) {
+  // Under the autohbw policy, growing past the 1 MiB threshold moves the
+  // block into the fast tier — a realloc is a fresh placement decision.
+  Fixture f;
+  const auto small = f.interposer.malloc(1000, ctx("a"));
+  EXPECT_TRUE(f.posix.owns(small));
+  const auto big = f.interposer.realloc(small, 2 << 20, ctx("a"));
+  ASSERT_NE(big, 0u);
+  EXPECT_TRUE(f.hbw.owns(big));
+}
+
+TEST(Interposer, PosixMemalignAlignment) {
+  Fixture f;
+  for (std::uint64_t alignment : {16ULL, 64ULL, 256ULL, 4096ULL, 65536ULL}) {
+    const auto p = f.interposer.posix_memalign(alignment, 1000, ctx("a"));
+    ASSERT_NE(p, 0u) << alignment;
+    EXPECT_EQ(p % alignment, 0u) << alignment;
+    f.interposer.free(p);
+  }
+}
+
+TEST(Interposer, PosixMemalignRejectsBadAlignment) {
+  Fixture f;
+  EXPECT_EQ(f.interposer.posix_memalign(3, 100, ctx("a")), 0u);
+  EXPECT_EQ(f.interposer.posix_memalign(0, 100, ctx("a")), 0u);
+  EXPECT_EQ(f.interposer.posix_memalign(4, 100, ctx("a")), 0u);  // < ptr
+}
+
+TEST(Interposer, AlignedFreeReleasesBackingBlock) {
+  Fixture f;
+  const auto p = f.interposer.posix_memalign(65536, 1000, ctx("a"));
+  ASSERT_NE(p, 0u);
+  f.interposer.free(p);
+  EXPECT_EQ(f.posix.stats().bytes_in_use, 0u);
+  EXPECT_EQ(f.hbw.stats().bytes_in_use, 0u);
+}
+
+TEST(Interposer, KmpEntryPointsRouteAndCount) {
+  Fixture f;
+  const auto p = f.interposer.kmp_malloc(100, ctx("a"));
+  const auto q = f.interposer.kmp_aligned_malloc(256, 100, ctx("a"));
+  ASSERT_NE(p, 0u);
+  ASSERT_NE(q, 0u);
+  EXPECT_EQ(q % 256, 0u);
+  const auto r = f.interposer.kmp_realloc(p, 500, ctx("a"));
+  ASSERT_NE(r, 0u);
+  f.interposer.kmp_free(r);
+  f.interposer.kmp_free(q);
+  EXPECT_EQ(f.interposer.stats().kmp_calls, 5u);
+  EXPECT_EQ(f.interposer.live_allocations(), 0u);
+}
+
+TEST(Interposer, CostAccumulates) {
+  Fixture f;
+  const auto p = f.interposer.malloc(4 << 20, ctx("a"));
+  const double after_malloc = f.interposer.stats().total_cost_ns;
+  EXPECT_GT(after_malloc, 0.0);
+  const auto q = f.interposer.realloc(p, 8 << 20, ctx("a"));
+  // Realloc pays allocation + copy + free: strictly more than the malloc.
+  EXPECT_GT(f.interposer.stats().total_cost_ns, after_malloc * 2);
+  f.interposer.free(q);
+}
+
+TEST(Interposer, ManyLiveAllocationsTracked) {
+  Fixture f;
+  std::vector<alloc::Address> ptrs;
+  for (int i = 0; i < 200; ++i) {
+    ptrs.push_back(f.interposer.malloc(1024 + i, ctx("a")));
+  }
+  EXPECT_EQ(f.interposer.live_allocations(), 200u);
+  for (std::size_t i = 0; i < ptrs.size(); ++i) {
+    EXPECT_EQ(f.interposer.allocation_size(ptrs[i]).value(), 1024 + i);
+  }
+  for (auto p : ptrs) f.interposer.free(p);
+  EXPECT_EQ(f.posix.stats().bytes_in_use, 0u);
+}
+
+}  // namespace
+}  // namespace hmem::runtime

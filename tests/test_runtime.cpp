@@ -1,0 +1,275 @@
+// Tests for the placement policies and the auto-hbwmalloc interposer
+// (Algorithm 1 mechanics: size filter, decision cache, budget enforcement,
+// alternate-region free routing).
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.hpp"
+#include "alloc/allocators.hpp"
+#include "callstack/modulemap.hpp"
+#include "callstack/unwind.hpp"
+#include "common/units.hpp"
+#include "runtime/auto_hbwmalloc.hpp"
+#include "runtime/policy.hpp"
+
+namespace hmem::runtime {
+namespace {
+
+using advisor::ObjectInfo;
+
+constexpr alloc::Address kDdr = 0x100000000ULL;
+constexpr alloc::Address kHbm = 0x4000000000ULL;
+
+callstack::SymbolicCallStack stack_of(const std::string& fn, int depth = 3) {
+  callstack::SymbolicCallStack s;
+  s.frames.push_back(callstack::CodeLocation{"app.x", fn, 1});
+  for (int i = 1; i < depth; ++i) {
+    s.frames.push_back(
+        callstack::CodeLocation{"app.x", "caller" + std::to_string(i),
+                                static_cast<std::uint32_t>(i)});
+  }
+  return s;
+}
+
+ObjectInfo selected_object(const std::string& name, std::uint64_t size,
+                           std::uint64_t misses) {
+  ObjectInfo o;
+  o.name = name;
+  o.max_size_bytes = size;
+  o.llc_misses = misses;
+  o.stack = stack_of("alloc_" + name);
+  return o;
+}
+
+// ------------------------------------------------------------ baselines ----
+
+TEST(DdrPolicy, EverythingInSlow) {
+  alloc::PosixAllocator posix(kDdr, 1ULL << 30);
+  DdrPolicy policy(posix);
+  const auto out = policy.allocate(1 << 20, stack_of("x"));
+  EXPECT_NE(out.addr, 0u);
+  EXPECT_FALSE(out.promoted);
+  EXPECT_TRUE(posix.owns(out.addr));
+  EXPECT_GT(policy.deallocate(out.addr), 0.0);
+}
+
+TEST(NumactlPolicy, FcfsUntilExhaustedThenFallback) {
+  alloc::PosixAllocator posix(kDdr, 1ULL << 30);
+  alloc::MemkindAllocator hbw(kHbm, 3ULL << 20);
+  NumactlPolicy policy(posix, hbw);
+  // Three 1 MiB allocations fill the fast tier; the fourth falls to DDR.
+  for (int i = 0; i < 3; ++i) {
+    const auto out = policy.allocate(1 << 20, stack_of("x"));
+    EXPECT_TRUE(out.promoted) << i;
+  }
+  const auto spill = policy.allocate(1 << 20, stack_of("x"));
+  EXPECT_NE(spill.addr, 0u);
+  EXPECT_FALSE(spill.promoted);
+  EXPECT_TRUE(posix.owns(spill.addr));
+}
+
+TEST(NumactlPolicy, StaticsPreferredToo) {
+  alloc::PosixAllocator posix(kDdr, 1ULL << 30);
+  alloc::MemkindAllocator hbw(kHbm, 1ULL << 20);
+  NumactlPolicy policy(posix, hbw);
+  const auto out = policy.allocate_static(4096);
+  EXPECT_TRUE(out.promoted);
+}
+
+TEST(NumactlPolicy, SkipsOversizedButKeepsFilling) {
+  alloc::PosixAllocator posix(kDdr, 1ULL << 30);
+  alloc::MemkindAllocator hbw(kHbm, 2ULL << 20);
+  NumactlPolicy policy(posix, hbw);
+  // Oversized object falls through, smaller one still lands fast.
+  EXPECT_FALSE(policy.allocate(4 << 20, stack_of("big")).promoted);
+  EXPECT_TRUE(policy.allocate(1 << 20, stack_of("small")).promoted);
+}
+
+TEST(AutoHbwLibPolicy, SizeThresholdRouting) {
+  alloc::PosixAllocator posix(kDdr, 1ULL << 30);
+  alloc::MemkindAllocator hbw(kHbm, 1ULL << 30);
+  AutoHbwLibPolicy policy(posix, hbw, 1 << 20);
+  EXPECT_FALSE(policy.allocate((1 << 20) - 1, stack_of("s")).promoted);
+  EXPECT_TRUE(policy.allocate(1 << 20, stack_of("s")).promoted);
+  EXPECT_TRUE(policy.allocate(64 << 20, stack_of("s")).promoted);
+}
+
+TEST(Policies, FreeRoutesToOwningAllocator) {
+  alloc::PosixAllocator posix(kDdr, 1ULL << 30);
+  alloc::MemkindAllocator hbw(kHbm, 1ULL << 30);
+  AutoHbwLibPolicy policy(posix, hbw, 1 << 20);
+  const auto fast = policy.allocate(2 << 20, stack_of("s"));
+  const auto slow = policy.allocate(100, stack_of("s"));
+  policy.deallocate(fast.addr);
+  policy.deallocate(slow.addr);
+  EXPECT_EQ(hbw.stats().bytes_in_use, 0u);
+  EXPECT_EQ(posix.stats().bytes_in_use, 0u);
+}
+
+// ------------------------------------------------------- auto-hbwmalloc ----
+
+struct Fixture {
+  Fixture(std::vector<ObjectInfo> selected, std::uint64_t budget,
+          AutoHbwOptions options = {}, std::uint64_t hbw_capacity = 1ULL << 30)
+      : posix(kDdr, 1ULL << 30), hbw(kHbm, hbw_capacity) {
+    modules.add_module("app.x", 0x400000, 1 << 20);
+    modules.randomize_slides(1234);
+    advisor::Placement placement;
+    advisor::TierPlacement fast_tier;
+    fast_tier.tier_name = "mcdram";
+    fast_tier.budget_bytes = budget;
+    fast_tier.objects = std::move(selected);
+    placement.tiers.push_back(fast_tier);
+    placement.tiers.push_back(advisor::TierPlacement{"ddr", 1ULL << 40, {},
+                                                     0, 0});
+    std::uint64_t lb = ~0ULL, ub = 0;
+    for (const auto& o : placement.tiers[0].objects) {
+      lb = std::min(lb, o.max_size_bytes);
+      ub = std::max(ub, o.max_size_bytes);
+    }
+    placement.lb_size = ub == 0 ? 0 : lb;
+    placement.ub_size = ub;
+    placement.enforced_fast_budget_bytes = budget;
+    unwinder = std::make_unique<callstack::Unwinder>(modules);
+    translator = std::make_unique<callstack::Translator>(modules);
+    malloc_lib = std::make_unique<AutoHbwMalloc>(placement, posix, hbw,
+                                                 *unwinder, *translator,
+                                                 options);
+  }
+
+  alloc::PosixAllocator posix;
+  alloc::MemkindAllocator hbw;
+  callstack::ModuleMap modules;
+  std::unique_ptr<callstack::Unwinder> unwinder;
+  std::unique_ptr<callstack::Translator> translator;
+  std::unique_ptr<AutoHbwMalloc> malloc_lib;
+};
+
+TEST(AutoHbwMalloc, SelectedSitePromotedOthersNot) {
+  Fixture f({selected_object("hot", 1 << 20, 1000)}, 64 << 20);
+  const auto hot = f.malloc_lib->allocate(1 << 20, stack_of("alloc_hot"));
+  EXPECT_TRUE(hot.promoted);
+  EXPECT_TRUE(f.hbw.owns(hot.addr));
+  const auto cold = f.malloc_lib->allocate(1 << 20, stack_of("alloc_cold"));
+  EXPECT_FALSE(cold.promoted);
+  EXPECT_TRUE(f.posix.owns(cold.addr));
+  EXPECT_EQ(f.malloc_lib->stats().matched, 1u);
+  EXPECT_EQ(f.malloc_lib->stats().promoted, 1u);
+}
+
+TEST(AutoHbwMalloc, SizeFilterShortCircuits) {
+  Fixture f({selected_object("hot", 1 << 20, 1000)}, 64 << 20);
+  // Outside [lb, ub]: no unwind performed.
+  f.malloc_lib->allocate(100, stack_of("alloc_hot"));
+  EXPECT_EQ(f.unwinder->calls(), 0u);
+  EXPECT_EQ(f.malloc_lib->stats().size_filtered_out, 1u);
+  // Inside: unwind happens.
+  f.malloc_lib->allocate(1 << 20, stack_of("alloc_hot"));
+  EXPECT_EQ(f.unwinder->calls(), 1u);
+}
+
+TEST(AutoHbwMalloc, SizeFilterCanBeDisabled) {
+  AutoHbwOptions options;
+  options.use_size_filter = false;
+  Fixture f({selected_object("hot", 1 << 20, 1000)}, 64 << 20, options);
+  f.malloc_lib->allocate(100, stack_of("alloc_hot"));
+  EXPECT_EQ(f.unwinder->calls(), 1u);
+  EXPECT_EQ(f.malloc_lib->stats().size_filtered_out, 0u);
+}
+
+TEST(AutoHbwMalloc, DecisionCacheSkipsTranslation) {
+  Fixture f({selected_object("hot", 1 << 20, 1000)}, 64 << 20);
+  for (int i = 0; i < 5; ++i) {
+    const auto out = f.malloc_lib->allocate(1 << 20, stack_of("alloc_hot"));
+    f.malloc_lib->deallocate(out.addr);
+  }
+  EXPECT_EQ(f.translator->calls(), 1u);  // only the first allocation
+  EXPECT_EQ(f.malloc_lib->stats().cache_hits, 4u);
+  EXPECT_EQ(f.malloc_lib->stats().cache_misses, 1u);
+}
+
+TEST(AutoHbwMalloc, CacheDisabledTranslatesEveryTime) {
+  AutoHbwOptions options;
+  options.use_decision_cache = false;
+  Fixture f({selected_object("hot", 1 << 20, 1000)}, 64 << 20, options);
+  for (int i = 0; i < 5; ++i) {
+    const auto out = f.malloc_lib->allocate(1 << 20, stack_of("alloc_hot"));
+    f.malloc_lib->deallocate(out.addr);
+  }
+  EXPECT_EQ(f.translator->calls(), 5u);
+}
+
+TEST(AutoHbwMalloc, BudgetEnforcedAtRuntime) {
+  // Advisor saw max_size = 1 MiB, but the site allocates repeatedly: the
+  // runtime must stop at the budget, not at the advisor's estimate.
+  Fixture f({selected_object("loop", 1 << 20, 1000)}, 3 << 20);
+  int promoted = 0;
+  std::vector<alloc::Address> ptrs;
+  for (int i = 0; i < 5; ++i) {
+    const auto out = f.malloc_lib->allocate(1 << 20, stack_of("alloc_loop"));
+    ptrs.push_back(out.addr);
+    if (out.promoted) ++promoted;
+  }
+  EXPECT_EQ(promoted, 3);
+  EXPECT_TRUE(f.malloc_lib->stats().any_overflow);
+  EXPECT_EQ(f.malloc_lib->stats().budget_rejections, 2u);
+  EXPECT_EQ(f.malloc_lib->stats().fast_hwm, 3u << 20);
+  // Freeing releases budget for later allocations.
+  for (auto p : ptrs) f.malloc_lib->deallocate(p);
+  EXPECT_EQ(f.malloc_lib->stats().fast_bytes_in_use, 0u);
+  EXPECT_TRUE(
+      f.malloc_lib->allocate(1 << 20, stack_of("alloc_loop")).promoted);
+}
+
+TEST(AutoHbwMalloc, PhysicalCapacityAlsoChecked) {
+  // Budget larger than the physical arena: FITS must fail on the arena.
+  Fixture f({selected_object("hot", 1 << 20, 1000)}, 1ULL << 30,
+            AutoHbwOptions{}, /*hbw_capacity=*/2 << 20);
+  EXPECT_TRUE(f.malloc_lib->allocate(1 << 20, stack_of("alloc_hot")).promoted);
+  EXPECT_TRUE(f.malloc_lib->allocate(1 << 20, stack_of("alloc_hot")).promoted);
+  const auto third = f.malloc_lib->allocate(1 << 20, stack_of("alloc_hot"));
+  EXPECT_FALSE(third.promoted);
+  EXPECT_NE(third.addr, 0u);  // fell back to the default allocator
+}
+
+TEST(AutoHbwMalloc, FreeRoutedViaRegionAnnotation) {
+  Fixture f({selected_object("hot", 1 << 20, 1000)}, 64 << 20);
+  const auto fast = f.malloc_lib->allocate(1 << 20, stack_of("alloc_hot"));
+  const auto slow = f.malloc_lib->allocate(1 << 20, stack_of("alloc_other"));
+  f.malloc_lib->deallocate(fast.addr);
+  f.malloc_lib->deallocate(slow.addr);
+  EXPECT_EQ(f.hbw.stats().bytes_in_use, 0u);
+  EXPECT_EQ(f.posix.stats().bytes_in_use, 0u);
+  EXPECT_EQ(f.malloc_lib->stats().fast_bytes_in_use, 0u);
+}
+
+TEST(AutoHbwMalloc, PerSiteStatsAccumulate) {
+  Fixture f({selected_object("hot", 1 << 20, 1000)}, 64 << 20);
+  f.malloc_lib->allocate(1 << 20, stack_of("alloc_hot"));
+  f.malloc_lib->allocate(1 << 20, stack_of("alloc_hot"));
+  ASSERT_EQ(f.malloc_lib->site_stats().size(), 1u);
+  EXPECT_EQ(f.malloc_lib->site_stats()[0].allocations, 2u);
+  EXPECT_EQ(f.malloc_lib->site_stats()[0].bytes, 2u << 20);
+}
+
+TEST(AutoHbwMalloc, OverheadChargedInOutcome) {
+  Fixture f({selected_object("hot", 1 << 20, 1000)}, 64 << 20);
+  const auto out = f.malloc_lib->allocate(1 << 20, stack_of("alloc_hot"));
+  // Must include at least the unwind + translate cost for depth-3 stacks.
+  const auto& cost = f.unwinder->cost_model();
+  EXPECT_GT(out.cost_ns, cost.unwind_ns(3));
+}
+
+TEST(AutoHbwMalloc, DifferentCallPathsSameLeafDistinct) {
+  // Same innermost function but different callers: distinct call-stacks, so
+  // only the exact selected path is promoted.
+  auto sel = selected_object("hot", 1 << 20, 1000);
+  sel.stack = stack_of("alloc_hot", 4);
+  Fixture f({sel}, 64 << 20);
+  EXPECT_TRUE(
+      f.malloc_lib->allocate(1 << 20, stack_of("alloc_hot", 4)).promoted);
+  EXPECT_FALSE(
+      f.malloc_lib->allocate(1 << 20, stack_of("alloc_hot", 5)).promoted);
+}
+
+}  // namespace
+}  // namespace hmem::runtime

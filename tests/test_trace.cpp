@@ -1,0 +1,120 @@
+// Tests for trace events and the trace-file round trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/event.hpp"
+#include "trace/tracefile.hpp"
+
+namespace hmem::trace {
+namespace {
+
+callstack::SymbolicCallStack stack_of(const std::string& fn) {
+  callstack::SymbolicCallStack s;
+  s.frames.push_back(callstack::CodeLocation{"app.x", fn, 1});
+  return s;
+}
+
+TEST(TraceBuffer, AccumulatesEvents) {
+  TraceBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  buf.add(AllocEvent{1.0, 0, 0x1000, 64});
+  buf.add(FreeEvent{2.0, 0x1000});
+  EXPECT_EQ(buf.size(), 2u);
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(EventTime, VisitsAllVariants) {
+  EXPECT_DOUBLE_EQ(event_time_ns(Event{AllocEvent{1.5, 0, 0, 1}}), 1.5);
+  EXPECT_DOUBLE_EQ(event_time_ns(Event{FreeEvent{2.5, 0}}), 2.5);
+  EXPECT_DOUBLE_EQ(event_time_ns(Event{SampleEvent{3.5, 0, false, 1}}), 3.5);
+  EXPECT_DOUBLE_EQ(event_time_ns(Event{PhaseEvent{4.5, "p", true}}), 4.5);
+  EXPECT_DOUBLE_EQ(event_time_ns(Event{CounterEvent{5.5, "c", 9}}), 5.5);
+}
+
+TEST(TraceFile, RoundTripAllEventKinds) {
+  callstack::SiteDb sites;
+  const auto site = sites.intern("A", stack_of("alloc_A"));
+  TraceBuffer buf;
+  buf.add(AllocEvent{10.0, site, 0x100001000, 4096});
+  buf.add(PhaseEvent{11.0, "solve", true});
+  buf.add(SampleEvent{12.5, 0x100001040, true, 37589});
+  buf.add(CounterEvent{13.0, "instructions", 1e6});
+  buf.add(PhaseEvent{14.0, "solve", false});
+  buf.add(FreeEvent{15.0, 0x100001000});
+
+  std::ostringstream os;
+  EXPECT_EQ(write_trace(os, sites, buf), 6u);
+
+  callstack::SiteDb sites2;
+  TraceBuffer buf2;
+  std::istringstream is(os.str());
+  read_trace(is, sites2, buf2);
+  ASSERT_EQ(buf2.size(), 6u);
+  EXPECT_EQ(sites2.size(), 1u);
+
+  const auto* alloc = std::get_if<AllocEvent>(&buf2.events()[0]);
+  ASSERT_NE(alloc, nullptr);
+  EXPECT_EQ(alloc->addr, 0x100001000u);
+  EXPECT_EQ(alloc->size, 4096u);
+  EXPECT_EQ(sites2.get(alloc->site).object_name, "A");
+
+  const auto* sample = std::get_if<SampleEvent>(&buf2.events()[2]);
+  ASSERT_NE(sample, nullptr);
+  EXPECT_TRUE(sample->is_write);
+  EXPECT_EQ(sample->weight, 37589u);
+
+  const auto* counter = std::get_if<CounterEvent>(&buf2.events()[3]);
+  ASSERT_NE(counter, nullptr);
+  EXPECT_DOUBLE_EQ(counter->value, 1e6);
+}
+
+TEST(TraceFile, SiteIdsRemappedOnMerge) {
+  // Reader must remap site ids into a SiteDb that already has entries.
+  callstack::SiteDb sites_a;
+  const auto site_a = sites_a.intern("A", stack_of("alloc_A"));
+  TraceBuffer buf_a;
+  buf_a.add(AllocEvent{1.0, site_a, 0x1000, 64});
+  std::ostringstream os;
+  write_trace(os, sites_a, buf_a);
+
+  callstack::SiteDb merged;
+  merged.intern("Zero", stack_of("alloc_zero"));  // occupies id 0
+  TraceBuffer buf_b;
+  std::istringstream is(os.str());
+  read_trace(is, merged, buf_b);
+  const auto* alloc = std::get_if<AllocEvent>(&buf_b.events()[0]);
+  ASSERT_NE(alloc, nullptr);
+  EXPECT_EQ(merged.get(alloc->site).object_name, "A");
+  EXPECT_EQ(alloc->site, 1u);  // remapped past the existing entry
+}
+
+TEST(TraceFile, MalformedLinesThrow) {
+  callstack::SiteDb sites;
+  TraceBuffer buf;
+  for (const char* bad : {
+           "X|1.0|what",                 // unknown kind
+           "A|1.0|0|1000",               // too few fields
+           "A|abc|0|1000|64",            // bad time
+           "M|1.0|zzz|0|1",              // bad address... (hex ok, zzz not)
+           "P|1.0|Q|phase",              // bad begin/end flag
+           "A|1.0|7|1000|64",            // site never defined
+       }) {
+    std::istringstream is(bad);
+    callstack::SiteDb s2;
+    TraceBuffer b2;
+    EXPECT_THROW(read_trace(is, s2, b2), std::runtime_error) << bad;
+  }
+}
+
+TEST(TraceFile, IgnoresCommentsAndBlankLines) {
+  callstack::SiteDb sites;
+  TraceBuffer buf;
+  std::istringstream is("# comment\n\nF|1.0|1000\n");
+  read_trace(is, sites, buf);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hmem::trace

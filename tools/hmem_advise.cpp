@@ -1,0 +1,115 @@
+// hmem_advise — stages 2+3 as a standalone tool (the Paramedir +
+// hmem_advisor roles).
+//
+// Reads a trace produced by hmem_profile, aggregates per-object statistics,
+// and writes the placement report for a given memory specification and
+// strategy. The per-object CSV (Paramedir's view) goes to stderr or a file.
+//
+//   usage: hmem_advise <trace> <fast-budget> [options] > placement.txt
+//     fast-budget      e.g. 256M, 16G (per process)
+//     --strategy s     misses | density | exact      (default misses)
+//     --threshold t    Misses(t%) threshold          (default 0)
+//     --virtual b      virtual selection budget (e.g. 512M)
+//     --slow b         fallback tier capacity        (default 1.5G)
+//     --csv file       write the per-object CSV here
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "advisor/advisor.hpp"
+#include "advisor/placement_report.hpp"
+#include "analysis/aggregator.hpp"
+#include "common/units.hpp"
+#include "trace/tracefile.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hmem;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <trace> <fast-budget> [--strategy s] "
+                 "[--threshold t] [--virtual b] [--slow b] [--csv file]\n",
+                 argv[0]);
+    return 2;
+  }
+  const auto budget = parse_bytes(argv[2]);
+  if (!budget) {
+    std::fprintf(stderr, "bad budget: %s\n", argv[2]);
+    return 2;
+  }
+
+  advisor::Options options;
+  std::uint64_t slow = parse_bytes("1.5G").value();
+  const char* csv_path = nullptr;
+  for (int i = 3; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--strategy") == 0) {
+      const auto s = advisor::parse_strategy(need_value("--strategy"));
+      if (!s) {
+        std::fprintf(stderr, "unknown strategy\n");
+        return 2;
+      }
+      options.strategy = *s;
+    } else if (std::strcmp(argv[i], "--threshold") == 0) {
+      options.threshold_pct = std::strtod(need_value("--threshold"), nullptr);
+    } else if (std::strcmp(argv[i], "--virtual") == 0) {
+      const auto v = parse_bytes(need_value("--virtual"));
+      if (!v) {
+        std::fprintf(stderr, "bad virtual budget\n");
+        return 2;
+      }
+      options.virtual_budget_bytes = *v;
+    } else if (std::strcmp(argv[i], "--slow") == 0) {
+      const auto v = parse_bytes(need_value("--slow"));
+      if (!v) {
+        std::fprintf(stderr, "bad slow capacity\n");
+        return 2;
+      }
+      slow = *v;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv_path = need_value("--csv");
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  callstack::SiteDb sites;
+  trace::TraceBuffer buffer;
+  try {
+    trace::read_trace(in, sites, buffer);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace parse error: %s\n", e.what());
+    return 1;
+  }
+
+  const auto report = analysis::aggregate_trace(buffer, sites);
+  if (csv_path != nullptr) {
+    std::ofstream csv(csv_path);
+    csv << analysis::objects_to_csv(report.objects);
+  }
+  std::fprintf(stderr,
+               "aggregated %zu objects, %llu samples "
+               "(%.1f%% unattributed)\n",
+               report.objects.size(),
+               static_cast<unsigned long long>(report.total_samples),
+               report.unattributed_fraction() * 100.0);
+
+  advisor::HmemAdvisor adv(advisor::MemorySpec::two_tier(*budget, slow),
+                           options);
+  const auto placement = adv.advise(report.objects);
+  std::cout << advisor::write_placement_report(placement);
+  return 0;
+}
