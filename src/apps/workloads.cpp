@@ -442,12 +442,17 @@ std::vector<AppSpec> all_apps() {
           make_cgpop(), make_snap(),   make_maxw_dgtd(), make_gtcp()};
 }
 
-AppSpec app_by_name(const std::string& name) {
+std::optional<AppSpec> find_app(const std::string& name) {
   for (auto& app : all_apps()) {
     if (app.name == name) return app;
   }
-  HMEM_ASSERT_MSG(false, "unknown application name");
-  return {};
+  return std::nullopt;
+}
+
+AppSpec app_by_name(const std::string& name) {
+  auto app = find_app(name);
+  HMEM_ASSERT_MSG(app.has_value(), "unknown application name");
+  return *app;
 }
 
 }  // namespace hmem::apps

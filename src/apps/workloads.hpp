@@ -3,6 +3,7 @@
 // rationale and the mapping to the paper's observations).
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "apps/app.hpp"
@@ -25,7 +26,10 @@ AppSpec make_stream_triad(int threads);
 std::vector<AppSpec> all_apps();
 
 /// Lookup by name ("hpcg", "lulesh", "bt", "minife", "cgpop", "snap",
-/// "maxw-dgtd", "gtc-p"); asserts on unknown names.
+/// "maxw-dgtd", "gtc-p"); empty on unknown names.
+std::optional<AppSpec> find_app(const std::string& name);
+
+/// Like find_app, but asserts on unknown names.
 AppSpec app_by_name(const std::string& name);
 
 }  // namespace hmem::apps

@@ -124,7 +124,11 @@ TEST_P(ExactKnapsackProperty, MatchesBruteForceAndBeatsGreedy) {
   Xoshiro256 rng(GetParam());
   std::vector<ObjectInfo> objects;
   for (int i = 0; i < 12; ++i) {
-    objects.push_back(obj("o" + std::to_string(i),
+    // Two-step concat: `"o" + std::to_string(i)` trips GCC 12's -Wrestrict
+    // false positive (libstdc++ PR105329) when inlined.
+    std::string name = "o";
+    name += std::to_string(i);
+    objects.push_back(obj(name,
                           (1 + rng.below(8)) * memsim::kPageBytes,
                           1 + rng.below(1000)));
   }

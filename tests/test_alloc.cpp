@@ -115,7 +115,9 @@ TEST_P(ArenaProperty, RandomOpsPreserveInvariants) {
       EXPECT_TRUE(arena.deallocate(it->first).has_value());
       live.erase(it);
     }
-    if (step % 500 == 0) ASSERT_TRUE(arena.check_invariants());
+    if (step % 500 == 0) {
+      ASSERT_TRUE(arena.check_invariants());
+    }
   }
   ASSERT_TRUE(arena.check_invariants());
   for (const auto& [addr, len] : live) {

@@ -89,7 +89,9 @@ TEST(ModuleMap, AslrChangesAddressesNotSymbols) {
   // A raw stack from run 1 does not translate correctly in run 2's image:
   // either it falls outside the module or yields different symbols.
   const auto cross = run2.translate(raw1);
-  if (cross.has_value()) EXPECT_NE(*cross, stack);
+  if (cross.has_value()) {
+    EXPECT_NE(*cross, stack);
+  }
 }
 
 TEST(ModuleMap, StableAddressesWithinOneRun) {

@@ -101,7 +101,9 @@ TEST_P(CacheInvariants, StatsAreConsistentUnderRandomAccess) {
   for (int i = 0; i < 20000; ++i) {
     const Address a = rng.below(4 * p.size);
     const bool hit = c.access(a);
-    if (hit) EXPECT_TRUE(c.contains(a));
+    if (hit) {
+      EXPECT_TRUE(c.contains(a));
+    }
   }
   const auto& s = c.stats();
   EXPECT_EQ(s.hits + s.misses, s.accesses);

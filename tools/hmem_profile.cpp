@@ -26,14 +26,24 @@ int main(int argc, char** argv) {
                  argv[0]);
     return 2;
   }
-  const apps::AppSpec app = apps::app_by_name(argv[1]);
+  const auto app = apps::find_app(argv[1]);
+  if (!app) {
+    std::string known;
+    for (const auto& a : apps::all_apps()) {
+      if (!known.empty()) known += ", ";
+      known += a.name;
+    }
+    std::fprintf(stderr, "unknown app %s (expected one of: %s)\n", argv[1],
+                 known.c_str());
+    return 2;
+  }
 
   engine::RunOptions opts;
   opts.profile = true;
   if (argc > 3) opts.sampler.period = std::strtoull(argv[3], nullptr, 10);
   if (argc > 4) opts.min_alloc_bytes = std::strtoull(argv[4], nullptr, 10);
 
-  const auto run = engine::run_app(app, opts);
+  const auto run = engine::run_app(*app, opts);
   std::ofstream out(argv[2]);
   if (!out) {
     std::fprintf(stderr, "cannot open %s for writing\n", argv[2]);
@@ -43,7 +53,7 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "profiled %s: %zu trace events, %llu samples, "
                "%.2f%% monitoring overhead -> %s\n",
-               app.name.c_str(), lines,
+               app->name.c_str(), lines,
                static_cast<unsigned long long>(run.samples),
                run.monitoring_overhead * 100.0, argv[2]);
   return 0;

@@ -26,7 +26,17 @@ int main(int argc, char** argv) {
                  argv[0]);
     return 2;
   }
-  const apps::AppSpec app = apps::app_by_name(argv[1]);
+  const auto app = apps::find_app(argv[1]);
+  if (!app) {
+    std::string known;
+    for (const auto& a : apps::all_apps()) {
+      if (!known.empty()) known += ", ";
+      known += a.name;
+    }
+    std::fprintf(stderr, "unknown app %s (expected one of: %s)\n", argv[1],
+                 known.c_str());
+    return 2;
+  }
 
   engine::RunOptions opts;
   advisor::Placement placement;
@@ -67,7 +77,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto run = engine::run_app(app, opts);
+  const auto run = engine::run_app(*app, opts);
   std::printf("app         : %s\n", run.app.c_str());
   std::printf("condition   : %s\n", run.condition.c_str());
   std::printf("FOM         : %.4f %s\n", run.fom, run.fom_unit.c_str());
