@@ -2,76 +2,101 @@
 
 #include <algorithm>
 #include <sstream>
-#include <unordered_map>
 
 #include "common/assert.hpp"
 #include "common/csv.hpp"
-#include "profiler/object_registry.hpp"
 
 namespace hmem::analysis {
 
-AggregateResult aggregate_trace(const trace::TraceBuffer& trace,
-                                const callstack::SiteDb& sites) {
-  AggregateResult result;
+AggregateVisitor::AggregateVisitor(const callstack::SiteDb& sites)
+    : sites_(&sites) {
+  accum_.resize(sites.size());
+}
 
-  // Per-site accumulators, indexed by SiteId.
-  struct SiteAccum {
-    std::uint64_t max_size = 0;
-    std::uint64_t misses = 0;
-    bool seen = false;
-  };
-  std::vector<SiteAccum> accum(sites.size());
+void AggregateVisitor::check_order(double t) {
+  HMEM_ASSERT_MSG(t >= last_time_, "trace events out of time order");
+  last_time_ = t;
+}
 
-  profiler::ObjectRegistry registry;
-  double last_time = -1.0;
+AggregateVisitor::SiteAccum& AggregateVisitor::accum_for(
+    callstack::SiteId site) {
+  HMEM_ASSERT_MSG(site < sites_->size(),
+                  "event references a site missing from the SiteDb");
+  if (site >= accum_.size()) accum_.resize(sites_->size());
+  return accum_[site];
+}
 
-  for (const auto& event : trace.events()) {
-    const double t = trace::event_time_ns(event);
-    HMEM_ASSERT_MSG(t >= last_time, "trace events out of time order");
-    last_time = t;
+void AggregateVisitor::on_alloc(const trace::AllocEvent& e) {
+  check_order(e.time_ns);
+  SiteAccum& sa = accum_for(e.site);
+  sa.seen = true;
+  sa.max_size = std::max(sa.max_size, e.size);
+  registry_.on_alloc(e.addr, e.size, e.site);
+}
 
-    if (const auto* alloc = std::get_if<trace::AllocEvent>(&event)) {
-      HMEM_ASSERT(alloc->site < accum.size());
-      SiteAccum& sa = accum[alloc->site];
-      sa.seen = true;
-      sa.max_size = std::max(sa.max_size, alloc->size);
-      registry.on_alloc(alloc->addr, alloc->size, alloc->site);
-    } else if (const auto* free_ev = std::get_if<trace::FreeEvent>(&event)) {
-      registry.on_free(free_ev->addr);
-    } else if (const auto* sample = std::get_if<trace::SampleEvent>(&event)) {
-      ++result.total_samples;
-      result.total_weighted_misses += sample->weight;
-      const auto obj = registry.lookup(sample->addr);
-      if (obj) {
-        accum[obj->site].misses += sample->weight;
-      } else {
-        ++result.unattributed_samples;
-        result.unattributed_misses += sample->weight;
-      }
-    }
-    // Phase/counter events are folding concerns, not aggregation ones.
+void AggregateVisitor::on_free(const trace::FreeEvent& e) {
+  check_order(e.time_ns);
+  registry_.on_free(e.addr);
+}
+
+void AggregateVisitor::on_sample(const trace::SampleEvent& e) {
+  check_order(e.time_ns);
+  ++result_.total_samples;
+  result_.total_weighted_misses += e.weight;
+  const auto obj = registry_.lookup(e.addr);
+  if (obj) {
+    accum_for(obj->site).misses += e.weight;
+  } else {
+    ++result_.unattributed_samples;
+    result_.unattributed_misses += e.weight;
   }
+}
 
-  for (callstack::SiteId id = 0; id < accum.size(); ++id) {
-    if (!accum[id].seen) continue;
-    const auto& info = sites.get(id);
+// Phase/counter events are folding concerns, not aggregation ones — but
+// they still participate in the time-order invariant.
+void AggregateVisitor::on_phase(const trace::PhaseEvent& e) {
+  check_order(e.time_ns);
+}
+
+void AggregateVisitor::on_counter(const trace::CounterEvent& e) {
+  check_order(e.time_ns);
+}
+
+AggregateResult AggregateVisitor::finish() {
+  for (callstack::SiteId id = 0; id < accum_.size(); ++id) {
+    if (!accum_[id].seen) continue;
+    const auto& info = sites_->get(id);
     advisor::ObjectInfo obj;
     obj.site = id;
     obj.name = info.object_name;
     obj.stack = info.stack;
-    obj.max_size_bytes = accum[id].max_size;
-    obj.llc_misses = accum[id].misses;
+    obj.max_size_bytes = accum_[id].max_size;
+    obj.llc_misses = accum_[id].misses;
     obj.is_dynamic = info.is_dynamic;
-    result.objects.push_back(std::move(obj));
+    result_.objects.push_back(std::move(obj));
   }
   // Descending misses — the order every consumer wants.
-  std::sort(result.objects.begin(), result.objects.end(),
+  std::sort(result_.objects.begin(), result_.objects.end(),
             [](const advisor::ObjectInfo& a, const advisor::ObjectInfo& b) {
               if (a.llc_misses != b.llc_misses)
                 return a.llc_misses > b.llc_misses;
               return a.site < b.site;
             });
-  return result;
+  return std::move(result_);
+}
+
+AggregateResult aggregate_trace(const trace::TraceBuffer& trace,
+                                const callstack::SiteDb& sites) {
+  AggregateVisitor visitor(sites);
+  trace::visit_buffer(trace, visitor);
+  return visitor.finish();
+}
+
+AggregateResult aggregate_stream(trace::TraceReader& reader,
+                                 const callstack::SiteDb& sites) {
+  AggregateVisitor visitor(sites);
+  trace::pump(reader, visitor);
+  return visitor.finish();
 }
 
 std::string objects_to_csv(const std::vector<advisor::ObjectInfo>& objects) {

@@ -6,6 +6,12 @@
 // size. "If an application loops over a data allocation, the call-stack will
 // be the same for each iteration ... we report the maximum requested size
 // observed for each repeated allocation site."
+//
+// The aggregation is a single-pass streaming visitor: it holds per-site
+// accumulators and the live-range map, never the trace itself, so it scales
+// to arbitrarily long event streams (feed it from a TraceReader — possibly
+// a k-way merge over per-rank shards — or straight from the profiler via a
+// VisitorSink). aggregate_trace() is the buffered-path adapter.
 #pragma once
 
 #include <cstdint>
@@ -14,7 +20,9 @@
 
 #include "advisor/object_info.hpp"
 #include "callstack/sitedb.hpp"
-#include "trace/event.hpp"
+#include "profiler/object_registry.hpp"
+#include "trace/format.hpp"
+#include "trace/visitor.hpp"
 
 namespace hmem::analysis {
 
@@ -35,10 +43,49 @@ struct AggregateResult {
   }
 };
 
-/// Aggregates a trace against the site database that produced it.
-/// Events must be in non-decreasing time order (asserted).
+/// Single-pass streaming aggregation. Feed events (in non-decreasing time
+/// order — asserted), then call finish() exactly once. The SiteDb may still
+/// be growing while events stream in (the format readers intern sites
+/// lazily); it is only consulted per referenced site and at finish().
+class AggregateVisitor : public trace::EventVisitor {
+ public:
+  explicit AggregateVisitor(const callstack::SiteDb& sites);
+
+  void on_alloc(const trace::AllocEvent& e) override;
+  void on_free(const trace::FreeEvent& e) override;
+  void on_sample(const trace::SampleEvent& e) override;
+  void on_phase(const trace::PhaseEvent& e) override;
+  void on_counter(const trace::CounterEvent& e) override;
+
+  /// Finalizes: one ObjectInfo per seen site, sorted by descending misses.
+  AggregateResult finish();
+
+ private:
+  struct SiteAccum {
+    std::uint64_t max_size = 0;
+    std::uint64_t misses = 0;
+    bool seen = false;
+  };
+
+  void check_order(double t);
+  SiteAccum& accum_for(callstack::SiteId site);
+
+  const callstack::SiteDb* sites_;
+  std::vector<SiteAccum> accum_;
+  profiler::ObjectRegistry registry_;
+  double last_time_ = -1.0;
+  AggregateResult result_;
+};
+
+/// Aggregates a buffered trace against the site database that produced it.
+/// Thin adapter over AggregateVisitor; kept for tests and small traces.
 AggregateResult aggregate_trace(const trace::TraceBuffer& trace,
                                 const callstack::SiteDb& sites);
+
+/// Aggregates a pull stream (single shard or k-way merge) in one pass.
+/// `sites` must be the database the reader interns into.
+AggregateResult aggregate_stream(trace::TraceReader& reader,
+                                 const callstack::SiteDb& sites);
 
 /// Paramedir's CSV view of the aggregation: one row per object, sorted by
 /// descending misses. Columns: name, site, dynamic, max_size, llc_misses,

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
-#include <map>
 #include <sstream>
 
 #include "common/assert.hpp"
@@ -11,115 +10,131 @@
 
 namespace hmem::analysis {
 
+FoldingVisitor::FoldingVisitor(double t_begin_ns, double t_end_ns,
+                               std::size_t bins, std::string counter_name)
+    : counter_name_(std::move(counter_name)), last_counter_time_(t_begin_ns) {
+  HMEM_ASSERT(t_end_ns > t_begin_ns);
+  HMEM_ASSERT(bins > 0);
+  result_.t_begin_ns = t_begin_ns;
+  result_.t_end_ns = t_end_ns;
+  result_.bins.resize(bins);
+  phase_cover_.resize(bins);
+  const double bin_width =
+      (t_end_ns - t_begin_ns) / static_cast<double>(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    result_.bins[i].t_begin_ns =
+        t_begin_ns + bin_width * static_cast<double>(i);
+    result_.bins[i].t_end_ns = result_.bins[i].t_begin_ns + bin_width;
+  }
+}
+
+std::size_t FoldingVisitor::bin_of(double t) const {
+  const double frac =
+      (t - result_.t_begin_ns) / (result_.t_end_ns - result_.t_begin_ns);
+  const auto b = static_cast<std::size_t>(
+      frac * static_cast<double>(result_.bins.size()));
+  return std::min(b, result_.bins.size() - 1);
+}
+
+void FoldingVisitor::spread_phase(const std::string& name, double begin,
+                                  double end) {
+  const double lo = std::max(begin, result_.t_begin_ns);
+  const double hi = std::min(end, result_.t_end_ns);
+  if (hi <= lo) return;
+  for (std::size_t b = bin_of(lo); b <= bin_of(hi - 1e-9); ++b) {
+    const double cover_lo = std::max(lo, result_.bins[b].t_begin_ns);
+    const double cover_hi = std::min(hi, result_.bins[b].t_end_ns);
+    if (cover_hi > cover_lo) phase_cover_[b][name] += cover_hi - cover_lo;
+  }
+}
+
+void FoldingVisitor::spread_instructions(double begin, double end,
+                                         double count) {
+  const double lo = std::max(begin, result_.t_begin_ns);
+  const double hi = std::min(end, result_.t_end_ns);
+  if (hi <= lo || count <= 0 || end <= begin) return;
+  const double rate = count / (end - begin);
+  for (std::size_t b = bin_of(lo); b <= bin_of(hi - 1e-9); ++b) {
+    const double cover_lo = std::max(lo, result_.bins[b].t_begin_ns);
+    const double cover_hi = std::min(hi, result_.bins[b].t_end_ns);
+    if (cover_hi > cover_lo)
+      result_.bins[b].instructions += rate * (cover_hi - cover_lo);
+  }
+}
+
+void FoldingVisitor::on_sample(const trace::SampleEvent& e) {
+  const double t = e.time_ns;
+  if (t < result_.t_begin_ns || t >= result_.t_end_ns) return;
+  FoldingBin& bin = result_.bins[bin_of(t)];
+  if (bin.sample_count == 0) {
+    bin.min_addr = e.addr;
+    bin.max_addr = e.addr;
+  } else {
+    bin.min_addr = std::min(bin.min_addr, e.addr);
+    bin.max_addr = std::max(bin.max_addr, e.addr);
+  }
+  ++bin.sample_count;
+}
+
+void FoldingVisitor::on_phase(const trace::PhaseEvent& e) {
+  if (e.begin) {
+    open_phases_[e.name] = e.time_ns;
+    return;
+  }
+  const auto it = open_phases_.find(e.name);
+  if (it != open_phases_.end()) {
+    spread_phase(e.name, it->second, e.time_ns);
+    open_phases_.erase(it);
+  }
+}
+
+void FoldingVisitor::on_counter(const trace::CounterEvent& e) {
+  if (e.name != counter_name_) return;
+  if (have_counter_) {
+    spread_instructions(last_counter_time_, e.time_ns,
+                        e.value - last_counter_value_);
+  }
+  last_counter_time_ = e.time_ns;
+  last_counter_value_ = e.value;
+  have_counter_ = true;
+}
+
+FoldingResult FoldingVisitor::finish() {
+  // Close any phase still open at the window end.
+  for (const auto& [name, begin] : open_phases_)
+    spread_phase(name, begin, result_.t_end_ns);
+  open_phases_.clear();
+
+  for (std::size_t b = 0; b < result_.bins.size(); ++b) {
+    double best_cover = 0;
+    for (const auto& [name, cover] : phase_cover_[b]) {
+      if (cover > best_cover) {
+        best_cover = cover;
+        result_.bins[b].dominant_phase = name;
+      }
+    }
+    const double width_s = (result_.bins[b].t_end_ns -
+                            result_.bins[b].t_begin_ns) * 1e-9;
+    result_.bins[b].mips =
+        width_s > 0 ? result_.bins[b].instructions / width_s / 1e6 : 0;
+  }
+  return std::move(result_);
+}
+
 FoldingResult fold(const trace::TraceBuffer& trace, double t_begin_ns,
                    double t_end_ns, std::size_t bins,
                    const std::string& counter_name) {
-  HMEM_ASSERT(t_end_ns > t_begin_ns);
-  HMEM_ASSERT(bins > 0);
+  FoldingVisitor visitor(t_begin_ns, t_end_ns, bins, counter_name);
+  trace::visit_buffer(trace, visitor);
+  return visitor.finish();
+}
 
-  FoldingResult result;
-  result.t_begin_ns = t_begin_ns;
-  result.t_end_ns = t_end_ns;
-  result.bins.resize(bins);
-  const double bin_width = (t_end_ns - t_begin_ns) / static_cast<double>(bins);
-  for (std::size_t i = 0; i < bins; ++i) {
-    result.bins[i].t_begin_ns = t_begin_ns + bin_width * static_cast<double>(i);
-    result.bins[i].t_end_ns = result.bins[i].t_begin_ns + bin_width;
-  }
-
-  auto bin_of = [&](double t) -> std::size_t {
-    const double frac = (t - t_begin_ns) / (t_end_ns - t_begin_ns);
-    const auto b = static_cast<std::size_t>(
-        frac * static_cast<double>(bins));
-    return std::min(b, bins - 1);
-  };
-
-  // Phase coverage per bin: phase name -> covered ns. Phases may span bins.
-  std::vector<std::map<std::string, double>> phase_cover(bins);
-  std::map<std::string, double> open_phases;  // name -> begin time
-
-  // Cumulative instruction counter: distribute deltas over the bins each
-  // interval overlaps.
-  double last_counter_time = t_begin_ns;
-  double last_counter_value = 0;
-  bool have_counter = false;
-
-  auto spread_phase = [&](const std::string& name, double begin, double end) {
-    const double lo = std::max(begin, t_begin_ns);
-    const double hi = std::min(end, t_end_ns);
-    if (hi <= lo) return;
-    for (std::size_t b = bin_of(lo); b <= bin_of(hi - 1e-9); ++b) {
-      const double cover_lo = std::max(lo, result.bins[b].t_begin_ns);
-      const double cover_hi = std::min(hi, result.bins[b].t_end_ns);
-      if (cover_hi > cover_lo) phase_cover[b][name] += cover_hi - cover_lo;
-    }
-  };
-
-  auto spread_instructions = [&](double begin, double end, double count) {
-    const double lo = std::max(begin, t_begin_ns);
-    const double hi = std::min(end, t_end_ns);
-    if (hi <= lo || count <= 0 || end <= begin) return;
-    const double rate = count / (end - begin);
-    for (std::size_t b = bin_of(lo); b <= bin_of(hi - 1e-9); ++b) {
-      const double cover_lo = std::max(lo, result.bins[b].t_begin_ns);
-      const double cover_hi = std::min(hi, result.bins[b].t_end_ns);
-      if (cover_hi > cover_lo)
-        result.bins[b].instructions += rate * (cover_hi - cover_lo);
-    }
-  };
-
-  for (const auto& event : trace.events()) {
-    const double t = trace::event_time_ns(event);
-    if (const auto* phase = std::get_if<trace::PhaseEvent>(&event)) {
-      if (phase->begin) {
-        open_phases[phase->name] = t;
-      } else {
-        const auto it = open_phases.find(phase->name);
-        if (it != open_phases.end()) {
-          spread_phase(phase->name, it->second, t);
-          open_phases.erase(it);
-        }
-      }
-    } else if (const auto* sample = std::get_if<trace::SampleEvent>(&event)) {
-      if (t < t_begin_ns || t >= t_end_ns) continue;
-      FoldingBin& bin = result.bins[bin_of(t)];
-      if (bin.sample_count == 0) {
-        bin.min_addr = sample->addr;
-        bin.max_addr = sample->addr;
-      } else {
-        bin.min_addr = std::min(bin.min_addr, sample->addr);
-        bin.max_addr = std::max(bin.max_addr, sample->addr);
-      }
-      ++bin.sample_count;
-    } else if (const auto* counter = std::get_if<trace::CounterEvent>(&event)) {
-      if (counter->name != counter_name) continue;
-      if (have_counter) {
-        spread_instructions(last_counter_time, t,
-                            counter->value - last_counter_value);
-      }
-      last_counter_time = t;
-      last_counter_value = counter->value;
-      have_counter = true;
-    }
-  }
-  // Close any phase still open at the window end.
-  for (const auto& [name, begin] : open_phases)
-    spread_phase(name, begin, t_end_ns);
-
-  for (std::size_t b = 0; b < bins; ++b) {
-    double best_cover = 0;
-    for (const auto& [name, cover] : phase_cover[b]) {
-      if (cover > best_cover) {
-        best_cover = cover;
-        result.bins[b].dominant_phase = name;
-      }
-    }
-    const double width_s = (result.bins[b].t_end_ns -
-                            result.bins[b].t_begin_ns) * 1e-9;
-    result.bins[b].mips =
-        width_s > 0 ? result.bins[b].instructions / width_s / 1e6 : 0;
-  }
-  return result;
+FoldingResult fold_stream(trace::TraceReader& reader, double t_begin_ns,
+                          double t_end_ns, std::size_t bins,
+                          const std::string& counter_name) {
+  FoldingVisitor visitor(t_begin_ns, t_end_ns, bins, counter_name);
+  trace::pump(reader, visitor);
+  return visitor.finish();
 }
 
 std::string folding_to_csv(const FoldingResult& result) {

@@ -4,16 +4,22 @@
 // iterations into a detailed time-evolution view. Our trace already carries
 // everything needed for the three Figure 5 panels: phase events (which
 // routine executes), sampled references (which addresses are touched) and
-// instruction counters (MIPS). fold() bins a time window into N slots and
-// reports, per slot, the dominant routine, the sampled address extremes and
-// the achieved MIPS.
+// instruction counters (MIPS). The analysis bins a time window into N slots
+// and reports, per slot, the dominant routine, the sampled address extremes
+// and the achieved MIPS.
+//
+// FoldingVisitor is the single-pass streaming form: per-bin state only,
+// never the trace. fold() is the buffered adapter, fold_stream() the
+// TraceReader one.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
-#include "trace/event.hpp"
+#include "trace/format.hpp"
+#include "trace/visitor.hpp"
 
 namespace hmem::analysis {
 
@@ -38,11 +44,45 @@ struct FoldingResult {
   double t_end_ns = 0;
 };
 
-/// Folds the [t_begin, t_end) window of a trace into `bins` slots. The
-/// instruction counter must be cumulative readings named `counter_name`.
+/// Streams events once and folds the [t_begin, t_end) window into `bins`
+/// slots. The instruction counter must be cumulative readings named
+/// `counter_name`. Call finish() exactly once after the last event.
+class FoldingVisitor : public trace::EventVisitor {
+ public:
+  FoldingVisitor(double t_begin_ns, double t_end_ns, std::size_t bins,
+                 std::string counter_name = "instructions");
+
+  void on_sample(const trace::SampleEvent& e) override;
+  void on_phase(const trace::PhaseEvent& e) override;
+  void on_counter(const trace::CounterEvent& e) override;
+
+  FoldingResult finish();
+
+ private:
+  std::size_t bin_of(double t) const;
+  void spread_phase(const std::string& name, double begin, double end);
+  void spread_instructions(double begin, double end, double count);
+
+  std::string counter_name_;
+  FoldingResult result_;
+  /// Phase coverage per bin: phase name -> covered ns. Phases may span bins.
+  std::vector<std::map<std::string, double>> phase_cover_;
+  std::map<std::string, double> open_phases_;  ///< name -> begin time
+  double last_counter_time_;
+  double last_counter_value_ = 0;
+  bool have_counter_ = false;
+};
+
+/// Folds the [t_begin, t_end) window of a buffered trace (adapter over
+/// FoldingVisitor).
 FoldingResult fold(const trace::TraceBuffer& trace, double t_begin_ns,
                    double t_end_ns, std::size_t bins,
                    const std::string& counter_name = "instructions");
+
+/// Same, pulling from a TraceReader in one pass.
+FoldingResult fold_stream(trace::TraceReader& reader, double t_begin_ns,
+                          double t_end_ns, std::size_t bins,
+                          const std::string& counter_name = "instructions");
 
 /// Renders the three-panel view as CSV: bin, t_mid_ms, phase, samples,
 /// min_addr, max_addr, mips.

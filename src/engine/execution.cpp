@@ -181,14 +181,19 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
   }
 
   // ---- Profiler & site database -----------------------------------------
-  auto sites = std::make_shared<callstack::SiteDb>();
+  // An external SiteDb (streamed-shard runs, shared multi-rank databases)
+  // is aliased without ownership; otherwise the run owns a fresh one.
+  auto sites = options.sites != nullptr
+                   ? std::shared_ptr<callstack::SiteDb>(
+                         options.sites, [](callstack::SiteDb*) {})
+                   : std::make_shared<callstack::SiteDb>();
   std::optional<profiler::Profiler> prof;
   if (options.profile) {
     profiler::ProfilerConfig pcfg;
     pcfg.min_alloc_bytes = options.min_alloc_bytes;
     pcfg.sampler = options.sampler;
     pcfg.sampler.seed ^= options.seed;
-    prof.emplace(pcfg);
+    prof.emplace(pcfg, options.trace_sink);
   }
 
   const std::size_t n_objects = app.objects.size();
@@ -477,8 +482,10 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
   if (prof) {
     result.samples = prof->sampler().samples_taken();
     result.monitoring_overhead = prof->overhead_ns() / now_ns;
-    result.trace =
-        std::make_shared<trace::TraceBuffer>(prof->take_trace());
+    if (options.trace_sink == nullptr) {
+      result.trace =
+          std::make_shared<trace::TraceBuffer>(prof->take_trace());
+    }
     result.sites = sites;
   }
   return result;

@@ -51,6 +51,15 @@ struct RunOptions {
   bool profile = false;
   pebs::SamplerConfig sampler;
   std::uint64_t min_alloc_bytes = 4096;
+  /// Stream trace events into this sink (e.g. a format writer bound to a
+  /// shard file) instead of buffering them; RunResult::trace stays null.
+  /// Only meaningful with profile = true. Must outlive the run.
+  trace::EventSink* trace_sink = nullptr;
+  /// Intern allocation sites into this external database instead of a fresh
+  /// one — required when trace_sink serializes against the same SiteDb, and
+  /// useful to share one database across ranks. RunResult::sites aliases it
+  /// (non-owning); it must outlive every use of the result.
+  callstack::SiteDb* sites = nullptr;
 
   std::uint64_t seed = 42;
   /// Node-level machine; the engine derives the per-rank view (LLC share,
@@ -99,7 +108,8 @@ struct RunResult {
   double allocs_per_second = 0;
   double interposition_overhead_ns = 0;  ///< unwind+translate+allocator cost
 
-  /// Stage-1 artefacts (profiled runs only).
+  /// Stage-1 artefacts (profiled runs only). `trace` is null when the run
+  /// streamed into RunOptions::trace_sink instead of buffering.
   std::shared_ptr<trace::TraceBuffer> trace;
   std::shared_ptr<callstack::SiteDb> sites;
 

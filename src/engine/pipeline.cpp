@@ -1,29 +1,93 @@
 #include "engine/pipeline.hpp"
 
+#include <memory>
+#include <sstream>
+
 #include "advisor/advisor.hpp"
 #include "common/assert.hpp"
+#include "trace/merge.hpp"
 
 namespace hmem::engine {
 
-PipelineResult run_pipeline(const apps::AppSpec& app,
+namespace {
+
+RunOptions profile_options(const PipelineOptions& options) {
+  RunOptions po;
+  po.condition = Condition::kDdr;
+  po.profile = true;
+  po.sampler = options.sampler;
+  po.min_alloc_bytes = options.min_alloc_bytes;
+  po.seed = options.profile_seed;
+  po.node = options.node;
+  return po;
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(const apps::AppSpec& app_in,
                             const PipelineOptions& options) {
   PipelineResult result;
 
-  // Stage 1: profile the application in its default placement (DDR).
-  RunOptions profile_opts;
-  profile_opts.condition = Condition::kDdr;
-  profile_opts.profile = true;
-  profile_opts.sampler = options.sampler;
-  profile_opts.min_alloc_bytes = options.min_alloc_bytes;
-  profile_opts.seed = options.profile_seed;
-  profile_opts.node = options.node;
-  result.profile_run = run_app(app, profile_opts);
-  HMEM_ASSERT(result.profile_run.trace != nullptr);
+  // Sharded profiling simulates exactly profile_ranks ranks: the per-rank
+  // machine shares (LLC, capacity, bandwidth) must reflect that count for
+  // every stage, matching the hmem_profile --ranks flow.
+  apps::AppSpec app = app_in;
+  if (options.profile_ranks > 1) app.ranks = options.profile_ranks;
 
-  // Stage 2: aggregate the trace into per-object statistics.
-  result.report =
-      analysis::aggregate_trace(*result.profile_run.trace,
-                                *result.profile_run.sites);
+  if (options.profile_ranks <= 1) {
+    // Stage 1: profile the application in its default placement (DDR).
+    result.profile_run = run_app(app, profile_options(options));
+    HMEM_ASSERT(result.profile_run.trace != nullptr);
+
+    // Stage 2: aggregate the trace into per-object statistics.
+    result.report =
+        analysis::aggregate_trace(*result.profile_run.trace,
+                                  *result.profile_run.sites);
+  } else {
+    // Stage 1, sharded: one profiled execution per simulated rank, each
+    // streaming its trace into a serialized shard as it runs (the run
+    // itself never buffers events).
+    const int ranks = options.profile_ranks;
+    std::vector<std::string> shards(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      callstack::SiteDb rank_sites;
+      std::ostringstream shard;
+      const auto writer =
+          trace::make_trace_writer(shard, rank_sites, options.shard_format);
+      RunOptions po = profile_options(options);
+      po.seed = options.profile_seed +
+                static_cast<std::uint64_t>(r) * kRankSeedStride;
+      po.sites = &rank_sites;
+      po.trace_sink = writer.get();
+      RunResult run = run_app(app, po);
+      writer->finish();
+      run.sites.reset();  // rank_sites dies with this scope
+      shards[static_cast<std::size_t>(r)] = std::move(shard).str();
+      result.shard_bytes.push_back(
+          shards[static_cast<std::size_t>(r)].size());
+      result.rank_profile_runs.push_back(std::move(run));
+    }
+    result.profile_run = result.rank_profile_runs.front();
+
+    // Stage 2: k-way timestamp merge of the shards, aggregated in one
+    // streaming pass against a shared (re-interned) site database. Each
+    // shard is rebased into its own slice of the simulated address space —
+    // ranks reuse the same physical layout, and the live-range map needs
+    // disjoint ranges.
+    callstack::SiteDb merged_sites;
+    std::vector<std::unique_ptr<std::istringstream>> streams;
+    std::vector<std::unique_ptr<trace::TraceReader>> readers;
+    for (std::size_t r = 0; r < shards.size(); ++r) {
+      streams.push_back(std::make_unique<std::istringstream>(shards[r]));
+      readers.push_back(std::make_unique<trace::OffsetTraceReader>(
+          trace::open_trace_reader(*streams.back(), merged_sites),
+          static_cast<trace::Address>(r) * trace::kRankAddressStride));
+    }
+    trace::MergeTraceReader merged(std::move(readers));
+    analysis::AggregateVisitor aggregate(merged_sites);
+    result.merged_events = trace::pump(merged, aggregate);
+    result.report = aggregate.finish();
+  }
 
   // Stage 3: compute the placement for the requested budget. The DDR tier
   // is the per-rank fallback share.

@@ -9,15 +9,31 @@
 // and 4 — the production run consumes exactly what a user would read —
 // and the production run uses a different ASLR seed than the profiling run,
 // so the symbolic matching is exercised the way the paper describes.
+//
+// With profile_ranks > 1 the pipeline models the paper's MPI reality: one
+// profiled execution per simulated rank (each with its own ASLR image),
+// each streaming its trace into a compact serialized shard as it runs
+// (events are never materialized as in-memory event objects; the shards —
+// ~12 bytes/event in format v2 — are held as byte strings by this
+// in-process driver, where hmem_profile writes them to disk), and stage 2
+// consuming the k-way timestamp merge of all shards as one ordered stream.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "analysis/aggregator.hpp"
 #include "engine/execution.hpp"
+#include "trace/format.hpp"
 
 namespace hmem::engine {
+
+/// Seed stride between simulated ranks: each rank gets its own ASLR image
+/// and sampling phase, as distinct MPI processes would. Shared by
+/// run_pipeline and the hmem_profile --ranks flow so both produce the same
+/// per-rank executions.
+inline constexpr std::uint64_t kRankSeedStride = 7919;
 
 struct PipelineOptions {
   /// Per-rank fast-tier budget for the advisor (Figure 4's x-axis).
@@ -30,14 +46,25 @@ struct PipelineOptions {
   std::uint64_t production_seed = 1042;  ///< different ASLR image
   memsim::MachineConfig node =
       memsim::MachineConfig::knl7250(memsim::MemMode::kFlat);
+  /// Stage-1 shard count. 1 profiles once into a buffer (the classic
+  /// single-process flow); k > 1 profiles k simulated ranks, serializes one
+  /// trace shard per rank and aggregates their k-way merge.
+  int profile_ranks = 1;
+  /// Serialization format of the per-rank shards.
+  trace::TraceFormat shard_format = trace::TraceFormat::kBinary;
 };
 
 struct PipelineResult {
-  RunResult profile_run;             ///< stage 1
+  RunResult profile_run;             ///< stage 1 (rank 0 when sharded)
   analysis::AggregateResult report;  ///< stage 2
   advisor::Placement placement;      ///< stage 3
   std::string placement_report_text;
   RunResult production_run;          ///< stage 4
+
+  /// Multi-rank stage-1 artefacts (profile_ranks > 1 only).
+  std::vector<RunResult> rank_profile_runs;  ///< one per rank
+  std::vector<std::size_t> shard_bytes;      ///< serialized shard sizes
+  std::size_t merged_events = 0;  ///< events seen by the merged aggregation
 };
 
 /// Runs all four stages for one application.

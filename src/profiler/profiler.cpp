@@ -2,8 +2,9 @@
 
 namespace hmem::profiler {
 
-Profiler::Profiler(ProfilerConfig config)
-    : config_(config), sampler_(config.sampler) {}
+Profiler::Profiler(ProfilerConfig config, trace::EventSink* sink)
+    : config_(config), sink_(sink != nullptr ? sink : &trace_),
+      sampler_(config.sampler) {}
 
 void Profiler::on_alloc(double time_ns, callstack::SiteId site, Address addr,
                         std::uint64_t size) {
@@ -14,14 +15,14 @@ void Profiler::on_alloc(double time_ns, callstack::SiteId site, Address addr,
   ++monitored_allocs_;
   overhead_ns_ += config_.alloc_event_cost_ns;
   registry_.on_alloc(addr, size, site);
-  trace_.add(trace::AllocEvent{time_ns, site, addr, size});
+  sink_->on_event(trace::AllocEvent{time_ns, site, addr, size});
 }
 
 void Profiler::on_free(double time_ns, Address addr) {
   const auto removed = registry_.on_free(addr);
   if (!removed) return;  // unmonitored (small) allocation
   overhead_ns_ += config_.alloc_event_cost_ns * 0.5;  // free is cheaper
-  trace_.add(trace::FreeEvent{time_ns, addr});
+  sink_->on_event(trace::FreeEvent{time_ns, addr});
 }
 
 void Profiler::on_llc_miss(double time_ns, Address addr, bool is_write,
@@ -30,17 +31,17 @@ void Profiler::on_llc_miss(double time_ns, Address addr, bool is_write,
       sampler_.on_llc_misses(time_ns, addr, is_write, count);
   if (fires == 0) return;
   overhead_ns_ += config_.sample_cost_ns * static_cast<double>(fires);
-  trace_.add(trace::SampleEvent{time_ns, addr, is_write,
-                                fires * sampler_.config().period});
+  sink_->on_event(trace::SampleEvent{time_ns, addr, is_write,
+                                     fires * sampler_.config().period});
 }
 
 void Profiler::on_phase(double time_ns, const std::string& name, bool begin) {
-  trace_.add(trace::PhaseEvent{time_ns, name, begin});
+  sink_->on_event(trace::PhaseEvent{time_ns, name, begin});
 }
 
 void Profiler::on_counter(double time_ns, const std::string& name,
                           double value) {
-  trace_.add(trace::CounterEvent{time_ns, name, value});
+  sink_->on_event(trace::CounterEvent{time_ns, name, value});
 }
 
 }  // namespace hmem::profiler

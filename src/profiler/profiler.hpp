@@ -34,7 +34,12 @@ struct ProfilerConfig {
 
 class Profiler {
  public:
-  explicit Profiler(ProfilerConfig config);
+  /// With the default (null) sink, events accumulate in an internal
+  /// TraceBuffer reachable via trace()/take_trace(). With an external sink
+  /// — a format writer streaming to disk, a VisitorSink feeding an analysis
+  /// — events are pushed there as they happen and nothing is buffered; the
+  /// sink must outlive the profiler.
+  explicit Profiler(ProfilerConfig config, trace::EventSink* sink = nullptr);
 
   /// Allocation hook. Records the event and registers the live range when
   /// size >= min_alloc_bytes; smaller allocations pass through unmonitored.
@@ -52,6 +57,7 @@ class Profiler {
   void on_phase(double time_ns, const std::string& name, bool begin);
   void on_counter(double time_ns, const std::string& name, double value);
 
+  /// The internal buffer; empty when an external sink was supplied.
   const trace::TraceBuffer& trace() const { return trace_; }
   trace::TraceBuffer take_trace() { return std::move(trace_); }
   const ObjectRegistry& registry() const { return registry_; }
@@ -68,6 +74,7 @@ class Profiler {
  private:
   ProfilerConfig config_;
   trace::TraceBuffer trace_;
+  trace::EventSink* sink_;  ///< &trace_ unless an external sink was given
   ObjectRegistry registry_;
   pebs::PebsSampler sampler_;
   double overhead_ns_ = 0;

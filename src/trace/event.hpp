@@ -4,6 +4,13 @@
 // needs: dynamic-memory (de)allocations (pointer, size, call-stack) and
 // PEBS-sampled LLC-miss references (address). We also keep phase markers and
 // named counters, which the Folding analysis (Figure 5) consumes.
+//
+// The trace is a *stream*, not a container: producers push events into an
+// EventSink one at a time, and consumers either pull from a TraceReader
+// (trace/format.hpp) or receive typed dispatch through an EventVisitor
+// (trace/visitor.hpp). TraceBuffer — an in-memory vector of events — is just
+// one sink implementation, kept for tests and for callers that genuinely
+// need random access.
 #pragma once
 
 #include <cstdint>
@@ -24,11 +31,15 @@ struct AllocEvent {
   SiteId site = callstack::kInvalidSite;
   Address addr = 0;
   std::uint64_t size = 0;
+
+  bool operator==(const AllocEvent&) const = default;
 };
 
 struct FreeEvent {
   double time_ns = 0;
   Address addr = 0;
+
+  bool operator==(const FreeEvent&) const = default;
 };
 
 /// One PEBS sample: an LLC miss whose referenced address was captured.
@@ -39,12 +50,16 @@ struct SampleEvent {
   Address addr = 0;
   bool is_write = false;
   std::uint64_t weight = 1;
+
+  bool operator==(const SampleEvent&) const = default;
 };
 
 struct PhaseEvent {
   double time_ns = 0;
   std::string name;
   bool begin = true;
+
+  bool operator==(const PhaseEvent&) const = default;
 };
 
 /// Periodic named counter reading (e.g. instructions retired), used by the
@@ -53,6 +68,8 @@ struct CounterEvent {
   double time_ns = 0;
   std::string name;
   double value = 0;
+
+  bool operator==(const CounterEvent&) const = default;
 };
 
 using Event =
@@ -60,10 +77,25 @@ using Event =
 
 double event_time_ns(const Event& event);
 
-/// Append-only in-memory trace. Events are expected (and verified by the
-/// reader/aggregator) to be in non-decreasing time order.
-class TraceBuffer {
+/// Push interface of the streaming trace pipeline. The profiler emits into
+/// an EventSink; implementations include TraceBuffer (below), the format
+/// writers (trace/format.hpp) and the visitor adapter (trace/visitor.hpp).
+/// Producers are expected to emit events in non-decreasing time order.
+class EventSink {
  public:
+  virtual ~EventSink() = default;
+  virtual void on_event(const Event& event) = 0;
+};
+
+/// Append-only in-memory trace: the buffering EventSink. Events are expected
+/// (and verified by the reader/aggregator) to be in non-decreasing time
+/// order.
+class TraceBuffer : public EventSink {
+ public:
+  // Defined out of line (tracefile.cpp): inlining the variant copy where
+  // the active alternative is statically known trips a GCC-12
+  // -Wmaybe-uninitialized false positive on the inactive alternatives.
+  void on_event(const Event& event) override;
   void add(Event event) { events_.push_back(std::move(event)); }
 
   const std::vector<Event>& events() const { return events_; }

@@ -1,0 +1,48 @@
+#include "trace/merge.hpp"
+
+#include <algorithm>
+
+namespace hmem::trace {
+
+bool OffsetTraceReader::next(Event& out) {
+  if (!inner_->next(out)) return false;
+  if (offset_ == 0) return true;
+  if (auto* alloc = std::get_if<AllocEvent>(&out)) {
+    alloc->addr += offset_;
+  } else if (auto* free_ev = std::get_if<FreeEvent>(&out)) {
+    free_ev->addr += offset_;
+  } else if (auto* sample = std::get_if<SampleEvent>(&out)) {
+    sample->addr += offset_;
+  }
+  return true;
+}
+
+MergeTraceReader::MergeTraceReader(
+    std::vector<std::unique_ptr<TraceReader>> inputs)
+    : inputs_(std::move(inputs)) {
+  heap_.reserve(inputs_.size());
+  for (std::size_t i = 0; i < inputs_.size(); ++i) refill(i);
+  std::make_heap(heap_.begin(), heap_.end(), heap_after);
+}
+
+bool MergeTraceReader::refill(std::size_t source) {
+  Head head;
+  head.source = source;
+  if (!inputs_[source]->next(head.event)) return false;  // input exhausted
+  head.time_ns = event_time_ns(head.event);
+  heap_.push_back(std::move(head));
+  return true;
+}
+
+bool MergeTraceReader::next(Event& out) {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), heap_after);
+  Head head = std::move(heap_.back());
+  heap_.pop_back();
+  out = std::move(head.event);
+  if (refill(head.source))
+    std::push_heap(heap_.begin(), heap_.end(), heap_after);
+  return true;
+}
+
+}  // namespace hmem::trace

@@ -1,0 +1,90 @@
+// Multi-rank trace readers.
+//
+// A profiled multi-rank run produces one trace shard per rank. The
+// aggregator wants a single time-ordered stream, so MergeTraceReader
+// performs a k-way merge over any set of TraceReaders by event timestamp
+// (stable: ties go to the lower input index). Combined with the format
+// readers' site remapping into one shared SiteDb, k shards read exactly
+// like one trace — this is what makes Figure 4's per-rank fast-tier
+// budgets meaningful at scale.
+//
+// BufferTraceReader adapts an in-memory TraceBuffer to the pull interface
+// so buffered and streamed paths can share every downstream consumer.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "trace/format.hpp"
+
+namespace hmem::trace {
+
+/// Shard address-space separation. Every simulated rank reuses the same
+/// physical layout (DDR at 4 GiB, MCDRAM at 256 GiB), so two ranks' traces
+/// contain colliding addresses; rebasing shard k by k * kRankAddressStride
+/// keeps the merged stream's live ranges disjoint, which the aggregator's
+/// address->object map requires. The stride clears any per-rank tier
+/// capacity by orders of magnitude.
+inline constexpr Address kRankAddressStride = 1ULL << 42;
+
+/// Decorator that shifts every address-carrying event (alloc/free/sample)
+/// of an input by a fixed offset; phase and counter events pass through.
+class OffsetTraceReader final : public TraceReader {
+ public:
+  OffsetTraceReader(std::unique_ptr<TraceReader> inner, Address offset)
+      : inner_(std::move(inner)), offset_(offset) {}
+
+  bool next(Event& out) override;
+
+ private:
+  std::unique_ptr<TraceReader> inner_;
+  Address offset_;
+};
+
+/// Pull-reads a TraceBuffer. Site ids are *not* remapped: the buffer must
+/// already reference the SiteDb the consumer uses.
+class BufferTraceReader final : public TraceReader {
+ public:
+  explicit BufferTraceReader(const TraceBuffer& buffer) : buffer_(&buffer) {}
+
+  bool next(Event& out) override {
+    if (pos_ >= buffer_->size()) return false;
+    out = buffer_->events()[pos_++];
+    return true;
+  }
+
+ private:
+  const TraceBuffer* buffer_;
+  std::size_t pos_ = 0;
+};
+
+/// K-way timestamp merge over any number of readers. Each input must itself
+/// be in non-decreasing time order (the writers guarantee this); the merged
+/// stream then is too.
+class MergeTraceReader final : public TraceReader {
+ public:
+  explicit MergeTraceReader(std::vector<std::unique_ptr<TraceReader>> inputs);
+
+  bool next(Event& out) override;
+
+ private:
+  struct Head {
+    double time_ns = 0;
+    std::size_t source = 0;
+    Event event;
+  };
+
+  /// Min-heap ordering on (time, source index) via std::push_heap's
+  /// max-heap convention.
+  static bool heap_after(const Head& a, const Head& b) {
+    if (a.time_ns != b.time_ns) return a.time_ns > b.time_ns;
+    return a.source > b.source;
+  }
+
+  bool refill(std::size_t source);
+
+  std::vector<std::unique_ptr<TraceReader>> inputs_;
+  std::vector<Head> heap_;
+};
+
+}  // namespace hmem::trace

@@ -1,170 +1,27 @@
 #include "trace/tracefile.hpp"
 
-#include <cinttypes>
-#include <cstdio>
-#include <istream>
-#include <ostream>
-#include <stdexcept>
-#include <unordered_map>
-
-#include "common/strings.hpp"
+#include "trace/format.hpp"
 
 namespace hmem::trace {
-
-namespace {
-
-double event_time(const Event& e) { return event_time_ns(e); }
-
-std::string fmt_time(double t) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.3f", t);
-  return buf;
-}
-
-[[noreturn]] void malformed(const std::string& line) {
-  throw std::runtime_error("malformed trace line: " + line);
-}
-
-double parse_time(const std::string& s, const std::string& line) {
-  char* end = nullptr;
-  const double t = std::strtod(s.c_str(), &end);
-  if (end == nullptr || *end != '\0') malformed(line);
-  return t;
-}
-
-std::uint64_t parse_u64(const std::string& s, const std::string& line,
-                        int base = 10) {
-  char* end = nullptr;
-  const std::uint64_t v = std::strtoull(s.c_str(), &end, base);
-  if (end == nullptr || *end != '\0') malformed(line);
-  return v;
-}
-
-}  // namespace
 
 double event_time_ns(const Event& event) {
   return std::visit([](const auto& e) { return e.time_ns; }, event);
 }
 
+void TraceBuffer::on_event(const Event& event) { events_.push_back(event); }
+
 std::size_t write_trace(std::ostream& out, const callstack::SiteDb& sites,
                         const TraceBuffer& trace) {
-  for (const auto& site : sites.all()) {
-    out << "S|" << site.id << '|' << site.object_name << '|'
-        << (site.is_dynamic ? 1 : 0) << '|' << site.stack.to_string() << '\n';
-  }
-  std::size_t lines = 0;
-  for (const auto& event : trace.events()) {
-    std::visit(
-        [&](const auto& e) {
-          using T = std::decay_t<decltype(e)>;
-          char buf[128];
-          if constexpr (std::is_same_v<T, AllocEvent>) {
-            std::snprintf(buf, sizeof(buf), "A|%s|%u|%" PRIx64 "|%" PRIu64,
-                          fmt_time(e.time_ns).c_str(), e.site, e.addr,
-                          e.size);
-            out << buf << '\n';
-          } else if constexpr (std::is_same_v<T, FreeEvent>) {
-            std::snprintf(buf, sizeof(buf), "F|%s|%" PRIx64,
-                          fmt_time(e.time_ns).c_str(), e.addr);
-            out << buf << '\n';
-          } else if constexpr (std::is_same_v<T, SampleEvent>) {
-            std::snprintf(buf, sizeof(buf), "M|%s|%" PRIx64 "|%d|%" PRIu64,
-                          fmt_time(e.time_ns).c_str(), e.addr,
-                          e.is_write ? 1 : 0, e.weight);
-            out << buf << '\n';
-          } else if constexpr (std::is_same_v<T, PhaseEvent>) {
-            out << "P|" << fmt_time(e.time_ns) << '|'
-                << (e.begin ? 'B' : 'E') << '|' << e.name << '\n';
-          } else if constexpr (std::is_same_v<T, CounterEvent>) {
-            // Counter names may contain anything but '|'.
-            out << "C|" << fmt_time(e.time_ns) << '|' << e.name << '|'
-                << e.value << '\n';
-          }
-          (void)buf;
-        },
-        event);
-    ++lines;
-  }
-  (void)event_time;  // silence unused in some configurations
-  return lines;
+  const auto writer = make_trace_writer(out, sites, TraceFormat::kText);
+  for (const Event& event : trace.events()) writer->on_event(event);
+  writer->finish();
+  return writer->events_written();
 }
 
 void read_trace(std::istream& in, callstack::SiteDb& sites,
                 TraceBuffer& trace) {
-  std::unordered_map<callstack::SiteId, callstack::SiteId> remap;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    const auto fields = split(line, '|');
-    if (fields.size() < 2) malformed(line);
-    const char kind = fields[0].size() == 1 ? fields[0][0] : '\0';
-    switch (kind) {
-      case 'S': {
-        if (fields.size() != 5) malformed(line);
-        const auto old_id =
-            static_cast<callstack::SiteId>(parse_u64(fields[1], line));
-        callstack::SymbolicCallStack stack;
-        if (!callstack::SymbolicCallStack::from_string(fields[4], stack))
-          malformed(line);
-        const bool dynamic = fields[3] == "1";
-        remap[old_id] = sites.intern(fields[2], stack, dynamic);
-        break;
-      }
-      case 'A': {
-        if (fields.size() != 5) malformed(line);
-        AllocEvent e;
-        e.time_ns = parse_time(fields[1], line);
-        const auto old_id =
-            static_cast<callstack::SiteId>(parse_u64(fields[2], line));
-        const auto it = remap.find(old_id);
-        if (it == remap.end()) malformed(line);
-        e.site = it->second;
-        e.addr = parse_u64(fields[3], line, 16);
-        e.size = parse_u64(fields[4], line);
-        trace.add(e);
-        break;
-      }
-      case 'F': {
-        if (fields.size() != 3) malformed(line);
-        FreeEvent e;
-        e.time_ns = parse_time(fields[1], line);
-        e.addr = parse_u64(fields[2], line, 16);
-        trace.add(e);
-        break;
-      }
-      case 'M': {
-        if (fields.size() != 5) malformed(line);
-        SampleEvent e;
-        e.time_ns = parse_time(fields[1], line);
-        e.addr = parse_u64(fields[2], line, 16);
-        e.is_write = fields[3] == "1";
-        e.weight = parse_u64(fields[4], line);
-        trace.add(e);
-        break;
-      }
-      case 'P': {
-        if (fields.size() != 4) malformed(line);
-        PhaseEvent e;
-        e.time_ns = parse_time(fields[1], line);
-        if (fields[2] != "B" && fields[2] != "E") malformed(line);
-        e.begin = fields[2] == "B";
-        e.name = fields[3];
-        trace.add(e);
-        break;
-      }
-      case 'C': {
-        if (fields.size() != 4) malformed(line);
-        CounterEvent e;
-        e.time_ns = parse_time(fields[1], line);
-        e.name = fields[2];
-        e.value = parse_time(fields[3], line);
-        trace.add(e);
-        break;
-      }
-      default:
-        malformed(line);
-    }
-  }
+  const auto reader = open_trace_reader(in, sites);
+  pump(*reader, trace);
 }
 
 }  // namespace hmem::trace

@@ -1,10 +1,7 @@
-// Trace (de)serialisation.
+// Whole-trace (de)serialisation — buffered adapters over the streaming
+// TraceWriter/TraceReader front (trace/format.hpp).
 //
-// A trace file is self-contained: a header of site definitions (id, object
-// name, dynamic flag, symbolic call-stack) followed by one line per event.
-// The format is line-oriented text — the volumes are small (the paper
-// stresses that sampling keeps traces tiny, up to ~38 K samples per process)
-// and a human-inspectable trace is worth far more than a compact one.
+// The text format remains the human-inspectable default:
 //
 //   S|<id>|<name>|<dyn>|<stack>          site definition
 //   A|<t>|<site>|<addr>|<size>           allocation
@@ -12,6 +9,11 @@
 //   M|<t>|<addr>|<w>|<weight>            sampled LLC miss (w: 0 load 1 store)
 //   P|<t>|<B or E>|<name>                phase begin/end
 //   C|<t>|<name>|<value>                 counter reading
+//
+// Names (and the stack field) are quoted/escaped when they contain '|',
+// quotes, backslashes or whitespace — see escape_field in trace/format.hpp.
+// The compact binary format v2 lives behind the same front; production-scale
+// traces should prefer it (see make_trace_writer / open_trace_reader).
 #pragma once
 
 #include <iosfwd>
@@ -22,14 +24,15 @@
 
 namespace hmem::trace {
 
-/// Writes sites then events. Returns the number of event lines written.
+/// Writes sites then events in text format. Returns the number of events
+/// written.
 std::size_t write_trace(std::ostream& out, const callstack::SiteDb& sites,
                         const TraceBuffer& trace);
 
-/// Parses a trace written by write_trace. Site ids are re-interned into
-/// `sites` and event site references remapped accordingly, so a reader can
-/// merge several traces into one SiteDb. Throws std::runtime_error on
-/// malformed input.
+/// Parses a trace written by any TraceWriter (text or binary; the format is
+/// sniffed). Site ids are re-interned into `sites` and event site references
+/// remapped accordingly, so a reader can merge several traces into one
+/// SiteDb. Throws std::runtime_error on malformed input.
 void read_trace(std::istream& in, callstack::SiteDb& sites,
                 TraceBuffer& trace);
 

@@ -1,0 +1,63 @@
+// EventVisitor — the typed pull/dispatch side of the streaming trace
+// pipeline.
+//
+// Consumers that care about event kinds (the aggregator, the folding
+// analysis) implement EventVisitor and receive one typed callback per
+// event; dispatch_event() does the variant dispatch once, centrally.
+// VisitorSink adapts a visitor into an EventSink so a producer (the
+// profiler) can stream straight into an analysis without any intermediate
+// buffer or file.
+#pragma once
+
+#include "trace/event.hpp"
+
+namespace hmem::trace {
+
+class EventVisitor {
+ public:
+  virtual ~EventVisitor() = default;
+  virtual void on_alloc(const AllocEvent&) {}
+  virtual void on_free(const FreeEvent&) {}
+  virtual void on_sample(const SampleEvent&) {}
+  virtual void on_phase(const PhaseEvent&) {}
+  virtual void on_counter(const CounterEvent&) {}
+};
+
+inline void dispatch_event(const Event& event, EventVisitor& visitor) {
+  std::visit(
+      [&](const auto& e) {
+        using T = std::decay_t<decltype(e)>;
+        if constexpr (std::is_same_v<T, AllocEvent>) {
+          visitor.on_alloc(e);
+        } else if constexpr (std::is_same_v<T, FreeEvent>) {
+          visitor.on_free(e);
+        } else if constexpr (std::is_same_v<T, SampleEvent>) {
+          visitor.on_sample(e);
+        } else if constexpr (std::is_same_v<T, PhaseEvent>) {
+          visitor.on_phase(e);
+        } else if constexpr (std::is_same_v<T, CounterEvent>) {
+          visitor.on_counter(e);
+        }
+      },
+      event);
+}
+
+/// Replays a buffered trace through a visitor (the buffered-path adapter).
+inline void visit_buffer(const TraceBuffer& buffer, EventVisitor& visitor) {
+  for (const Event& event : buffer.events()) dispatch_event(event, visitor);
+}
+
+/// EventSink facade over an EventVisitor: lets the profiler stream directly
+/// into an analysis with no trace materialized anywhere.
+class VisitorSink : public EventSink {
+ public:
+  explicit VisitorSink(EventVisitor& visitor) : visitor_(&visitor) {}
+  void on_event(const Event& event) override {
+    dispatch_event(event, *visitor_);
+  }
+
+ private:
+  EventVisitor* visitor_;
+};
+
+}  // namespace hmem::trace

@@ -1,0 +1,45 @@
+// Wire-level primitives of the binary trace format v2: LEB128 varints and
+// zigzag signed mapping. Header-only so the writer, the reader and the
+// tests share one definition of the encoding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hmem::trace::wire {
+
+/// Appends an unsigned LEB128 varint (7 bits per byte, MSB = continuation).
+inline void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// Reads a varint from [p, end); advances p. Returns false on truncation
+/// or on an encoding longer than 10 bytes (u64 overflow).
+inline bool get_varint(const char*& p, const char* end, std::uint64_t& v) {
+  v = 0;
+  int shift = 0;
+  while (p != end && shift < 64) {
+    const auto byte = static_cast<unsigned char>(*p++);
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return true;
+    shift += 7;
+  }
+  return false;
+}
+
+/// Zigzag: maps small-magnitude signed deltas to small unsigned varints.
+inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace hmem::trace::wire

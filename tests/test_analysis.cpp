@@ -1,8 +1,14 @@
-// Tests for the Paramedir-substitute aggregator and the Folding analysis.
+// Tests for the Paramedir-substitute aggregator and the Folding analysis,
+// including the streaming-visitor paths' equivalence with the buffered ones.
 #include <gtest/gtest.h>
+
+#include <sstream>
 
 #include "analysis/aggregator.hpp"
 #include "analysis/folding.hpp"
+#include "apps/workloads.hpp"
+#include "engine/execution.hpp"
+#include "trace/merge.hpp"
 
 namespace hmem::analysis {
 namespace {
@@ -170,6 +176,102 @@ TEST(Folding, CsvHasHeaderAndRows) {
   EXPECT_NE(csv.find("bin,t_mid_ms,phase"), std::string::npos);
   EXPECT_NE(csv.find("octsweep"), std::string::npos);
   EXPECT_NE(csv.find("outer_src_calc"), std::string::npos);
+}
+
+// ------------------------------------- streaming / buffered equivalence ----
+
+void expect_identical_reports(const AggregateResult& a,
+                              const AggregateResult& b,
+                              const std::string& label) {
+  EXPECT_EQ(a.total_samples, b.total_samples) << label;
+  EXPECT_EQ(a.total_weighted_misses, b.total_weighted_misses) << label;
+  EXPECT_EQ(a.unattributed_samples, b.unattributed_samples) << label;
+  EXPECT_EQ(a.unattributed_misses, b.unattributed_misses) << label;
+  ASSERT_EQ(a.objects.size(), b.objects.size()) << label;
+  for (std::size_t i = 0; i < a.objects.size(); ++i) {
+    EXPECT_EQ(a.objects[i].site, b.objects[i].site) << label;
+    EXPECT_EQ(a.objects[i].name, b.objects[i].name) << label;
+    EXPECT_EQ(a.objects[i].stack, b.objects[i].stack) << label;
+    EXPECT_EQ(a.objects[i].max_size_bytes, b.objects[i].max_size_bytes)
+        << label;
+    EXPECT_EQ(a.objects[i].llc_misses, b.objects[i].llc_misses) << label;
+    EXPECT_EQ(a.objects[i].is_dynamic, b.objects[i].is_dynamic) << label;
+  }
+}
+
+void expect_identical_foldings(const FoldingResult& a, const FoldingResult& b,
+                               const std::string& label) {
+  ASSERT_EQ(a.bins.size(), b.bins.size()) << label;
+  for (std::size_t i = 0; i < a.bins.size(); ++i) {
+    EXPECT_EQ(a.bins[i].dominant_phase, b.bins[i].dominant_phase) << label;
+    EXPECT_EQ(a.bins[i].sample_count, b.bins[i].sample_count) << label;
+    EXPECT_EQ(a.bins[i].min_addr, b.bins[i].min_addr) << label;
+    EXPECT_EQ(a.bins[i].max_addr, b.bins[i].max_addr) << label;
+    // Bit-identical: the streaming path performs the same float ops in the
+    // same order as the buffered one.
+    EXPECT_EQ(a.bins[i].instructions, b.bins[i].instructions) << label;
+    EXPECT_EQ(a.bins[i].mips, b.bins[i].mips) << label;
+  }
+}
+
+/// The nine built-in workloads: the paper's eight applications plus the
+/// Stream Triad kernel.
+std::vector<apps::AppSpec> nine_workloads() {
+  auto workloads = apps::all_apps();
+  workloads.push_back(apps::make_stream_triad(16));
+  return workloads;
+}
+
+TEST(StreamingEquivalence, AggregateAndFoldMatchBufferedOnAllWorkloads) {
+  for (const auto& app : nine_workloads()) {
+    engine::RunOptions opts;
+    opts.profile = true;
+    const auto run = engine::run_app(app, opts);
+    ASSERT_NE(run.trace, nullptr) << app.name;
+    const auto& buf = *run.trace;
+    const auto& sites = *run.sites;
+
+    // Aggregation: buffered adapter vs pull-stream over the same events.
+    const auto buffered = aggregate_trace(buf, sites);
+    trace::BufferTraceReader stream_reader(buf);
+    const auto streamed = aggregate_stream(stream_reader, sites);
+    expect_identical_reports(buffered, streamed, app.name + " (stream)");
+
+    // And through a serialized binary round trip (fresh SiteDb, remapped
+    // ids — names and statistics must still match exactly).
+    std::ostringstream os;
+    const auto writer =
+        trace::make_trace_writer(os, sites, trace::TraceFormat::kBinary);
+    for (const auto& event : buf.events()) writer->on_event(event);
+    writer->finish();
+    callstack::SiteDb sites2;
+    std::istringstream is(os.str());
+    const auto reader = trace::open_trace_reader(is, sites2);
+    const auto serialized = aggregate_stream(*reader, sites2);
+    expect_identical_reports(buffered, serialized, app.name + " (binary)");
+
+    // Folding: buffered adapter vs the streaming visitor.
+    const double t_end = run.time_s * 1e9;
+    const auto folded = fold(buf, 0, t_end, 16);
+    trace::BufferTraceReader fold_reader(buf);
+    const auto folded_stream = fold_stream(fold_reader, 0, t_end, 16);
+    expect_identical_foldings(folded, folded_stream, app.name);
+  }
+}
+
+TEST(StreamingEquivalence, MergedSingleShardMatchesDirectAggregation) {
+  // A 1-way merge must be a no-op wrapper.
+  const auto app = apps::make_snap();
+  engine::RunOptions opts;
+  opts.profile = true;
+  const auto run = engine::run_app(app, opts);
+  const auto direct = aggregate_trace(*run.trace, *run.sites);
+
+  std::vector<std::unique_ptr<trace::TraceReader>> inputs;
+  inputs.push_back(std::make_unique<trace::BufferTraceReader>(*run.trace));
+  trace::MergeTraceReader merged(std::move(inputs));
+  const auto via_merge = aggregate_stream(merged, *run.sites);
+  expect_identical_reports(direct, via_merge, "snap via 1-way merge");
 }
 
 }  // namespace

@@ -148,6 +148,63 @@ TEST(Pipeline, EndToEndImprovesOnDdr) {
   EXPECT_GT(result.production_run.fom, result.profile_run.fom);
 }
 
+TEST(Pipeline, MultiRankShardsMergeIntoOneReport) {
+  PipelineOptions single;
+  single.fast_budget_per_rank = 16ULL << 20;
+  single.sampler.period = 2000;
+  PipelineOptions sharded = single;
+  sharded.profile_ranks = 3;
+  const auto one = run_pipeline(tiny_app(), single);
+  const auto multi = run_pipeline(tiny_app(), sharded);
+
+  // One profiled execution per rank, each serialized as a non-empty shard,
+  // all events flowing through the merged aggregation.
+  ASSERT_EQ(multi.rank_profile_runs.size(), 3u);
+  ASSERT_EQ(multi.shard_bytes.size(), 3u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_GT(multi.shard_bytes[r], 0u);
+    EXPECT_GT(multi.rank_profile_runs[r].samples, 0u);
+    // Streamed runs never buffer the trace.
+    EXPECT_EQ(multi.rank_profile_runs[r].trace, nullptr);
+  }
+  EXPECT_GT(multi.merged_events, 0u);
+
+  // The merged report covers the same objects as the single-rank one, with
+  // roughly 3 ranks' worth of samples, and stage 3/4 still work: the hot
+  // object is selected and the production run beats the profiled one.
+  ASSERT_EQ(multi.report.objects.size(), one.report.objects.size());
+  EXPECT_EQ(multi.report.objects[0].name, "hot");
+  EXPECT_GT(multi.report.total_samples, one.report.total_samples * 2);
+  ASSERT_FALSE(multi.placement.fast().objects.empty());
+  EXPECT_EQ(multi.placement.fast().objects[0].name, "hot");
+  EXPECT_GT(multi.production_run.fom, multi.profile_run.fom);
+}
+
+TEST(Pipeline, MultiRankTextShardsMatchBinaryShards) {
+  // The shard format must not change the aggregation at all.
+  PipelineOptions binary;
+  binary.fast_budget_per_rank = 16ULL << 20;
+  binary.sampler.period = 2000;
+  binary.profile_ranks = 2;
+  PipelineOptions text = binary;
+  text.shard_format = trace::TraceFormat::kText;
+  const auto from_binary = run_pipeline(tiny_app(), binary);
+  const auto from_text = run_pipeline(tiny_app(), text);
+  EXPECT_EQ(from_binary.merged_events, from_text.merged_events);
+  ASSERT_EQ(from_binary.report.objects.size(),
+            from_text.report.objects.size());
+  for (std::size_t i = 0; i < from_binary.report.objects.size(); ++i) {
+    EXPECT_EQ(from_binary.report.objects[i].name,
+              from_text.report.objects[i].name);
+    EXPECT_EQ(from_binary.report.objects[i].llc_misses,
+              from_text.report.objects[i].llc_misses);
+    EXPECT_EQ(from_binary.report.objects[i].max_size_bytes,
+              from_text.report.objects[i].max_size_bytes);
+  }
+  // Binary shards are materially smaller than text ones.
+  EXPECT_LT(from_binary.shard_bytes[0], from_text.shard_bytes[0]);
+}
+
 TEST(Pipeline, ProductionRunUsesDifferentAslrImage) {
   PipelineOptions opts;
   opts.fast_budget_per_rank = 16ULL << 20;

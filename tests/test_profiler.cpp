@@ -140,5 +140,23 @@ TEST(Profiler, TakeTraceMoves) {
   EXPECT_EQ(taken.size(), 1u);
 }
 
+TEST(Profiler, EmitsIntoExternalSink) {
+  // With an external sink, events stream out as they happen and the
+  // internal buffer stays empty — the streaming stage-1 path.
+  trace::TraceBuffer external;
+  Profiler prof(test_config(), &external);
+  prof.on_alloc(0, 0, 0x8000, 8192);
+  prof.on_phase(1.0, "solve", true);
+  prof.on_free(2.0, 0x8000);
+  EXPECT_EQ(prof.trace().size(), 0u);
+  ASSERT_EQ(external.size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<trace::AllocEvent>(external.events()[0]));
+  EXPECT_TRUE(std::holds_alternative<trace::PhaseEvent>(external.events()[1]));
+  EXPECT_TRUE(std::holds_alternative<trace::FreeEvent>(external.events()[2]));
+  // Monitoring accounting is sink-independent.
+  EXPECT_EQ(prof.monitored_allocs(), 1u);
+  EXPECT_GT(prof.overhead_ns(), 0.0);
+}
+
 }  // namespace
 }  // namespace hmem::profiler

@@ -1,0 +1,28 @@
+// Tiny argv helpers shared by the hmem_* tools so their flag handling
+// cannot drift apart.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hmem::tools {
+
+/// Returns the value of the flag at argv[i], advancing i past it. Exits
+/// with the usage status when the value is missing.
+inline const char* cli_value(int argc, char** argv, int& i,
+                             const char* flag) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "%s needs a value\n", flag);
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+/// True for "--something" tokens: an unknown one is a user error, not a
+/// positional argument.
+inline bool cli_is_flag(const char* arg) {
+  return std::strncmp(arg, "--", 2) == 0;
+}
+
+}  // namespace hmem::tools

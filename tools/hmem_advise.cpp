@@ -1,11 +1,17 @@
 // hmem_advise — stages 2+3 as a standalone tool (the Paramedir +
 // hmem_advisor roles).
 //
-// Reads a trace produced by hmem_profile, aggregates per-object statistics,
-// and writes the placement report for a given memory specification and
-// strategy. The per-object CSV (Paramedir's view) goes to stderr or a file.
+// Reads one or more trace shards produced by hmem_profile (text or binary;
+// the format of each shard is sniffed independently), k-way merges them by
+// timestamp into a single ordered stream, aggregates per-object statistics
+// in one streaming pass, and writes the placement report for a given memory
+// specification and strategy. The per-object CSV (Paramedir's view) goes to
+// stderr or a file.
 //
-//   usage: hmem_advise <trace> <fast-budget> [options] > placement.txt
+//   usage: hmem_advise <trace> [trace...] <fast-budget> [options]
+//                      > placement.txt
+//     trace            trace file(s); pass every .rank<k> shard of a
+//                      multi-rank profile to merge them
 //     fast-budget      e.g. 256M, 16G (per process)
 //     --strategy s     misses | density | exact      (default misses)
 //     --threshold t    Misses(t%) threshold          (default 0)
@@ -16,94 +22,116 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <sstream>
+#include <memory>
+#include <vector>
 
 #include "advisor/advisor.hpp"
 #include "advisor/placement_report.hpp"
 #include "analysis/aggregator.hpp"
 #include "common/units.hpp"
-#include "trace/tracefile.hpp"
+#include "cli.hpp"
+#include "trace/merge.hpp"
 
 int main(int argc, char** argv) {
   using namespace hmem;
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: %s <trace> <fast-budget> [--strategy s] "
-                 "[--threshold t] [--virtual b] [--slow b] [--csv file]\n",
-                 argv[0]);
-    return 2;
-  }
-  const auto budget = parse_bytes(argv[2]);
-  if (!budget) {
-    std::fprintf(stderr, "bad budget: %s\n", argv[2]);
-    return 2;
-  }
 
+  std::vector<std::string> positional;
   advisor::Options options;
   std::uint64_t slow = parse_bytes("1.5G").value();
   const char* csv_path = nullptr;
-  for (int i = 3; i < argc; ++i) {
-    const auto need_value = [&](const char* flag) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", flag);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strategy") == 0) {
-      const auto s = advisor::parse_strategy(need_value("--strategy"));
+      const auto s = advisor::parse_strategy(
+          tools::cli_value(argc, argv, i, "--strategy"));
       if (!s) {
         std::fprintf(stderr, "unknown strategy\n");
         return 2;
       }
       options.strategy = *s;
     } else if (std::strcmp(argv[i], "--threshold") == 0) {
-      options.threshold_pct = std::strtod(need_value("--threshold"), nullptr);
+      options.threshold_pct = std::strtod(
+          tools::cli_value(argc, argv, i, "--threshold"), nullptr);
     } else if (std::strcmp(argv[i], "--virtual") == 0) {
-      const auto v = parse_bytes(need_value("--virtual"));
+      const auto v =
+          parse_bytes(tools::cli_value(argc, argv, i, "--virtual"));
       if (!v) {
         std::fprintf(stderr, "bad virtual budget\n");
         return 2;
       }
       options.virtual_budget_bytes = *v;
     } else if (std::strcmp(argv[i], "--slow") == 0) {
-      const auto v = parse_bytes(need_value("--slow"));
+      const auto v = parse_bytes(tools::cli_value(argc, argv, i, "--slow"));
       if (!v) {
         std::fprintf(stderr, "bad slow capacity\n");
         return 2;
       }
       slow = *v;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
-      csv_path = need_value("--csv");
-    } else {
+      csv_path = tools::cli_value(argc, argv, i, "--csv");
+    } else if (tools::cli_is_flag(argv[i])) {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return 2;
+    } else {
+      positional.emplace_back(argv[i]);
     }
   }
-
-  std::ifstream in(argv[1]);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", argv[1]);
-    return 1;
+  if (positional.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <trace> [trace...] <fast-budget> [--strategy s] "
+                 "[--threshold t] [--virtual b] [--slow b] [--csv file]\n",
+                 argv[0]);
+    return 2;
   }
+  const auto budget = parse_bytes(positional.back());
+  if (!budget) {
+    std::fprintf(stderr, "bad budget: %s\n", positional.back().c_str());
+    return 2;
+  }
+  positional.pop_back();  // the rest are trace shards
+
+  // One shared SiteDb: every shard's sites are re-interned into it, so the
+  // merged stream aggregates per allocation site across all ranks. Each
+  // shard is rebased into its own address-space slice (ranks reuse the same
+  // simulated physical layout) so live ranges never collide.
   callstack::SiteDb sites;
-  trace::TraceBuffer buffer;
+  std::vector<std::unique_ptr<std::ifstream>> files;
+  std::vector<std::unique_ptr<trace::TraceReader>> readers;
+  for (std::size_t i = 0; i < positional.size(); ++i) {
+    const std::string& path = positional[i];
+    auto in = std::make_unique<std::ifstream>(path, std::ios::binary);
+    if (!*in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    try {
+      readers.push_back(std::make_unique<trace::OffsetTraceReader>(
+          trace::open_trace_reader(*in, sites),
+          static_cast<trace::Address>(i) * trace::kRankAddressStride));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+      return 1;
+    }
+    files.push_back(std::move(in));
+  }
+
+  analysis::AggregateResult report;
   try {
-    trace::read_trace(in, sites, buffer);
+    trace::MergeTraceReader merged(std::move(readers));
+    report = analysis::aggregate_stream(merged, sites);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "trace parse error: %s\n", e.what());
     return 1;
   }
 
-  const auto report = analysis::aggregate_trace(buffer, sites);
   if (csv_path != nullptr) {
     std::ofstream csv(csv_path);
     csv << analysis::objects_to_csv(report.objects);
   }
   std::fprintf(stderr,
-               "aggregated %zu objects, %llu samples "
+               "aggregated %zu objects from %zu shard%s, %llu samples "
                "(%.1f%% unattributed)\n",
-               report.objects.size(),
+               report.objects.size(), positional.size(),
+               positional.size() == 1 ? "" : "s",
                static_cast<unsigned long long>(report.total_samples),
                report.unattributed_fraction() * 100.0);
 

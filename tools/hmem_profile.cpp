@@ -1,60 +1,143 @@
 // hmem_profile — stage 1 as a standalone tool (the Extrae role).
 //
-// Profiles one of the bundled applications and writes the trace file that
-// hmem_advise consumes.
+// Profiles one of the bundled applications and writes the trace that
+// hmem_advise consumes. The trace is streamed to disk as the run executes
+// (the profiler pushes into the format writer; nothing is buffered), in
+// either the line-oriented text format or the compact binary format v2.
+//
+// With --ranks N the tool simulates an N-rank job: one profiled execution
+// per rank, each with its own ASLR image and sampling phase, writing one
+// shard per rank as <trace-out>.rank<k>. Feed all shards to hmem_advise,
+// which k-way merges them by timestamp.
 //
 //   usage: hmem_profile <app> <trace-out> [period] [min-alloc-bytes]
+//                       [--format text|binary] [--ranks N]
+//                       [--period P] [--min-alloc B]
 //     app              hpcg | lulesh | bt | minife | cgpop | snap |
 //                      maxw-dgtd | gtc-p
-//     trace-out        output trace path
+//     trace-out        output trace path (suffix .rank<k> when --ranks > 1)
+//     --format f       trace encoding (default text)
+//     --ranks N        simulated ranks -> N shards (default: app default)
 //     period           PEBS sampling period (default 37589)
 //     min-alloc-bytes  allocation monitoring threshold (default 4096)
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "apps/workloads.hpp"
 #include "engine/execution.hpp"
-#include "trace/tracefile.hpp"
+#include "engine/pipeline.hpp"
+#include "cli.hpp"
+#include "trace/format.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <app> <trace-out> [period] [min-alloc-bytes]\n"
+               "          [--format text|binary] [--ranks N] [--period P] "
+               "[--min-alloc B]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hmem;
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: %s <app> <trace-out> [period] [min-alloc-bytes]\n",
-                 argv[0]);
-    return 2;
+
+  std::vector<std::string> positional;
+  trace::TraceFormat format = trace::TraceFormat::kText;
+  int ranks = 0;  // 0 = single run with the app's default rank count
+  std::optional<std::uint64_t> period;     // 0 is a valid value for both:
+  std::optional<std::uint64_t> min_alloc;  // "every miss" / "every alloc"
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--format") == 0) {
+      const auto f = trace::parse_trace_format(
+          tools::cli_value(argc, argv, i, "--format"));
+      if (!f) {
+        std::fprintf(stderr, "unknown format (expected text or binary)\n");
+        return 2;
+      }
+      format = *f;
+    } else if (std::strcmp(argv[i], "--ranks") == 0) {
+      ranks = std::atoi(tools::cli_value(argc, argv, i, "--ranks"));
+      if (ranks < 1) {
+        std::fprintf(stderr, "--ranks must be >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--period") == 0) {
+      period = std::strtoull(tools::cli_value(argc, argv, i, "--period"),
+                             nullptr, 10);
+    } else if (std::strcmp(argv[i], "--min-alloc") == 0) {
+      min_alloc = std::strtoull(
+          tools::cli_value(argc, argv, i, "--min-alloc"), nullptr, 10);
+    } else if (tools::cli_is_flag(argv[i])) {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 2;
+    } else {
+      positional.emplace_back(argv[i]);
+    }
   }
-  const auto app = apps::find_app(argv[1]);
+  if (positional.size() < 2 || positional.size() > 4) usage(argv[0]);
+  // Positional period/min-alloc keep the original CLI working; an explicit
+  // flag wins over a positional given on the same command line.
+  if (positional.size() > 2 && !period)
+    period = std::strtoull(positional[2].c_str(), nullptr, 10);
+  if (positional.size() > 3 && !min_alloc)
+    min_alloc = std::strtoull(positional[3].c_str(), nullptr, 10);
+
+  auto app = apps::find_app(positional[0]);
   if (!app) {
     std::string known;
     for (const auto& a : apps::all_apps()) {
       if (!known.empty()) known += ", ";
       known += a.name;
     }
-    std::fprintf(stderr, "unknown app %s (expected one of: %s)\n", argv[1],
-                 known.c_str());
+    std::fprintf(stderr, "unknown app %s (expected one of: %s)\n",
+                 positional[0].c_str(), known.c_str());
     return 2;
   }
+  if (ranks > 0) app->ranks = ranks;
+  const int shard_count = ranks > 0 ? ranks : 1;
 
-  engine::RunOptions opts;
-  opts.profile = true;
-  if (argc > 3) opts.sampler.period = std::strtoull(argv[3], nullptr, 10);
-  if (argc > 4) opts.min_alloc_bytes = std::strtoull(argv[4], nullptr, 10);
+  engine::RunOptions base;
+  base.profile = true;
+  if (period) base.sampler.period = *period;
+  if (min_alloc) base.min_alloc_bytes = *min_alloc;
 
-  const auto run = engine::run_app(*app, opts);
-  std::ofstream out(argv[2]);
-  if (!out) {
-    std::fprintf(stderr, "cannot open %s for writing\n", argv[2]);
-    return 1;
+  for (int r = 0; r < shard_count; ++r) {
+    const std::string path =
+        shard_count == 1 ? positional[1]
+                         : positional[1] + ".rank" + std::to_string(r);
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 1;
+    }
+    callstack::SiteDb sites;
+    const auto writer = trace::make_trace_writer(out, sites, format);
+    engine::RunOptions opts = base;
+    opts.seed += static_cast<std::uint64_t>(r) * engine::kRankSeedStride;
+    opts.sites = &sites;
+    opts.trace_sink = writer.get();
+    const auto run = engine::run_app(*app, opts);
+    writer->finish();
+    if (!out) {
+      std::fprintf(stderr, "write error on %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "profiled %s rank %d/%d: %zu trace events (%s), "
+                 "%llu samples, %.2f%% monitoring overhead -> %s\n",
+                 app->name.c_str(), r, shard_count,
+                 writer->events_written(), trace::trace_format_name(format),
+                 static_cast<unsigned long long>(run.samples),
+                 run.monitoring_overhead * 100.0, path.c_str());
   }
-  const std::size_t lines = trace::write_trace(out, *run.sites, *run.trace);
-  std::fprintf(stderr,
-               "profiled %s: %zu trace events, %llu samples, "
-               "%.2f%% monitoring overhead -> %s\n",
-               app->name.c_str(), lines,
-               static_cast<unsigned long long>(run.samples),
-               run.monitoring_overhead * 100.0, argv[2]);
   return 0;
 }

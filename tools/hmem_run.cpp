@@ -5,7 +5,11 @@
 // condition); otherwise one of the baseline conditions applies.
 //
 //   usage: hmem_run <app> [--condition c] [--placement report.txt]
+//                   [--ranks N]
 //     condition   ddr | numactl | autohbw | cache     (default ddr)
+//     ranks       override the app's simulated rank count (scaling studies:
+//                 per-rank LLC, capacity and bandwidth shares shrink as N
+//                 grows, exactly as in the profiled multi-rank pipeline)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -16,17 +20,18 @@
 #include "apps/workloads.hpp"
 #include "common/units.hpp"
 #include "engine/execution.hpp"
+#include "cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace hmem;
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <app> [--condition ddr|numactl|autohbw|cache] "
-                 "[--placement report.txt]\n",
+                 "[--placement report.txt] [--ranks N]\n",
                  argv[0]);
     return 2;
   }
-  const auto app = apps::find_app(argv[1]);
+  auto app = apps::find_app(argv[1]);
   if (!app) {
     std::string known;
     for (const auto& a : apps::all_apps()) {
@@ -41,8 +46,8 @@ int main(int argc, char** argv) {
   engine::RunOptions opts;
   advisor::Placement placement;
   for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--condition") == 0 && i + 1 < argc) {
-      const std::string c = argv[++i];
+    if (std::strcmp(argv[i], "--condition") == 0) {
+      const std::string c = tools::cli_value(argc, argv, i, "--condition");
       if (c == "ddr") {
         opts.condition = engine::Condition::kDdr;
       } else if (c == "numactl") {
@@ -55,8 +60,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown condition %s\n", c.c_str());
         return 2;
       }
-    } else if (std::strcmp(argv[i], "--placement") == 0 && i + 1 < argc) {
-      std::ifstream in(argv[++i]);
+    } else if (std::strcmp(argv[i], "--placement") == 0) {
+      std::ifstream in(tools::cli_value(argc, argv, i, "--placement"));
       if (!in) {
         std::fprintf(stderr, "cannot open placement report\n");
         return 1;
@@ -71,6 +76,13 @@ int main(int argc, char** argv) {
       }
       opts.condition = engine::Condition::kFramework;
       opts.placement = &placement;
+    } else if (std::strcmp(argv[i], "--ranks") == 0) {
+      const int ranks = std::atoi(tools::cli_value(argc, argv, i, "--ranks"));
+      if (ranks < 1) {
+        std::fprintf(stderr, "--ranks must be >= 1\n");
+        return 2;
+      }
+      app->ranks = ranks;
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return 2;
