@@ -6,14 +6,20 @@
 // rank-correlation-style agreement between the sampled per-object miss
 // shares and the dense-sampling reference, plus whether the advisor's
 // selection at 256 MiB changes.
+//
+// Each period's profile is an independent simulation; --jobs N runs up to N
+// of them concurrently with results identical to the serial sweep.
 #include <cstdio>
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "advisor/advisor.hpp"
 #include "analysis/aggregator.hpp"
 #include "apps/workloads.hpp"
+#include "bench_common.hpp"
+#include "common/parallel.hpp"
 #include "engine/execution.hpp"
 
 using namespace hmem;
@@ -68,16 +74,25 @@ double share_error(const ProfileSummary& a, const ProfileSummary& ref) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = hmem::bench::parse_jobs(argc, argv);
+
   std::printf("Ablation — sampling period vs attribution (HPCG)\n");
-  const auto reference = profile_with_period(256);  // dense reference
+  // Slot 0 is the dense reference; the rest are the sweep. All profiles are
+  // independent runs, so they execute concurrently under --jobs.
+  const std::vector<std::uint64_t> periods = {
+      256, 1000, 4000, 16000, 37589, 150000, 600000};
+  std::vector<ProfileSummary> summaries(periods.size());
+  hmem::parallel_for(jobs, periods.size(), [&](std::size_t i) {
+    summaries[i] = profile_with_period(periods[i]);
+  });
+  const ProfileSummary& reference = summaries[0];
   std::printf("%10s %10s %12s %14s %16s\n", "period", "samples",
               "overhead%", "share error", "same selection");
-  for (const std::uint64_t period :
-       {1000ULL, 4000ULL, 16000ULL, 37589ULL, 150000ULL, 600000ULL}) {
-    const auto summary = profile_with_period(period);
+  for (std::size_t i = 1; i < periods.size(); ++i) {
+    const auto& summary = summaries[i];
     std::printf("%10llu %10llu %12.3f %14.4f %16s\n",
-                static_cast<unsigned long long>(period),
+                static_cast<unsigned long long>(periods[i]),
                 static_cast<unsigned long long>(summary.samples),
                 summary.overhead * 100.0, share_error(summary, reference),
                 summary.selection == reference.selection ? "yes" : "NO");

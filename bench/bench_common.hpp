@@ -1,0 +1,27 @@
+// Argv helpers shared by the bench drivers.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hmem::bench {
+
+/// Parses a sole optional [--jobs N] argument; exits with usage on anything
+/// else. Shared by the fig4 rows and the ablation sweeps so the flag
+/// cannot drift between them.
+inline int parse_jobs(int argc, char** argv) {
+  int jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+      if (jobs < 1) jobs = 1;
+    } else {
+      std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return jobs;
+}
+
+}  // namespace hmem::bench

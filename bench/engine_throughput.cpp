@@ -1,0 +1,212 @@
+// Engine throughput: simulated accesses/second (serial hot loop) and
+// multi-rank scaling of the parallel execution engine.
+//
+// Two measurements, both on the bundled HPCG signature:
+//  * serial: one run_app per rep, best-of; reports simulated accesses per
+//    wall-clock second — the figure the inner-loop work (alias sampling,
+//    hoisted weight tables, shift-based LLC indexing) moves. Pass the
+//    accesses/sec of an older build via --baseline-aps to get the speedup
+//    recorded alongside.
+//  * scaling: N independent per-rank runs (the shape of the sharded
+//    profiling stage) executed through the work-queue pool at increasing
+//    --jobs, reporting speedup and parallel efficiency vs. jobs=1. The
+//    parallel results are checked bit-identical to the serial ones before
+//    any number is reported.
+//
+// Results go to stdout and, as JSON, to --out (default BENCH_engine.json)
+// so CI can track the trajectory; --smoke shrinks the workload for CI.
+//
+//   usage: bench_engine_throughput [--smoke] [--reps R] [--ranks N]
+//            [--jobs J] [--scale K] [--baseline-aps X] [--out file]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/workloads.hpp"
+#include "common/parallel.hpp"
+#include "engine/execution.hpp"
+#include "engine/pipeline.hpp"
+
+namespace {
+
+using namespace hmem;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Simulated accesses one run executes (matching the engine's per-phase
+/// llround of the access share).
+std::uint64_t accesses_per_run(const apps::AppSpec& app) {
+  std::uint64_t per_iteration = 0;
+  for (const auto& phase : app.phases) {
+    per_iteration += static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(app.accesses_per_iteration) *
+        phase.access_share));
+  }
+  return per_iteration * app.iterations;
+}
+
+engine::RunResult rank_run(const apps::AppSpec& app, int rank) {
+  engine::RunOptions opts;
+  opts.condition = engine::Condition::kDdr;
+  opts.seed = 42 + static_cast<std::uint64_t>(rank) * engine::kRankSeedStride;
+  return engine::run_app(app, opts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 5;
+  int ranks = 8;
+  int max_jobs = 4;
+  int scale = 4;  // iteration multiplier for a stable serial measurement
+  double baseline_aps = 0;
+  const char* out_path = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      reps = 2;
+      ranks = 4;
+      max_jobs = 2;
+      scale = 1;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--ranks") == 0 && i + 1 < argc) {
+      ranks = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      max_jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--baseline-aps") == 0 && i + 1 < argc) {
+      baseline_aps = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--reps R] [--ranks N] [--jobs J] "
+                   "[--scale K] [--baseline-aps X] [--out f]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (reps < 1 || ranks < 1 || max_jobs < 1 || scale < 1) {
+    std::fprintf(stderr, "--reps/--ranks/--jobs/--scale must be >= 1\n");
+    return 2;
+  }
+
+  apps::AppSpec app = apps::make_hpcg();
+  app.iterations *= static_cast<std::uint64_t>(std::max(1, scale));
+  const std::uint64_t accesses = accesses_per_run(app);
+
+  // ---- Serial accesses/second -------------------------------------------
+  double best_serial = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto run = rank_run(app, 0);
+    best_serial = std::min(best_serial, seconds_since(t0));
+    if (run.fom <= 0) {
+      std::fprintf(stderr, "serial run produced no result\n");
+      return 1;
+    }
+  }
+  const double serial_aps = static_cast<double>(accesses) / best_serial;
+  std::printf("engine_throughput: %s, %llu simulated accesses/run, "
+              "best of %d reps\n",
+              app.name.c_str(),
+              static_cast<unsigned long long>(accesses), reps);
+  std::printf("  serial: %.0f accesses/sec (%.3f s/run)\n", serial_aps,
+              best_serial);
+  if (baseline_aps > 0) {
+    std::printf("  vs baseline %.0f: %.2fx\n", baseline_aps,
+                serial_aps / baseline_aps);
+  }
+
+  // ---- Multi-rank scaling -----------------------------------------------
+  // The reference: every rank's result at jobs=1. Parallel runs must
+  // reproduce these bit-for-bit before their timing is worth anything.
+  std::vector<engine::RunResult> reference(
+      static_cast<std::size_t>(ranks));
+  std::vector<double> job_seconds;
+  std::vector<int> job_counts;
+  for (int jobs = 1; jobs <= max_jobs; jobs *= 2) {
+    std::vector<engine::RunResult> results(static_cast<std::size_t>(ranks));
+    double best = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      parallel_for(jobs, static_cast<std::size_t>(ranks),
+                   [&](std::size_t r) {
+                     results[r] = rank_run(app, static_cast<int>(r));
+                   });
+      best = std::min(best, seconds_since(t0));
+    }
+    if (jobs == 1) {
+      reference = results;
+    } else {
+      for (int r = 0; r < ranks; ++r) {
+        const auto& a = reference[static_cast<std::size_t>(r)];
+        const auto& b = results[static_cast<std::size_t>(r)];
+        if (a.fom != b.fom || a.llc_misses != b.llc_misses ||
+            a.ddr_bytes != b.ddr_bytes) {
+          std::fprintf(stderr,
+                       "determinism violation at jobs=%d rank %d\n", jobs,
+                       r);
+          return 1;
+        }
+      }
+    }
+    job_counts.push_back(jobs);
+    job_seconds.push_back(best);
+    // Efficiency against what the hardware can actually deliver: a 2-core
+    // runner cannot speed 4 jobs up 4x, and pretending it should would
+    // report pool overhead as scaling loss.
+    const int ideal = std::min(jobs, hardware_jobs());
+    const double speedup = job_seconds.front() / best;
+    std::printf("  jobs=%d: %.3f s for %d ranks (speedup %.2fx, "
+                "efficiency %.2f of %d usable core%s)\n",
+                jobs, best, ranks, speedup,
+                speedup / static_cast<double>(ideal), ideal,
+                ideal == 1 ? "" : "s");
+  }
+  const double final_speedup = job_seconds.front() / job_seconds.back();
+  const double final_efficiency =
+      final_speedup /
+      static_cast<double>(std::min(job_counts.back(), hardware_jobs()));
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  char buffer[1024];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\n"
+                "  \"bench\": \"engine_throughput\",\n"
+                "  \"app\": \"%s\",\n"
+                "  \"accesses_per_run\": %llu,\n"
+                "  \"reps\": %d,\n"
+                "  \"serial_accesses_per_sec\": %.0f,\n"
+                "  \"baseline_accesses_per_sec\": %.0f,\n"
+                "  \"serial_speedup_vs_baseline\": %.3f,\n"
+                "  \"ranks\": %d,\n"
+                "  \"jobs\": %d,\n"
+                "  \"cores\": %d,\n"
+                "  \"rank_speedup\": %.3f,\n"
+                "  \"parallel_efficiency\": %.3f,\n"
+                "  \"parallel_bit_identical\": true\n"
+                "}\n",
+                app.name.c_str(),
+                static_cast<unsigned long long>(accesses), reps, serial_aps,
+                baseline_aps,
+                baseline_aps > 0 ? serial_aps / baseline_aps : 0.0,
+                ranks, job_counts.back(), hardware_jobs(), final_speedup,
+                final_efficiency);
+  json << buffer;
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -1,20 +1,23 @@
 // Shared driver for the eight Figure 4 benches: runs the full evaluation row
 // for one application (four baselines + four strategies x budget sweep) and
 // prints the three panels (FOM / MCDRAM HWM / dFOM-per-MByte) plus a CSV
-// block for plotting.
+// block for plotting. Every bench accepts --jobs N to sweep the row's
+// independent cells concurrently (results are bit-identical to --jobs 1).
 #pragma once
 
 #include <cstdio>
 #include <string>
 
 #include "apps/workloads.hpp"
+#include "bench_common.hpp"
 #include "engine/experiment.hpp"
 
 namespace hmem::bench {
 
-inline int run_fig4(const std::string& app_name) {
+inline int run_fig4(const std::string& app_name, int jobs) {
   const apps::AppSpec app = apps::app_by_name(app_name);
   engine::PipelineOptions base;
+  base.jobs = jobs;
   engine::Fig4Runner runner(app, base);
   const auto budgets = app.ranks == 1 ? engine::paper_budgets_openmp()
                                       : engine::paper_budgets_mpi();
@@ -28,6 +31,11 @@ inline int run_fig4(const std::string& app_name) {
               engine::format_fig4_row(row, budgets, strategies).c_str());
   std::printf("--- CSV ---\n%s\n", engine::fig4_row_to_csv(row).c_str());
   return 0;
+}
+
+/// argv handling shared by the eight per-app mains: [--jobs N].
+inline int fig4_main(const std::string& app_name, int argc, char** argv) {
+  return run_fig4(app_name, parse_jobs(argc, argv));
 }
 
 }  // namespace hmem::bench

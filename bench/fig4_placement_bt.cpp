@@ -3,4 +3,6 @@
 // execution conditions.
 #include "fig4_common.hpp"
 
-int main() { return hmem::bench::run_fig4("bt"); }
+int main(int argc, char** argv) {
+  return hmem::bench::fig4_main("bt", argc, argv);
+}

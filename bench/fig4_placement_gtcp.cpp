@@ -3,4 +3,6 @@
 // execution conditions.
 #include "fig4_common.hpp"
 
-int main() { return hmem::bench::run_fig4("gtc-p"); }
+int main(int argc, char** argv) {
+  return hmem::bench::fig4_main("gtc-p", argc, argv);
+}

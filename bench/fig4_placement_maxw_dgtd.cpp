@@ -3,4 +3,6 @@
 // baseline execution conditions.
 #include "fig4_common.hpp"
 
-int main() { return hmem::bench::run_fig4("maxw-dgtd"); }
+int main(int argc, char** argv) {
+  return hmem::bench::fig4_main("maxw-dgtd", argc, argv);
+}

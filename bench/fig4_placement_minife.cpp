@@ -3,4 +3,6 @@
 // execution conditions.
 #include "fig4_common.hpp"
 
-int main() { return hmem::bench::run_fig4("minife"); }
+int main(int argc, char** argv) {
+  return hmem::bench::fig4_main("minife", argc, argv);
+}

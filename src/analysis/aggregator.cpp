@@ -1,10 +1,14 @@
 #include "analysis/aggregator.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <optional>
 #include <sstream>
 
 #include "common/assert.hpp"
 #include "common/csv.hpp"
+#include "common/logging.hpp"
 
 namespace hmem::analysis {
 
@@ -121,18 +125,70 @@ std::string objects_to_csv(const std::vector<advisor::ObjectInfo>& objects) {
   return os.str();
 }
 
+namespace {
+
+/// Strict non-negative integer parse: the whole field, no sign, no
+/// whitespace, no overflow. std::stoull would accept "12junk" and throw on
+/// "junk" — neither is acceptable for a file a user may have truncated or
+/// hand-edited.
+std::optional<std::uint64_t> parse_u64_field(const std::string& field) {
+  // Digits only: strtoull alone would skip leading whitespace and accept a
+  // sign (" -4096" wraps to ~2^64) or trailing junk ("12tail").
+  if (field.empty()) return std::nullopt;
+  for (const char c : field) {
+    if (c < '0' || c > '9') return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(field.c_str(), &end, 10);
+  if (errno == ERANGE || end != field.c_str() + field.size()) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
 std::vector<advisor::ObjectInfo> objects_from_csv(const std::string& text) {
+  // Defensive by design: this is the one ingest path fed by files from
+  // outside the process (hmem_advise --csv output, possibly truncated or
+  // edited). Malformed rows are skipped with a warning, never thrown on.
+  static const std::vector<std::string> kHeader = {
+      "name", "site", "dynamic", "max_size_bytes", "llc_misses",
+      "misses_per_kib"};
   std::vector<advisor::ObjectInfo> objects;
   const auto rows = CsvReader::parse(text);
-  for (std::size_t r = 1; r < rows.size(); ++r) {  // skip header
+  if (rows.empty()) return objects;
+  std::size_t start = 0;
+  if (rows[0] == kHeader) {
+    start = 1;
+  } else {
+    // No (or an unexpected) header: warn and try every row as data — a
+    // variant header row then simply fails the numeric checks below.
+    log_warn("objects CSV: missing or unexpected header row (expected ",
+             kHeader.size(), " columns name,site,...)");
+  }
+  for (std::size_t r = start; r < rows.size(); ++r) {
     const auto& row = rows[r];
-    if (row.size() < 5) continue;
+    if (row.size() < 5) {
+      log_warn("objects CSV: skipping row ", r + 1, " (", row.size(),
+               " columns, need at least 5)");
+      continue;
+    }
+    const auto site = parse_u64_field(row[1]);
+    const auto size = parse_u64_field(row[3]);
+    const auto misses = parse_u64_field(row[4]);
+    if (!site || *site > callstack::kInvalidSite || !size || !misses) {
+      log_warn("objects CSV: skipping malformed row ", r + 1, " (\"",
+               row[0], "\")");
+      continue;
+    }
     advisor::ObjectInfo obj;
     obj.name = row[0];
-    obj.site = static_cast<callstack::SiteId>(std::stoul(row[1]));
+    obj.site = static_cast<callstack::SiteId>(*site);
     obj.is_dynamic = row[2] == "1";
-    obj.max_size_bytes = std::stoull(row[3]);
-    obj.llc_misses = std::stoull(row[4]);
+    obj.max_size_bytes = *size;
+    obj.llc_misses = *misses;
     objects.push_back(std::move(obj));
   }
   return objects;

@@ -14,7 +14,10 @@ AccessGenerator::AccessGenerator(AccessPattern pattern,
   HMEM_ASSERT(lines_ > 0);
   // Strided: a prime-ish stride larger than one page, co-prime with most
   // object sizes so the walk covers the object without short cycles.
-  stride_lines_ = pattern_ == AccessPattern::kStrided ? 67 : 1;
+  // Reduce the stride mod the object length up front: (p + 67) % L and
+  // (p + 67 % L) % L walk the same sequence, and a pre-reduced stride lets
+  // next_offset() wrap with a compare-and-subtract instead of a division.
+  stride_lines_ = pattern_ == AccessPattern::kStrided ? 67 % lines_ : 1;
   if (pattern_ != AccessPattern::kRandom) {
     // Start at a deterministic but seed-dependent phase so different runs
     // (and different objects) are decorrelated.
@@ -27,11 +30,12 @@ std::uint64_t AccessGenerator::next_offset() {
   switch (pattern_) {
     case AccessPattern::kStream:
       line = position_;
-      position_ = (position_ + 1) % lines_;
+      if (++position_ == lines_) position_ = 0;
       break;
     case AccessPattern::kStrided:
       line = position_;
-      position_ = (position_ + stride_lines_) % lines_;
+      position_ += stride_lines_;  // pre-reduced: one wrap at most
+      if (position_ >= lines_) position_ -= lines_;
       break;
     case AccessPattern::kRandom:
       line = rng_.below(lines_);

@@ -1,0 +1,57 @@
+#include "common/alias.hpp"
+
+#include <cmath>
+
+namespace hmem {
+
+AliasTable::AliasTable(const std::vector<double>& weights, int coin_bits) {
+  HMEM_ASSERT(!weights.empty());
+  HMEM_ASSERT(coin_bits > 0 && coin_bits <= 32);
+  double total = 0;
+  for (const double w : weights) {
+    HMEM_ASSERT_MSG(w >= 0 && std::isfinite(w),
+                    "alias weights must be finite and non-negative");
+    total += w;
+  }
+  HMEM_ASSERT_MSG(total > 0, "alias weights must not all be zero");
+
+  const std::size_t n = weights.size();
+  n_ = n;
+  coin_bits_ = coin_bits;
+  coin_mask_ = (1ULL << coin_bits) - 1;
+  const double scale = static_cast<double>(1ULL << coin_bits);
+  slots_.resize(n);
+
+  // Vose's construction: scaled probabilities p[i] = w[i] * n / total split
+  // into "small" (< 1) and "large" (>= 1) work lists; each small column is
+  // topped up by one large donor, whose residue re-enters a list.
+  std::vector<double> p(n);
+  std::vector<std::uint32_t> small, large;
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = weights[i] * static_cast<double>(n) / total;
+    (p[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    const auto threshold =
+        static_cast<std::uint64_t>(std::llround(p[s] * scale));
+    slots_[s].threshold = std::min<std::uint64_t>(threshold, 1ULL << coin_bits);
+    slots_[s].alias = l;
+    p[l] = (p[l] + p[s]) - 1.0;
+    (p[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are (up to round-off) exactly 1: always accept the column.
+  // The threshold 2^coin_bits is strictly above every possible coin, so the
+  // default alias of 0 is unreachable.
+  for (const auto& rest : {large, small}) {
+    for (const std::uint32_t i : rest) {
+      slots_[i].threshold = 1ULL << coin_bits;
+      slots_[i].alias = static_cast<std::uint32_t>(i);
+    }
+  }
+}
+
+}  // namespace hmem

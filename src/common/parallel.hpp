@@ -1,0 +1,66 @@
+// Work-queue thread pool for running independent simulations concurrently.
+//
+// The engine's unit of parallelism is one whole simulation (a profiled rank,
+// a Figure-4 cell, a baseline condition): coarse tasks, each owning its
+// Machine/allocators/profiler/RNG state, with results written to
+// caller-preallocated slots. Scheduling therefore never influences results —
+// parallel runs are bit-identical to serial ones — and the pool can stay
+// deliberately simple: one locked deque, a condition variable, no work
+// stealing.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hmem {
+
+/// Fixed-size pool of workers draining a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+  /// Waits for every submitted task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Tasks must not throw (wrap with parallel_for for
+  /// exception transport).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is in flight.
+  void wait();
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// std::thread::hardware_concurrency with a floor of 1 (the standard allows
+/// it to return 0 when unknown).
+int hardware_jobs();
+
+/// Runs fn(0) .. fn(n-1), at most `jobs` at a time. jobs <= 1 (or n <= 1)
+/// runs inline on the caller's thread with no pool at all, so the serial
+/// path is exactly the plain loop. Results must be written to per-index
+/// slots; the first exception thrown by any task is rethrown here after all
+/// tasks have finished.
+void parallel_for(int jobs, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace hmem

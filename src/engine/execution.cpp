@@ -9,6 +9,7 @@
 #include "apps/generator.hpp"
 #include "callstack/modulemap.hpp"
 #include "callstack/unwind.hpp"
+#include "common/alias.hpp"
 #include "common/assert.hpp"
 #include "common/prng.hpp"
 #include "profiler/profiler.hpp"
@@ -39,6 +40,58 @@ struct MissRecord {
   Address addr;
   bool is_write;
 };
+
+// ---- Per-access randomness ------------------------------------------------
+// Every access consumes exactly ONE 64-bit generator draw, split into three
+// documented fields (the alias method leaves the high bits free; see
+// common/alias.hpp):
+//   bits [0,32)  target column   (multiply-shift over the phase's slots)
+//   bits [32,53) alias coin      (21-bit fixed point vs the slot threshold)
+//   bits [53,64) write/read coin (11-bit fixed point vs write_fraction)
+// Address-level draws (instance pick, stack line) still draw separately when
+// needed, and per-object offset generators keep their own streams. The
+// quantization this packing introduces — 2^-21 on the target distribution,
+// 2^-11 on the write fraction — is orders of magnitude below the sampling
+// noise of the simulated stream, and the stream stays deterministic: the
+// draw sequence is a pure function of the seed.
+constexpr int kAliasCoinBits = 21;
+constexpr int kWriteCoinBits = 11;
+constexpr int kWriteCoinShift = 64 - kWriteCoinBits;
+
+/// Access-target sampling table for one phase, cached across iterations.
+/// Valid for a given live-set epoch: it only depends on which objects are
+/// live (weights are static per phase), so it is rebuilt exactly when an
+/// object transitions between live and dead — not once per iteration.
+struct PhaseTable {
+  std::vector<std::size_t> target;  ///< slot -> object index; SIZE_MAX = stack
+  AliasTable alias;                 ///< O(1) sampler over the slots
+  std::uint64_t write_threshold = 0;  ///< write_fraction in 2^11 units
+  std::uint64_t epoch = ~0ULL;        ///< live-set epoch at build time
+};
+
+void rebuild_phase_table(PhaseTable& table, const apps::PhaseSpec& phase,
+                         const std::vector<ObjectState>& state,
+                         std::uint64_t live_epoch) {
+  table.target.clear();
+  std::vector<double> weights;
+  for (std::size_t i = 0; i < phase.object_weights.size(); ++i) {
+    const double w = phase.object_weights[i];
+    if (w <= 0 || state[i].instances.empty()) continue;
+    weights.push_back(w);
+    table.target.push_back(i);
+  }
+  if (phase.stack_weight > 0) {
+    weights.push_back(phase.stack_weight);
+    table.target.push_back(SIZE_MAX);
+  }
+  HMEM_ASSERT_MSG(!weights.empty(), "phase with no live access targets");
+  table.alias = AliasTable(weights, kAliasCoinBits);
+  table.write_threshold = std::min<std::uint64_t>(
+      1ULL << kWriteCoinBits,
+      static_cast<std::uint64_t>(std::llround(
+          phase.write_fraction * static_cast<double>(1ULL << kWriteCoinBits))));
+  table.epoch = live_epoch;
+}
 
 /// Analytic MCDRAM-as-cache model. Residency is built up by miss traffic
 /// (the steady state of an LRU-like replacement at memory-side granularity);
@@ -227,8 +280,14 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
   double interpose_ns = 0;
   std::uint64_t alloc_calls = 0;
 
+  // Live-set epoch: bumped whenever any object transitions between live and
+  // dead. The per-phase sampling tables are valid for one epoch — steady
+  // iterations (no churn, no transients) never rebuild them.
+  std::uint64_t live_epoch = 0;
+
   auto do_alloc = [&](std::size_t i) {
     const ObjectSpec& obj = app.objects[i];
+    if (state[i].instances.empty()) ++live_epoch;
     for (int inst = 0; inst < obj.instances; ++inst) {
       runtime::AllocOutcome out =
           obj.is_static ? policy->allocate_static(obj.size_bytes)
@@ -242,6 +301,7 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
     }
   };
   auto do_free = [&](std::size_t i) {
+    if (!state[i].instances.empty()) ++live_epoch;
     for (Address addr : state[i].instances) {
       if (prof) prof->on_free(now_ns, addr);
       const double cost = policy->deallocate(addr);
@@ -303,6 +363,18 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
   std::uint64_t total_misses_sim = 0;
   double cumulative_instructions = 0;
   std::vector<MissRecord> miss_records;
+  if (prof) {
+    // Worst case: every access of the longest phase misses.
+    std::uint64_t max_accesses = 0;
+    for (const auto& phase : app.phases) {
+      max_accesses = std::max(
+          max_accesses, static_cast<std::uint64_t>(std::llround(
+                            static_cast<double>(app.accesses_per_iteration) *
+                            phase.access_share)));
+    }
+    miss_records.reserve(max_accesses);
+  }
+  std::vector<PhaseTable> tables(app.phases.size());
   const std::uint64_t miss_count_per_sim =
       std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::llround(scale)));
 
@@ -322,23 +394,12 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
       }
       if (prof) prof->on_phase(now_ns, phase.name, /*begin=*/true);
 
-      // Cumulative weight table: objects then (optionally) the stack.
-      std::vector<double> cumulative;
-      std::vector<std::size_t> target;  // object index; SIZE_MAX = stack
-      double acc = 0;
-      for (std::size_t i = 0; i < n_objects; ++i) {
-        const double w = phase.object_weights[i];
-        if (w <= 0 || state[i].instances.empty()) continue;
-        acc += w;
-        cumulative.push_back(acc);
-        target.push_back(i);
+      // O(1) target sampling table, reused across iterations until an
+      // alloc/free changes the live set.
+      PhaseTable& table = tables[p];
+      if (table.epoch != live_epoch) {
+        rebuild_phase_table(table, phase, state, live_epoch);
       }
-      if (phase.stack_weight > 0) {
-        acc += phase.stack_weight;
-        cumulative.push_back(acc);
-        target.push_back(SIZE_MAX);
-      }
-      HMEM_ASSERT(acc > 0);
 
       const auto n_accesses = static_cast<std::uint64_t>(std::llround(
           static_cast<double>(app.accesses_per_iteration) *
@@ -349,11 +410,12 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
       miss_records.clear();
 
       for (std::uint64_t k = 0; k < n_accesses; ++k) {
-        const double pick = rng.uniform() * acc;
-        const std::size_t slot =
-            std::lower_bound(cumulative.begin(), cumulative.end(), pick) -
-            cumulative.begin();
-        const std::size_t idx = target[std::min(slot, target.size() - 1)];
+        // One structured draw per access: target column + alias coin +
+        // write coin (field layout documented at kAliasCoinBits above).
+        const std::uint64_t draw = rng.next();
+        const std::size_t idx = table.target[table.alias.sample(draw)];
+        const bool is_write =
+            (draw >> kWriteCoinShift) < table.write_threshold;
 
         Address addr = 0;
         if (idx == SIZE_MAX) {
@@ -371,7 +433,6 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
           if (offset >= app.objects[idx].size_bytes) offset = 0;
           addr = base + offset;
         }
-        const bool is_write = rng.uniform() < phase.write_fraction;
         const memsim::AccessResult res = machine.access(addr, is_write);
         double latency_ns = res.latency_ns;
         std::uint64_t ddr_b = res.ddr_bytes;

@@ -5,6 +5,7 @@
 
 #include "advisor/advisor.hpp"
 #include "common/assert.hpp"
+#include "common/parallel.hpp"
 #include "trace/merge.hpp"
 
 namespace hmem::engine {
@@ -46,26 +47,36 @@ PipelineResult run_pipeline(const apps::AppSpec& app_in,
   } else {
     // Stage 1, sharded: one profiled execution per simulated rank, each
     // streaming its trace into a serialized shard as it runs (the run
-    // itself never buffers events).
+    // itself never buffers events). The ranks are fully independent — each
+    // owns its machine, allocators, profiler, RNG streams and (crucially) a
+    // private SiteDb its shard serializes against, with site identity
+    // re-merged symbolically in stage 2 — so they execute concurrently
+    // under options.jobs workers. Every rank derives its seed from its rank
+    // index and writes to its own slot: scheduling order cannot influence
+    // any result, and parallel runs are bit-identical to serial ones.
     const int ranks = options.profile_ranks;
-    std::vector<std::string> shards(static_cast<std::size_t>(ranks));
-    for (int r = 0; r < ranks; ++r) {
-      callstack::SiteDb rank_sites;
-      std::ostringstream shard;
-      const auto writer =
-          trace::make_trace_writer(shard, rank_sites, options.shard_format);
-      RunOptions po = profile_options(options);
-      po.seed = options.profile_seed +
-                static_cast<std::uint64_t>(r) * kRankSeedStride;
-      po.sites = &rank_sites;
-      po.trace_sink = writer.get();
-      RunResult run = run_app(app, po);
-      writer->finish();
-      run.sites.reset();  // rank_sites dies with this scope
-      shards[static_cast<std::size_t>(r)] = std::move(shard).str();
-      result.shard_bytes.push_back(
-          shards[static_cast<std::size_t>(r)].size());
-      result.rank_profile_runs.push_back(std::move(run));
+    std::vector<std::string>& shards = result.shards;
+    shards.resize(static_cast<std::size_t>(ranks));
+    result.rank_profile_runs.resize(static_cast<std::size_t>(ranks));
+    parallel_for(options.jobs, static_cast<std::size_t>(ranks),
+                 [&](std::size_t r) {
+                   callstack::SiteDb rank_sites;
+                   std::ostringstream shard;
+                   const auto writer = trace::make_trace_writer(
+                       shard, rank_sites, options.shard_format);
+                   RunOptions po = profile_options(options);
+                   po.seed = options.profile_seed +
+                             static_cast<std::uint64_t>(r) * kRankSeedStride;
+                   po.sites = &rank_sites;
+                   po.trace_sink = writer.get();
+                   RunResult run = run_app(app, po);
+                   writer->finish();
+                   run.sites.reset();  // rank_sites dies with this scope
+                   shards[r] = std::move(shard).str();
+                   result.rank_profile_runs[r] = std::move(run);
+                 });
+    for (const std::string& shard : shards) {
+      result.shard_bytes.push_back(shard.size());
     }
     result.profile_run = result.rank_profile_runs.front();
 

@@ -50,6 +50,12 @@ struct PipelineOptions {
   /// single-process flow); k > 1 profiles k simulated ranks, serializes one
   /// trace shard per rank and aggregates their k-way merge.
   int profile_ranks = 1;
+  /// Worker threads for independent simulations (the per-rank profiled
+  /// executions here; baseline/cell sweeps in Fig4Runner). Each rank owns
+  /// its machine, allocators, RNG streams, SiteDb and shard buffer, and
+  /// results land in per-rank slots — so any jobs value, 1 or N, produces
+  /// bit-identical output.
+  int jobs = 1;
   /// Serialization format of the per-rank shards.
   trace::TraceFormat shard_format = trace::TraceFormat::kBinary;
 };
@@ -63,6 +69,10 @@ struct PipelineResult {
 
   /// Multi-rank stage-1 artefacts (profile_ranks > 1 only).
   std::vector<RunResult> rank_profile_runs;  ///< one per rank
+  /// The serialized per-rank shards themselves. They are alive for the
+  /// stage-2 merge anyway; keeping them lets callers (and the determinism
+  /// suite) compare parallel and serial profiling byte for byte.
+  std::vector<std::string> shards;
   std::vector<std::size_t> shard_bytes;      ///< serialized shard sizes
   std::size_t merged_events = 0;  ///< events seen by the merged aggregation
 };

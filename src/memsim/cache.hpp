@@ -34,6 +34,10 @@ struct CacheStats {
 
 class Cache {
  public:
+  /// Tag value marking an invalid way. Real tags are line addresses
+  /// (addr >> log2(line_bytes)), so no simulated address reaches it.
+  static constexpr Address kInvalidTag = ~Address{0};
+
   explicit Cache(const CacheConfig& config);
 
   /// Simulates one access; returns true on hit. Misses install the line,
@@ -51,18 +55,25 @@ class Cache {
 
   std::uint64_t num_sets() const { return sets_; }
 
+  /// Line-address tag of addr: the line index, addr >> log2(line_bytes).
+  Address tag_of(Address addr) const { return addr >> line_shift_; }
+  /// Set index of addr (line_bytes and sets_ are powers of two, so this is
+  /// a shift and a mask — no division on the per-access path).
+  std::uint64_t set_of(Address addr) const {
+    return tag_of(addr) & set_mask_;
+  }
+
  private:
-  struct Way {
-    Address tag = 0;
-    std::uint64_t lru = 0;  ///< last-touch stamp; 0 = invalid
-  };
-
-  std::uint64_t set_of(Address addr) const;
-
   CacheConfig config_;
   std::uint64_t sets_;
+  std::uint32_t line_shift_;  ///< log2(line_bytes)
+  std::uint64_t set_mask_;    ///< sets_ - 1
   std::uint64_t tick_ = 0;
-  std::vector<Way> ways_;  ///< sets_ * config_.ways, row-major by set
+  /// Way state as structure-of-arrays: the 16-way scan walks one compact
+  /// tag array (and only touches the stamps on the matching/eviction way),
+  /// instead of striding over interleaved {tag, lru} pairs.
+  std::vector<Address> tags_;       ///< sets_ * ways, row-major by set
+  std::vector<std::uint64_t> lru_;  ///< last-touch stamp; 0 = invalid
   CacheStats stats_;
 };
 

@@ -125,6 +125,49 @@ TEST(ObjectsCsv, RoundTrip) {
   EXPECT_FALSE(parsed[1].is_dynamic);
 }
 
+TEST(ObjectsCsv, MalformedRowsAreSkippedNotThrown) {
+  // A corrupt/truncated file must never escape as an exception: bad rows
+  // are dropped with a warning, intact rows still parse.
+  const std::string csv =
+      "name,site,dynamic,max_size_bytes,llc_misses,misses_per_kib\n"
+      "good,3,1,4096,1000,244.141\n"
+      "bad_site,junk,1,4096,1000,1.0\n"
+      "bad_size,4,1,notanumber,1000,1.0\n"
+      "bad_misses,5,1,4096,12tail,1.0\n"
+      "negative,6,1,-4096,1000,1.0\n"
+      "spacey_negative,6,1, -4096,1000,1.0\n"
+      "plus_sign,6,1,+4096,1000,1.0\n"
+      "overflow,7,1,99999999999999999999999999,1,1.0\n"
+      "short,8\n"
+      "also_good,9,0,100,5,51.2\n"
+      "trunca";  // mid-row EOF
+  std::vector<advisor::ObjectInfo> parsed;
+  ASSERT_NO_THROW(parsed = objects_from_csv(csv));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].name, "good");
+  EXPECT_EQ(parsed[0].site, 3u);
+  EXPECT_EQ(parsed[0].max_size_bytes, 4096u);
+  EXPECT_EQ(parsed[1].name, "also_good");
+  EXPECT_FALSE(parsed[1].is_dynamic);
+}
+
+TEST(ObjectsCsv, MissingHeaderIsTolerated) {
+  // Without the expected header row every line is tried as data; the
+  // file's actual rows survive.
+  const auto parsed = objects_from_csv("solo,2,1,64,7,112.0\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].name, "solo");
+  EXPECT_EQ(parsed[0].llc_misses, 7u);
+}
+
+TEST(ObjectsCsv, EmptyAndHeaderOnlyInputs) {
+  EXPECT_TRUE(objects_from_csv("").empty());
+  EXPECT_TRUE(objects_from_csv(
+                  "name,site,dynamic,max_size_bytes,llc_misses,"
+                  "misses_per_kib\n")
+                  .empty());
+}
+
 // ------------------------------------------------------------- folding ----
 
 trace::TraceBuffer folding_trace() {

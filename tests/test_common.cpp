@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/alias.hpp"
 #include "common/config.hpp"
 #include "common/csv.hpp"
 #include "common/prng.hpp"
@@ -229,6 +230,76 @@ TEST(Strings, Predicates) {
   EXPECT_TRUE(ends_with("report.csv", ".csv"));
   EXPECT_FALSE(ends_with("csv", "report.csv"));
   EXPECT_EQ(to_lower("AbC1"), "abc1");
+}
+
+// --------------------------------------------------------------- alias ----
+
+/// Empirical distribution of `draws` samples through the table.
+std::vector<double> sampled_shares(const AliasTable& table, int draws,
+                                   std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> counts(table.size(), 0);
+  for (int i = 0; i < draws; ++i) ++counts[table.sample(rng.next())];
+  std::vector<double> shares(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    shares[i] = static_cast<double>(counts[i]) / draws;
+  }
+  return shares;
+}
+
+TEST(AliasTable, MatchesTheTargetDistribution) {
+  const std::vector<double> weights = {5.0, 1.0, 0.25, 3.75, 10.0};
+  double total = 0;
+  for (const double w : weights) total += w;
+  const AliasTable table(weights);
+  const int draws = 400000;
+  const auto shares = sampled_shares(table, draws, 0xa11a5);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / total;
+    // ~4 sigma of a binomial at these counts.
+    const double sigma =
+        std::sqrt(expected * (1 - expected) / draws);
+    EXPECT_NEAR(shares[i], expected, 4 * sigma + 1e-9) << "slot " << i;
+  }
+}
+
+TEST(AliasTable, ZeroWeightSlotsAreNeverSampled) {
+  const AliasTable table({0.0, 2.0, 0.0, 1.0, 0.0});
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 100000; ++i) {
+    const std::size_t s = table.sample(rng.next());
+    EXPECT_TRUE(s == 1 || s == 3) << s;
+  }
+}
+
+TEST(AliasTable, SingleAndUniformWeights) {
+  const AliasTable one({7.0});
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(one.sample(rng.next()), 0u);
+
+  const AliasTable uniform(std::vector<double>(8, 1.0));
+  const auto shares = sampled_shares(uniform, 200000, 0xbeef);
+  for (const double s : shares) EXPECT_NEAR(s, 0.125, 0.005);
+}
+
+TEST(AliasTable, ReducedCoinBitsKeepTheDistribution) {
+  // The engine packs the coin into 21 bits; the quantization must stay
+  // invisible at simulation sample counts.
+  const std::vector<double> weights = {0.7, 0.2, 0.05, 0.05};
+  const AliasTable table(weights, /*coin_bits=*/21);
+  EXPECT_EQ(table.coin_bits(), 21);
+  const auto shares = sampled_shares(table, 400000, 0x5eed);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(shares[i], weights[i], 0.004) << "slot " << i;
+  }
+}
+
+TEST(AliasTable, SamplingIsDeterministic) {
+  const AliasTable table({1.0, 2.0, 3.0});
+  Xoshiro256 a(11), b(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(table.sample(a.next()), table.sample(b.next()));
+  }
 }
 
 }  // namespace

@@ -87,6 +87,62 @@ TEST(Cache, WorkingSetSmallerThanCacheHitsOnSecondPass) {
   EXPECT_EQ(hits, 32u * 1024 / 64);
 }
 
+// Set/tag math after the division-to-shift rewrite: tags are line indices,
+// sets wrap with a mask, and both follow the configured line size.
+TEST(Cache, SetAndTagMathMatchesLineGeometry) {
+  // 64 KiB, 64 B lines, 4 ways -> 256 sets.
+  Cache c(CacheConfig{64 * 1024, 64, 4});
+  EXPECT_EQ(c.num_sets(), 256u);
+  // The tag is the line index: constant within a line, +1 per line.
+  EXPECT_EQ(c.tag_of(0), 0u);
+  EXPECT_EQ(c.tag_of(63), 0u);
+  EXPECT_EQ(c.tag_of(64), 1u);
+  EXPECT_EQ(c.tag_of(0xabcdef), 0xabcdefull / 64);
+  // Consecutive lines map to consecutive sets, wrapping at num_sets.
+  for (const Address base : {Address{0}, Address{1} << 33}) {
+    for (std::uint64_t line = 0; line < 600; ++line) {
+      EXPECT_EQ(c.set_of(base + line * 64),
+                (c.set_of(base) + line) % c.num_sets());
+    }
+  }
+  // Offsets within one line never change the set.
+  EXPECT_EQ(c.set_of(4096), c.set_of(4096 + 63));
+}
+
+TEST(Cache, NonDefaultLineSizeShiftsCorrectly) {
+  // 128 B lines: 32 KiB / (128 * 2) = 128 sets.
+  Cache c(CacheConfig{32 * 1024, 128, 2});
+  EXPECT_EQ(c.num_sets(), 128u);
+  EXPECT_EQ(c.tag_of(127), 0u);
+  EXPECT_EQ(c.tag_of(128), 1u);
+  EXPECT_EQ(c.set_of(0), c.set_of(127));
+  EXPECT_NE(c.set_of(0), c.set_of(128));
+  // Same line-sized stride wraps after 128 sets.
+  EXPECT_EQ(c.set_of(0), c.set_of(128ull * 128));
+  // The model behaves: distinct tags mapping to one set conflict.
+  const Address stride = 128ull * 128;  // same set, different tag
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(stride));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(stride));
+  EXPECT_FALSE(c.access(3 * stride));  // evicts LRU way (tag 0)
+  EXPECT_FALSE(c.access(0));
+}
+
+TEST(Cache, HighAddressBitsStayInTheTag) {
+  // Two addresses in the same set whose tags differ only above the set
+  // bits must not alias (a truncated-tag bug would hit here).
+  Cache c(CacheConfig{4096, 64, 1});  // 64 sets, direct-mapped
+  const Address a = 0x100;
+  const Address b = a + 64ull * 64 * (1ull << 40);  // same set, huge tag gap
+  EXPECT_EQ(c.set_of(a), c.set_of(b));
+  EXPECT_NE(c.tag_of(a), c.tag_of(b));
+  EXPECT_FALSE(c.access(a));
+  EXPECT_FALSE(c.access(b));  // must not be reported as a hit on a's line
+  EXPECT_TRUE(c.contains(b));
+  EXPECT_FALSE(c.contains(a));  // direct-mapped: b evicted a
+}
+
 struct CacheParam {
   std::uint64_t size;
   std::uint32_t ways;

@@ -8,18 +8,22 @@
 // With --ranks N the tool simulates an N-rank job: one profiled execution
 // per rank, each with its own ASLR image and sampling phase, writing one
 // shard per rank as <trace-out>.rank<k>. Feed all shards to hmem_advise,
-// which k-way merges them by timestamp.
+// which k-way merges them by timestamp. Ranks are independent simulations;
+// --jobs N runs up to N of them concurrently with bit-identical shards
+// (each rank's seed derives from its index, each shard is private).
 //
 //   usage: hmem_profile <app> <trace-out> [period] [min-alloc-bytes]
-//                       [--format text|binary] [--ranks N]
+//                       [--format text|binary] [--ranks N] [--jobs J]
 //                       [--period P] [--min-alloc B]
 //     app              hpcg | lulesh | bt | minife | cgpop | snap |
 //                      maxw-dgtd | gtc-p
 //     trace-out        output trace path (suffix .rank<k> when --ranks > 1)
 //     --format f       trace encoding (default text)
 //     --ranks N        simulated ranks -> N shards (default: app default)
+//     --jobs J         profile up to J ranks concurrently (default 1)
 //     period           PEBS sampling period (default 37589)
 //     min-alloc-bytes  allocation monitoring threshold (default 4096)
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +33,7 @@
 #include <vector>
 
 #include "apps/workloads.hpp"
+#include "common/parallel.hpp"
 #include "engine/execution.hpp"
 #include "engine/pipeline.hpp"
 #include "cli.hpp"
@@ -53,6 +58,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   trace::TraceFormat format = trace::TraceFormat::kText;
   int ranks = 0;  // 0 = single run with the app's default rank count
+  int jobs = 1;
   std::optional<std::uint64_t> period;     // 0 is a valid value for both:
   std::optional<std::uint64_t> min_alloc;  // "every miss" / "every alloc"
   for (int i = 1; i < argc; ++i) {
@@ -68,6 +74,12 @@ int main(int argc, char** argv) {
       ranks = std::atoi(tools::cli_value(argc, argv, i, "--ranks"));
       if (ranks < 1) {
         std::fprintf(stderr, "--ranks must be >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      jobs = std::atoi(tools::cli_value(argc, argv, i, "--jobs"));
+      if (jobs < 1) {
+        std::fprintf(stderr, "--jobs must be >= 1\n");
         return 2;
       }
     } else if (std::strcmp(argv[i], "--period") == 0) {
@@ -110,14 +122,25 @@ int main(int argc, char** argv) {
   if (period) base.sampler.period = *period;
   if (min_alloc) base.min_alloc_bytes = *min_alloc;
 
-  for (int r = 0; r < shard_count; ++r) {
+  // Each rank is an independent simulation writing its own shard file, so
+  // up to --jobs of them run concurrently; per-rank status lines are
+  // buffered and printed in rank order once all ranks finished. A failed
+  // rank flips the abort flag: ranks not yet started return immediately
+  // instead of burning minutes of simulation the error already doomed.
+  std::vector<std::string> status(static_cast<std::size_t>(shard_count));
+  std::vector<std::string> errors(static_cast<std::size_t>(shard_count));
+  std::atomic<bool> abort_remaining{false};
+  parallel_for(jobs, static_cast<std::size_t>(shard_count),
+               [&](std::size_t r) {
+    if (abort_remaining.load(std::memory_order_relaxed)) return;
     const std::string path =
         shard_count == 1 ? positional[1]
                          : positional[1] + ".rank" + std::to_string(r);
     std::ofstream out(path, std::ios::binary);
     if (!out) {
-      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-      return 1;
+      errors[r] = "cannot open " + path + " for writing";
+      abort_remaining.store(true, std::memory_order_relaxed);
+      return;
     }
     callstack::SiteDb sites;
     const auto writer = trace::make_trace_writer(out, sites, format);
@@ -128,16 +151,30 @@ int main(int argc, char** argv) {
     const auto run = engine::run_app(*app, opts);
     writer->finish();
     if (!out) {
-      std::fprintf(stderr, "write error on %s\n", path.c_str());
+      errors[r] = "write error on " + path;
+      abort_remaining.store(true, std::memory_order_relaxed);
+      return;
+    }
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "profiled %s rank %zu/%d: %zu trace events (%s), "
+                  "%llu samples, %.2f%% monitoring overhead -> %s",
+                  app->name.c_str(), r, shard_count,
+                  writer->events_written(), trace::trace_format_name(format),
+                  static_cast<unsigned long long>(run.samples),
+                  run.monitoring_overhead * 100.0, path.c_str());
+    status[r] = line;
+  });
+  for (int r = 0; r < shard_count; ++r) {
+    const auto idx = static_cast<std::size_t>(r);
+    if (!errors[idx].empty()) {
+      std::fprintf(stderr, "%s\n", errors[idx].c_str());
       return 1;
     }
-    std::fprintf(stderr,
-                 "profiled %s rank %d/%d: %zu trace events (%s), "
-                 "%llu samples, %.2f%% monitoring overhead -> %s\n",
-                 app->name.c_str(), r, shard_count,
-                 writer->events_written(), trace::trace_format_name(format),
-                 static_cast<unsigned long long>(run.samples),
-                 run.monitoring_overhead * 100.0, path.c_str());
+    // Ranks skipped by the abort flag have neither status nor error.
+    if (!status[idx].empty()) {
+      std::fprintf(stderr, "%s\n", status[idx].c_str());
+    }
   }
   return 0;
 }

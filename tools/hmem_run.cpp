@@ -1,33 +1,75 @@
 // hmem_run — stage 4 (and the baselines) as a standalone tool.
 //
-// Runs one of the bundled applications under a placement condition. With
-// --placement, auto-hbwmalloc honours an hmem_advise report (the framework
-// condition); otherwise one of the baseline conditions applies.
+// Runs one of the bundled applications under one or more placement
+// conditions. With --placement, auto-hbwmalloc honours an hmem_advise
+// report (the framework condition); otherwise baseline conditions apply.
+// --condition takes a comma-separated list (e.g. ddr,numactl,cache), and
+// --jobs N runs up to N conditions concurrently — each run is an
+// independent simulation, so the reports are identical to serial runs and
+// printed in the order given.
 //
-//   usage: hmem_run <app> [--condition c] [--placement report.txt]
-//                   [--ranks N]
+//   usage: hmem_run <app> [--condition c[,c...]] [--placement report.txt]
+//                   [--ranks N] [--jobs J]
 //     condition   ddr | numactl | autohbw | cache     (default ddr)
 //     ranks       override the app's simulated rank count (scaling studies:
 //                 per-rank LLC, capacity and bandwidth shares shrink as N
 //                 grows, exactly as in the profiled multi-rank pipeline)
+//     jobs        run conditions concurrently (default 1)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "advisor/placement_report.hpp"
 #include "apps/workloads.hpp"
+#include "common/parallel.hpp"
+#include "common/strings.hpp"
 #include "common/units.hpp"
 #include "engine/execution.hpp"
 #include "cli.hpp"
+
+namespace {
+
+std::string report_text(const hmem::engine::RunResult& run) {
+  using hmem::format_bytes;
+  std::ostringstream os;
+  char buf[256];
+  os << "app         : " << run.app << '\n';
+  os << "condition   : " << run.condition << '\n';
+  std::snprintf(buf, sizeof(buf), "FOM         : %.4f %s\n", run.fom,
+                run.fom_unit.c_str());
+  os << buf;
+  std::snprintf(buf, sizeof(buf), "time        : %.3f s (simulated)\n",
+                run.time_s);
+  os << buf;
+  os << "MCDRAM HWM  : " << format_bytes(run.mcdram_hwm_bytes) << "/rank\n";
+  os << "DRAM traffic: " << format_bytes(run.ddr_bytes) << " DDR + "
+     << format_bytes(run.mcdram_bytes) << " MCDRAM per rank\n";
+  if (run.autohbw.has_value()) {
+    std::snprintf(buf, sizeof(buf),
+                  "interposer  : %llu intercepted, %llu promoted, "
+                  "%llu budget rejections%s\n",
+                  static_cast<unsigned long long>(
+                      run.autohbw->intercepted_allocs),
+                  static_cast<unsigned long long>(run.autohbw->promoted),
+                  static_cast<unsigned long long>(
+                      run.autohbw->budget_rejections),
+                  run.autohbw->any_overflow ? " (overflow!)" : "");
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hmem;
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s <app> [--condition ddr|numactl|autohbw|cache] "
-                 "[--placement report.txt] [--ranks N]\n",
+                 "usage: %s <app> [--condition ddr|numactl|autohbw|cache"
+                 "[,...]] [--placement report.txt] [--ranks N] [--jobs J]\n",
                  argv[0]);
     return 2;
   }
@@ -43,22 +85,26 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  engine::RunOptions opts;
+  std::vector<engine::Condition> conditions;
   advisor::Placement placement;
+  bool use_placement = false;
+  int jobs = 1;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--condition") == 0) {
-      const std::string c = tools::cli_value(argc, argv, i, "--condition");
-      if (c == "ddr") {
-        opts.condition = engine::Condition::kDdr;
-      } else if (c == "numactl") {
-        opts.condition = engine::Condition::kNumactl;
-      } else if (c == "autohbw") {
-        opts.condition = engine::Condition::kAutoHbw;
-      } else if (c == "cache") {
-        opts.condition = engine::Condition::kCacheMode;
-      } else {
-        std::fprintf(stderr, "unknown condition %s\n", c.c_str());
-        return 2;
+      const std::string list = tools::cli_value(argc, argv, i, "--condition");
+      for (const std::string& c : split(list, ',')) {
+        if (c == "ddr") {
+          conditions.push_back(engine::Condition::kDdr);
+        } else if (c == "numactl") {
+          conditions.push_back(engine::Condition::kNumactl);
+        } else if (c == "autohbw") {
+          conditions.push_back(engine::Condition::kAutoHbw);
+        } else if (c == "cache") {
+          conditions.push_back(engine::Condition::kCacheMode);
+        } else {
+          std::fprintf(stderr, "unknown condition %s\n", c.c_str());
+          return 2;
+        }
       }
     } else if (std::strcmp(argv[i], "--placement") == 0) {
       std::ifstream in(tools::cli_value(argc, argv, i, "--placement"));
@@ -74,8 +120,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "placement parse error: %s\n", e.what());
         return 1;
       }
-      opts.condition = engine::Condition::kFramework;
-      opts.placement = &placement;
+      use_placement = true;
     } else if (std::strcmp(argv[i], "--ranks") == 0) {
       const int ranks = std::atoi(tools::cli_value(argc, argv, i, "--ranks"));
       if (ranks < 1) {
@@ -83,31 +128,36 @@ int main(int argc, char** argv) {
         return 2;
       }
       app->ranks = ranks;
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      jobs = std::atoi(tools::cli_value(argc, argv, i, "--jobs"));
+      if (jobs < 1) {
+        std::fprintf(stderr, "--jobs must be >= 1\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return 2;
     }
   }
+  if (use_placement) {
+    // A placement implies the framework condition; it runs alongside any
+    // baselines listed via --condition.
+    conditions.push_back(engine::Condition::kFramework);
+  }
+  if (conditions.empty()) conditions.push_back(engine::Condition::kDdr);
 
-  const auto run = engine::run_app(*app, opts);
-  std::printf("app         : %s\n", run.app.c_str());
-  std::printf("condition   : %s\n", run.condition.c_str());
-  std::printf("FOM         : %.4f %s\n", run.fom, run.fom_unit.c_str());
-  std::printf("time        : %.3f s (simulated)\n", run.time_s);
-  std::printf("MCDRAM HWM  : %s/rank\n",
-              format_bytes(run.mcdram_hwm_bytes).c_str());
-  std::printf("DRAM traffic: %s DDR + %s MCDRAM per rank\n",
-              format_bytes(run.ddr_bytes).c_str(),
-              format_bytes(run.mcdram_bytes).c_str());
-  if (run.autohbw.has_value()) {
-    std::printf("interposer  : %llu intercepted, %llu promoted, "
-                "%llu budget rejections%s\n",
-                static_cast<unsigned long long>(
-                    run.autohbw->intercepted_allocs),
-                static_cast<unsigned long long>(run.autohbw->promoted),
-                static_cast<unsigned long long>(
-                    run.autohbw->budget_rejections),
-                run.autohbw->any_overflow ? " (overflow!)" : "");
+  std::vector<std::string> reports(conditions.size());
+  parallel_for(jobs, conditions.size(), [&](std::size_t c) {
+    engine::RunOptions opts;
+    opts.condition = conditions[c];
+    if (conditions[c] == engine::Condition::kFramework) {
+      opts.placement = &placement;
+    }
+    reports[c] = report_text(engine::run_app(*app, opts));
+  });
+  for (std::size_t c = 0; c < reports.size(); ++c) {
+    if (c > 0) std::printf("\n");
+    std::printf("%s", reports[c].c_str());
   }
   return 0;
 }
