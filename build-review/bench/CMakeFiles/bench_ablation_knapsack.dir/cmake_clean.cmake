@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_knapsack.dir/ablation_knapsack.cpp.o"
+  "CMakeFiles/bench_ablation_knapsack.dir/ablation_knapsack.cpp.o.d"
+  "bench_ablation_knapsack"
+  "bench_ablation_knapsack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_knapsack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_throughput.dir/engine_throughput.cpp.o"
+  "CMakeFiles/bench_engine_throughput.dir/engine_throughput.cpp.o.d"
+  "bench_engine_throughput"
+  "bench_engine_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

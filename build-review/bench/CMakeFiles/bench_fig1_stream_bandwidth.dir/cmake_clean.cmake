@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_stream_bandwidth.dir/fig1_stream_bandwidth.cpp.o"
+  "CMakeFiles/bench_fig1_stream_bandwidth.dir/fig1_stream_bandwidth.cpp.o.d"
+  "bench_fig1_stream_bandwidth"
+  "bench_fig1_stream_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_stream_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_placement_bt.dir/fig4_placement_bt.cpp.o"
+  "CMakeFiles/bench_fig4_placement_bt.dir/fig4_placement_bt.cpp.o.d"
+  "bench_fig4_placement_bt"
+  "bench_fig4_placement_bt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_placement_bt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_placement_cgpop.dir/fig4_placement_cgpop.cpp.o"
+  "CMakeFiles/bench_fig4_placement_cgpop.dir/fig4_placement_cgpop.cpp.o.d"
+  "bench_fig4_placement_cgpop"
+  "bench_fig4_placement_cgpop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_placement_cgpop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_placement_gtcp.dir/fig4_placement_gtcp.cpp.o"
+  "CMakeFiles/bench_fig4_placement_gtcp.dir/fig4_placement_gtcp.cpp.o.d"
+  "bench_fig4_placement_gtcp"
+  "bench_fig4_placement_gtcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_placement_gtcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_placement_hpcg.dir/fig4_placement_hpcg.cpp.o"
+  "CMakeFiles/bench_fig4_placement_hpcg.dir/fig4_placement_hpcg.cpp.o.d"
+  "bench_fig4_placement_hpcg"
+  "bench_fig4_placement_hpcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_placement_hpcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

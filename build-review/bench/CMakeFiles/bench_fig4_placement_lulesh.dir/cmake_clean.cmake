@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_placement_lulesh.dir/fig4_placement_lulesh.cpp.o"
+  "CMakeFiles/bench_fig4_placement_lulesh.dir/fig4_placement_lulesh.cpp.o.d"
+  "bench_fig4_placement_lulesh"
+  "bench_fig4_placement_lulesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_placement_lulesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_placement_maxw_dgtd.dir/fig4_placement_maxw_dgtd.cpp.o"
+  "CMakeFiles/bench_fig4_placement_maxw_dgtd.dir/fig4_placement_maxw_dgtd.cpp.o.d"
+  "bench_fig4_placement_maxw_dgtd"
+  "bench_fig4_placement_maxw_dgtd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_placement_maxw_dgtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

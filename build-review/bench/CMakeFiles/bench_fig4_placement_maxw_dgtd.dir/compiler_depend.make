@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_placement_maxw_dgtd.
+# This may be replaced when dependencies are built.

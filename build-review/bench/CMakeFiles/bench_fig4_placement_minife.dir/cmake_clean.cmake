@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_placement_minife.dir/fig4_placement_minife.cpp.o"
+  "CMakeFiles/bench_fig4_placement_minife.dir/fig4_placement_minife.cpp.o.d"
+  "bench_fig4_placement_minife"
+  "bench_fig4_placement_minife.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_placement_minife.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_placement_snap.dir/fig4_placement_snap.cpp.o"
+  "CMakeFiles/bench_fig4_placement_snap.dir/fig4_placement_snap.cpp.o.d"
+  "bench_fig4_placement_snap"
+  "bench_fig4_placement_snap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_placement_snap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_snap_folding.dir/fig5_snap_folding.cpp.o"
+  "CMakeFiles/bench_fig5_snap_folding.dir/fig5_snap_folding.cpp.o.d"
+  "bench_fig5_snap_folding"
+  "bench_fig5_snap_folding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_snap_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

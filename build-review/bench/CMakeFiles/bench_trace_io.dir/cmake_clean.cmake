@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_io.dir/trace_io.cpp.o"
+  "CMakeFiles/bench_trace_io.dir/trace_io.cpp.o.d"
+  "bench_trace_io"
+  "bench_trace_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_advisor_strategies.dir/advisor_strategies.cpp.o"
+  "CMakeFiles/example_advisor_strategies.dir/advisor_strategies.cpp.o.d"
+  "example_advisor_strategies"
+  "example_advisor_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_advisor_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_app.dir/custom_app.cpp.o"
+  "CMakeFiles/example_custom_app.dir/custom_app.cpp.o.d"
+  "example_custom_app"
+  "example_custom_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

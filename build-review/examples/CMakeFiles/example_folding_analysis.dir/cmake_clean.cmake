@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_folding_analysis.dir/folding_analysis.cpp.o"
+  "CMakeFiles/example_folding_analysis.dir/folding_analysis.cpp.o.d"
+  "example_folding_analysis"
+  "example_folding_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_folding_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/advisor/advisor.cpp" "src/CMakeFiles/hmem.dir/advisor/advisor.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/advisor/advisor.cpp.o.d"
+  "/root/repo/src/advisor/knapsack.cpp" "src/CMakeFiles/hmem.dir/advisor/knapsack.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/advisor/knapsack.cpp.o.d"
+  "/root/repo/src/advisor/memory_spec.cpp" "src/CMakeFiles/hmem.dir/advisor/memory_spec.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/advisor/memory_spec.cpp.o.d"
+  "/root/repo/src/advisor/placement_report.cpp" "src/CMakeFiles/hmem.dir/advisor/placement_report.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/advisor/placement_report.cpp.o.d"
+  "/root/repo/src/alloc/allocators.cpp" "src/CMakeFiles/hmem.dir/alloc/allocators.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/alloc/allocators.cpp.o.d"
+  "/root/repo/src/alloc/arena.cpp" "src/CMakeFiles/hmem.dir/alloc/arena.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/alloc/arena.cpp.o.d"
+  "/root/repo/src/analysis/aggregator.cpp" "src/CMakeFiles/hmem.dir/analysis/aggregator.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/analysis/aggregator.cpp.o.d"
+  "/root/repo/src/analysis/folding.cpp" "src/CMakeFiles/hmem.dir/analysis/folding.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/analysis/folding.cpp.o.d"
+  "/root/repo/src/apps/app.cpp" "src/CMakeFiles/hmem.dir/apps/app.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/apps/app.cpp.o.d"
+  "/root/repo/src/apps/generator.cpp" "src/CMakeFiles/hmem.dir/apps/generator.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/apps/generator.cpp.o.d"
+  "/root/repo/src/apps/workloads.cpp" "src/CMakeFiles/hmem.dir/apps/workloads.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/apps/workloads.cpp.o.d"
+  "/root/repo/src/callstack/callstack.cpp" "src/CMakeFiles/hmem.dir/callstack/callstack.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/callstack/callstack.cpp.o.d"
+  "/root/repo/src/callstack/modulemap.cpp" "src/CMakeFiles/hmem.dir/callstack/modulemap.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/callstack/modulemap.cpp.o.d"
+  "/root/repo/src/callstack/sitedb.cpp" "src/CMakeFiles/hmem.dir/callstack/sitedb.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/callstack/sitedb.cpp.o.d"
+  "/root/repo/src/callstack/unwind.cpp" "src/CMakeFiles/hmem.dir/callstack/unwind.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/callstack/unwind.cpp.o.d"
+  "/root/repo/src/common/alias.cpp" "src/CMakeFiles/hmem.dir/common/alias.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/common/alias.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/hmem.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/CMakeFiles/hmem.dir/common/csv.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/common/csv.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/hmem.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/parallel.cpp" "src/CMakeFiles/hmem.dir/common/parallel.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/common/parallel.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/hmem.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/hmem.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/common/strings.cpp.o.d"
+  "/root/repo/src/common/units.cpp" "src/CMakeFiles/hmem.dir/common/units.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/common/units.cpp.o.d"
+  "/root/repo/src/engine/execution.cpp" "src/CMakeFiles/hmem.dir/engine/execution.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/engine/execution.cpp.o.d"
+  "/root/repo/src/engine/experiment.cpp" "src/CMakeFiles/hmem.dir/engine/experiment.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/engine/experiment.cpp.o.d"
+  "/root/repo/src/engine/pipeline.cpp" "src/CMakeFiles/hmem.dir/engine/pipeline.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/engine/pipeline.cpp.o.d"
+  "/root/repo/src/memsim/cache.cpp" "src/CMakeFiles/hmem.dir/memsim/cache.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/memsim/cache.cpp.o.d"
+  "/root/repo/src/memsim/machine.cpp" "src/CMakeFiles/hmem.dir/memsim/machine.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/memsim/machine.cpp.o.d"
+  "/root/repo/src/memsim/mcdram_cache.cpp" "src/CMakeFiles/hmem.dir/memsim/mcdram_cache.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/memsim/mcdram_cache.cpp.o.d"
+  "/root/repo/src/memsim/tier.cpp" "src/CMakeFiles/hmem.dir/memsim/tier.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/memsim/tier.cpp.o.d"
+  "/root/repo/src/pebs/sampler.cpp" "src/CMakeFiles/hmem.dir/pebs/sampler.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/pebs/sampler.cpp.o.d"
+  "/root/repo/src/profiler/object_registry.cpp" "src/CMakeFiles/hmem.dir/profiler/object_registry.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/profiler/object_registry.cpp.o.d"
+  "/root/repo/src/profiler/profiler.cpp" "src/CMakeFiles/hmem.dir/profiler/profiler.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/profiler/profiler.cpp.o.d"
+  "/root/repo/src/runtime/auto_hbwmalloc.cpp" "src/CMakeFiles/hmem.dir/runtime/auto_hbwmalloc.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/runtime/auto_hbwmalloc.cpp.o.d"
+  "/root/repo/src/runtime/interpose.cpp" "src/CMakeFiles/hmem.dir/runtime/interpose.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/runtime/interpose.cpp.o.d"
+  "/root/repo/src/runtime/policy.cpp" "src/CMakeFiles/hmem.dir/runtime/policy.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/runtime/policy.cpp.o.d"
+  "/root/repo/src/trace/binary.cpp" "src/CMakeFiles/hmem.dir/trace/binary.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/trace/binary.cpp.o.d"
+  "/root/repo/src/trace/format.cpp" "src/CMakeFiles/hmem.dir/trace/format.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/trace/format.cpp.o.d"
+  "/root/repo/src/trace/merge.cpp" "src/CMakeFiles/hmem.dir/trace/merge.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/trace/merge.cpp.o.d"
+  "/root/repo/src/trace/tracefile.cpp" "src/CMakeFiles/hmem.dir/trace/tracefile.cpp.o" "gcc" "src/CMakeFiles/hmem.dir/trace/tracefile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_appsweep.dir/test_appsweep.cpp.o"
+  "CMakeFiles/test_appsweep.dir/test_appsweep.cpp.o.d"
+  "test_appsweep"
+  "test_appsweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_appsweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_callstack.dir/test_callstack.cpp.o"
+  "CMakeFiles/test_callstack.dir/test_callstack.cpp.o.d"
+  "test_callstack"
+  "test_callstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_callstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

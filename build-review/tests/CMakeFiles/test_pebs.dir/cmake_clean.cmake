@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pebs.dir/test_pebs.cpp.o"
+  "CMakeFiles/test_pebs.dir/test_pebs.cpp.o.d"
+  "test_pebs"
+  "test_pebs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pebs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmem_advise.dir/hmem_advise.cpp.o"
+  "CMakeFiles/hmem_advise.dir/hmem_advise.cpp.o.d"
+  "hmem_advise"
+  "hmem_advise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmem_advise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

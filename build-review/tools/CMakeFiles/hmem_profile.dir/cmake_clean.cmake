@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmem_profile.dir/hmem_profile.cpp.o"
+  "CMakeFiles/hmem_profile.dir/hmem_profile.cpp.o.d"
+  "hmem_profile"
+  "hmem_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmem_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

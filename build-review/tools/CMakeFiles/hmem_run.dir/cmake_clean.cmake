@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmem_run.dir/hmem_run.cpp.o"
+  "CMakeFiles/hmem_run.dir/hmem_run.cpp.o.d"
+  "hmem_run"
+  "hmem_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmem_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
