@@ -4,12 +4,50 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
+#include <string>
+
+#include "memsim/machine.hpp"
 
 namespace hmem::bench {
 
-/// Parses a sole optional [--jobs N] argument; exits with usage on anything
-/// else. Shared by the fig4 rows and the ablation sweeps so the flag
-/// cannot drift between them.
+/// Options every row/sweep driver accepts: worker count and machine.
+struct BenchOptions {
+  int jobs = 1;
+  memsim::MachineConfig node =
+      memsim::MachineConfig::knl7250(memsim::MemMode::kFlat);
+};
+
+/// Parses [--jobs N] [--machine preset|config.ini]; exits with usage on
+/// anything else. Shared by the fig4 rows and the ablation sweeps so the
+/// flags cannot drift between them.
+inline BenchOptions parse_bench_options(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      options.jobs = std::atoi(argv[++i]);
+      if (options.jobs < 1) options.jobs = 1;
+    } else if (std::strcmp(argv[i], "--machine") == 0 && i + 1 < argc) {
+      std::string error;
+      const auto machine = memsim::load_machine_config(argv[++i], &error);
+      if (!machine) {
+        std::fprintf(stderr, "--machine: %s\n", error.c_str());
+        std::exit(2);
+      }
+      options.node = *machine;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--jobs N] [--machine preset|config.ini]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// For drivers that only take a worker count: unlike parse_bench_options
+/// this rejects --machine, so a sweep that would silently ignore the
+/// machine cannot be asked for one.
 inline int parse_jobs(int argc, char** argv) {
   int jobs = 1;
   for (int i = 1; i < argc; ++i) {

@@ -17,7 +17,12 @@
 // so CI can track the trajectory; --smoke shrinks the workload for CI.
 //
 //   usage: bench_engine_throughput [--smoke] [--reps R] [--ranks N]
-//            [--jobs J] [--scale K] [--baseline-aps X] [--out file]
+//            [--jobs J] [--scale K] [--baseline-aps X] [--machine preset]
+//            [--out file]
+//
+// The machine preset name is recorded in the JSON so perf trajectories are
+// comparable across machines (a number measured on ddr-cxl must not be
+// diffed against a knl one).
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -30,6 +35,7 @@
 #include "common/parallel.hpp"
 #include "engine/execution.hpp"
 #include "engine/pipeline.hpp"
+#include "memsim/machine.hpp"
 
 namespace {
 
@@ -53,9 +59,11 @@ std::uint64_t accesses_per_run(const apps::AppSpec& app) {
   return per_iteration * app.iterations;
 }
 
-engine::RunResult rank_run(const apps::AppSpec& app, int rank) {
+engine::RunResult rank_run(const apps::AppSpec& app,
+                           const memsim::MachineConfig& node, int rank) {
   engine::RunOptions opts;
   opts.condition = engine::Condition::kDdr;
+  opts.node = node;
   opts.seed = 42 + static_cast<std::uint64_t>(rank) * engine::kRankSeedStride;
   return engine::run_app(app, opts);
 }
@@ -68,6 +76,8 @@ int main(int argc, char** argv) {
   int max_jobs = 4;
   int scale = 4;  // iteration multiplier for a stable serial measurement
   double baseline_aps = 0;
+  memsim::MachineConfig node =
+      memsim::MachineConfig::knl7250(memsim::MemMode::kFlat);
   const char* out_path = "BENCH_engine.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -85,12 +95,21 @@ int main(int argc, char** argv) {
       scale = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--baseline-aps") == 0 && i + 1 < argc) {
       baseline_aps = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--machine") == 0 && i + 1 < argc) {
+      std::string error;
+      const auto machine = memsim::load_machine_config(argv[++i], &error);
+      if (!machine) {
+        std::fprintf(stderr, "--machine: %s\n", error.c_str());
+        return 2;
+      }
+      node = *machine;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--reps R] [--ranks N] [--jobs J] "
-                   "[--scale K] [--baseline-aps X] [--out f]\n",
+                   "[--scale K] [--baseline-aps X] [--machine preset] "
+                   "[--out f]\n",
                    argv[0]);
       return 2;
     }
@@ -108,7 +127,7 @@ int main(int argc, char** argv) {
   double best_serial = 1e300;
   for (int rep = 0; rep < reps; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
-    const auto run = rank_run(app, 0);
+    const auto run = rank_run(app, node, 0);
     best_serial = std::min(best_serial, seconds_since(t0));
     if (run.fom <= 0) {
       std::fprintf(stderr, "serial run produced no result\n");
@@ -141,7 +160,7 @@ int main(int argc, char** argv) {
       const auto t0 = std::chrono::steady_clock::now();
       parallel_for(jobs, static_cast<std::size_t>(ranks),
                    [&](std::size_t r) {
-                     results[r] = rank_run(app, static_cast<int>(r));
+                     results[r] = rank_run(app, node, static_cast<int>(r));
                    });
       best = std::min(best, seconds_since(t0));
     }
@@ -152,7 +171,7 @@ int main(int argc, char** argv) {
         const auto& a = reference[static_cast<std::size_t>(r)];
         const auto& b = results[static_cast<std::size_t>(r)];
         if (a.fom != b.fom || a.llc_misses != b.llc_misses ||
-            a.ddr_bytes != b.ddr_bytes) {
+            a.slow_bytes() != b.slow_bytes()) {
           std::fprintf(stderr,
                        "determinism violation at jobs=%d rank %d\n", jobs,
                        r);
@@ -188,6 +207,7 @@ int main(int argc, char** argv) {
                 "{\n"
                 "  \"bench\": \"engine_throughput\",\n"
                 "  \"app\": \"%s\",\n"
+                "  \"machine\": \"%s\",\n"
                 "  \"accesses_per_run\": %llu,\n"
                 "  \"reps\": %d,\n"
                 "  \"serial_accesses_per_sec\": %.0f,\n"
@@ -200,7 +220,7 @@ int main(int argc, char** argv) {
                 "  \"parallel_efficiency\": %.3f,\n"
                 "  \"parallel_bit_identical\": true\n"
                 "}\n",
-                app.name.c_str(),
+                app.name.c_str(), node.name.c_str(),
                 static_cast<unsigned long long>(accesses), reps, serial_aps,
                 baseline_aps,
                 baseline_aps > 0 ? serial_aps / baseline_aps : 0.0,

@@ -1,8 +1,10 @@
 // Shared driver for the eight Figure 4 benches: runs the full evaluation row
 // for one application (four baselines + four strategies x budget sweep) and
-// prints the three panels (FOM / MCDRAM HWM / dFOM-per-MByte) plus a CSV
+// prints the three panels (FOM / fast-tier HWM / dFOM-per-MByte) plus a CSV
 // block for plotting. Every bench accepts --jobs N to sweep the row's
-// independent cells concurrently (results are bit-identical to --jobs 1).
+// independent cells concurrently (results are bit-identical to --jobs 1)
+// and --machine <preset> to run the whole row on a different memory
+// hierarchy (default: the paper's KNL).
 #pragma once
 
 #include <cstdio>
@@ -14,28 +16,30 @@
 
 namespace hmem::bench {
 
-inline int run_fig4(const std::string& app_name, int jobs) {
+inline int run_fig4(const std::string& app_name, const BenchOptions& options) {
   const apps::AppSpec app = apps::app_by_name(app_name);
   engine::PipelineOptions base;
-  base.jobs = jobs;
+  base.jobs = options.jobs;
+  base.node = options.node;
   engine::Fig4Runner runner(app, base);
   const auto budgets = app.ranks == 1 ? engine::paper_budgets_openmp()
                                       : engine::paper_budgets_mpi();
   const auto strategies = engine::paper_strategies();
   const auto row = runner.run(budgets, strategies);
 
-  std::printf("Figure 4 row — %s (%s), %d rank(s) x %d thread(s)\n",
+  std::printf("Figure 4 row — %s (%s), %d rank(s) x %d thread(s) on %s\n",
               app.name.c_str(), app.fom_unit.c_str(), app.ranks,
-              app.threads_per_rank);
+              app.threads_per_rank, row.machine.c_str());
   std::printf("%s\n",
               engine::format_fig4_row(row, budgets, strategies).c_str());
   std::printf("--- CSV ---\n%s\n", engine::fig4_row_to_csv(row).c_str());
   return 0;
 }
 
-/// argv handling shared by the eight per-app mains: [--jobs N].
+/// argv handling shared by the eight per-app mains:
+/// [--jobs N] [--machine preset].
 inline int fig4_main(const std::string& app_name, int argc, char** argv) {
-  return run_fig4(app_name, parse_jobs(argc, argv));
+  return run_fig4(app_name, parse_bench_options(argc, argv));
 }
 
 }  // namespace hmem::bench

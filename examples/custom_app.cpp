@@ -62,7 +62,7 @@ int main() {
     opts.condition = condition;
     const auto r = engine::run_app(app, opts);
     std::printf("%-12s %10.2f %9.1f MiB\n", r.condition.c_str(), r.fom,
-                static_cast<double>(r.mcdram_hwm_bytes) / (1 << 20));
+                static_cast<double>(r.fast_hwm_bytes) / (1 << 20));
   }
 
   // The framework, with a 64 MiB/rank budget — enough for the index, not
@@ -72,7 +72,7 @@ int main() {
   const auto result = engine::run_pipeline(app, options);
   std::printf("%-12s %10.2f %9.1f MiB  (selected:",
               "framework", result.production_run.fom,
-              static_cast<double>(result.production_run.mcdram_hwm_bytes) /
+              static_cast<double>(result.production_run.fast_hwm_bytes) /
                   (1 << 20));
   for (const auto& obj : result.placement.fast().objects) {
     std::printf(" %s", obj.name.c_str());

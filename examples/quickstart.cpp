@@ -52,7 +52,7 @@ int main() {
               result.production_run.fom, result.production_run.fom_unit.c_str(),
               (result.production_run.fom / baseline.fom - 1.0) * 100.0);
   std::printf("MCDRAM HWM   : %8.1f MiB/rank\n",
-              static_cast<double>(result.production_run.mcdram_hwm_bytes) /
+              static_cast<double>(result.production_run.fast_hwm_bytes) /
                   (1 << 20));
   return 0;
 }

@@ -116,11 +116,13 @@ Placement HmemAdvisor::advise(const std::vector<ObjectInfo>& objects) const {
     }
   }
 
-  // Size pre-filter bounds over the fast-tier selection.
+  // Size pre-filter bounds over every non-fallback selection: with more
+  // than two tiers the runtime promotes into each of them, so the filter
+  // must not reject a middle-tier object.
   std::uint64_t lb = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t ub = 0;
-  if (!placement.tiers.empty()) {
-    for (const auto& obj : placement.tiers.front().objects) {
+  for (std::size_t t = 0; t + 1 < placement.tiers.size(); ++t) {
+    for (const auto& obj : placement.tiers[t].objects) {
       lb = std::min(lb, obj.max_size_bytes);
       ub = std::max(ub, obj.max_size_bytes);
     }

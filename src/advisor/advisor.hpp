@@ -42,6 +42,9 @@ struct Options {
 /// One tier's share of the placement.
 struct TierPlacement {
   std::string tier_name;
+  /// Real tier capacity — what the runtime enforces for this tier. (The
+  /// *selection* for the fastest tier may have run with a virtual budget;
+  /// see Options::virtual_budget_bytes.)
   std::uint64_t budget_bytes = 0;
   std::vector<ObjectInfo> objects;
   std::uint64_t footprint_bytes = 0;
@@ -57,7 +60,8 @@ struct Placement {
   /// and CGPOP by hand for exactly this reason).
   std::vector<ObjectInfo> static_recommendations;
   /// Size pre-filter bounds for auto-hbwmalloc (Algorithm 1, line 3):
-  /// smallest and largest max-size among fast-tier selections.
+  /// smallest and largest max-size across *all* non-fallback selections —
+  /// an allocation outside [lb, ub] cannot belong to any promoted tier.
   std::uint64_t lb_size = 0;
   std::uint64_t ub_size = 0;
   /// Real fast-tier budget the runtime must enforce (line 12's FITS is

@@ -4,7 +4,7 @@
 #include <sstream>
 
 #include "common/assert.hpp"
-#include "common/strings.hpp"
+#include "common/tier_config.hpp"
 #include "common/units.hpp"
 
 namespace hmem::advisor {
@@ -20,17 +20,10 @@ MemorySpec::MemorySpec(std::vector<TierBudget> tiers)
 
 MemorySpec MemorySpec::from_config(const Config& config) {
   std::vector<TierBudget> tiers;
-  for (const auto& section : config.sections()) {
-    if (!starts_with(section, "tier")) continue;
-    TierBudget tier;
-    tier.name = trim(section.substr(4));
-    if (tier.name.empty()) tier.name = "tier" + std::to_string(tiers.size());
-    tier.capacity_bytes = config.get_bytes(section, "capacity", 0);
-    tier.relative_performance =
-        config.get_double(section, "relative_performance", 1.0);
-    HMEM_ASSERT_MSG(tier.capacity_bytes > 0,
-                    "tier capacity missing or zero in memory spec");
-    tiers.push_back(std::move(tier));
+  for (const TierSection& section :
+       parse_tier_sections(config, "memory spec")) {
+    tiers.push_back(TierBudget{section.name, section.capacity_bytes,
+                               section.relative_performance});
   }
   return MemorySpec(std::move(tiers));
 }

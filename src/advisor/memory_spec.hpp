@@ -33,7 +33,9 @@ class MemorySpec {
   ///   [tier ddr]
   ///   capacity = 96G
   ///   relative_performance = 1.0
-  /// Section order is irrelevant; tiers are sorted by performance.
+  /// Section order is irrelevant; tiers are sorted by performance. Throws
+  /// std::runtime_error on degenerate input: no tiers, duplicate tier
+  /// names, zero capacities or non-positive relative performance.
   static MemorySpec from_config(const Config& config);
 
   /// Convenience two-tier spec: fast budget + slow fallback.

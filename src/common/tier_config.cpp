@@ -1,0 +1,38 @@
+#include "common/tier_config.hpp"
+
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace hmem {
+
+std::vector<TierSection> parse_tier_sections(const Config& config,
+                                             const std::string& context) {
+  const auto fail = [&context](const std::string& what) {
+    throw std::runtime_error(context + ": " + what);
+  };
+  std::vector<TierSection> tiers;
+  for (const auto& section : config.sections()) {
+    if (!starts_with(section, "tier")) continue;
+    TierSection tier;
+    tier.section = section;
+    tier.name = trim(section.substr(4));
+    if (tier.name.empty()) tier.name = "tier" + std::to_string(tiers.size());
+    for (const auto& prior : tiers) {
+      if (prior.name == tier.name)
+        fail("duplicate tier name '" + tier.name + "'");
+    }
+    tier.capacity_bytes = config.get_bytes(section, "capacity", 0);
+    if (tier.capacity_bytes == 0)
+      fail("tier '" + tier.name + "' capacity missing or zero");
+    tier.relative_performance =
+        config.get_double(section, "relative_performance", 1.0);
+    if (tier.relative_performance <= 0)
+      fail("tier '" + tier.name + "' relative_performance must be positive");
+    tiers.push_back(std::move(tier));
+  }
+  if (tiers.empty()) fail("no [tier <name>] sections");
+  return tiers;
+}
+
+}  // namespace hmem

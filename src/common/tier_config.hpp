@@ -1,0 +1,32 @@
+// Shared scanning/validation of `[tier <name>]` config sections.
+//
+// Two parsers consume tier lists — the advisor's MemorySpec (capacity +
+// relative performance per tier) and memsim's MachineConfig (those plus
+// latency/bandwidth) — and both must reject the same degenerate inputs:
+// no tiers at all, duplicate tier names, zero capacities, non-positive
+// relative performance. Keeping the scan and the checks here means a new
+// validation rule lands in both parsers at once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace hmem {
+
+struct TierSection {
+  std::string name;     ///< trimmed tier name ("[tier  a]" -> "a")
+  std::string section;  ///< raw section key, for reading further keys
+  std::uint64_t capacity_bytes = 0;
+  double relative_performance = 1.0;
+};
+
+/// Scans `config` for `[tier <name>]` sections in appearance order and
+/// validates the common fields. Throws std::runtime_error prefixed with
+/// `context` ("machine config", "memory spec", ...) on degenerate input.
+std::vector<TierSection> parse_tier_sections(const Config& config,
+                                             const std::string& context);
+
+}  // namespace hmem

@@ -181,21 +181,55 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
   // `access_scale` times too small and overestimate the hit rate. The
   // DirectMappedMemCache component remains available for line-level studies.
   memsim::MachineConfig cfg = options.node;
+  HMEM_ASSERT_MSG(!cfg.tiers.empty(), "node config has no memory tiers");
   cfg.mode = memsim::MemMode::kFlat;
   cfg.llc.size_bytes = std::max<std::uint64_t>(
       16ULL * 1024, floor_pow2(cfg.llc.size_bytes / ranks));
-  const std::uint64_t ddr_share = cfg.ddr.capacity_bytes / ranks;
-  const std::uint64_t mcdram_share = cfg.mcdram.capacity_bytes / ranks;
-  cfg.ddr.capacity_bytes = ddr_share;
-  cfg.mcdram.capacity_bytes = mcdram_share;
+  for (memsim::TierSpec& tier : cfg.tiers) {
+    tier.capacity_bytes /= static_cast<std::uint64_t>(ranks);
+  }
+  // Hand-built configs may come in with unassigned (zero) bases; lay the
+  // tiers out *here* so the allocators below and the Machine (which would
+  // otherwise assign bases only on its private copy) agree on the map.
+  memsim::assign_tier_bases(cfg.tiers);
   memsim::Machine machine(cfg);
 
+  const std::size_t n_tiers = cfg.tiers.size();
+  // Machine-tier indices in descending performance: perf[0] is the fastest
+  // tier, perf.back() the slowest (the unbounded default).
+  const std::vector<memsim::TierIndex> perf = cfg.tiers_by_performance();
+  const memsim::TierIndex slowest = perf.back();
+  const memsim::TierIndex cache_front = cfg.resolved_cache_front();
+  const memsim::TierIndex cache_backing = cfg.resolved_cache_backing();
+
   // ---- Allocators, modules, policy -------------------------------------
-  alloc::PosixAllocator posix(memsim::kDdrBase, ddr_share);
-  std::unique_ptr<alloc::MemkindAllocator> hbw;
-  if (!cache_mode) {
-    hbw = std::make_unique<alloc::MemkindAllocator>(memsim::kMcdramBase,
-                                                    mcdram_share);
+  // One allocator per tier: the slowest (or, in cache mode, the backing)
+  // tier gets the glibc-malloc stand-in; every faster tier a memkind-style
+  // one. Cache mode addresses only the backing tier.
+  std::vector<std::unique_ptr<alloc::Allocator>> tier_allocs(n_tiers);
+  auto make_alloc = [&](memsim::TierIndex t) {
+    const memsim::TierSpec& tier = cfg.tiers[t];
+    if (t == slowest || (cache_mode && t == cache_backing)) {
+      tier_allocs[t] = std::make_unique<alloc::PosixAllocator>(
+          tier.base, tier.capacity_bytes);
+    } else {
+      tier_allocs[t] = std::make_unique<alloc::MemkindAllocator>(
+          tier.base, tier.capacity_bytes);
+    }
+  };
+  if (cache_mode) {
+    make_alloc(cache_backing);
+  } else {
+    for (memsim::TierIndex t = 0; t < n_tiers; ++t) make_alloc(t);
+  }
+  // Policy view: allocators fastest first, default last.
+  std::vector<alloc::Allocator*> policy_tiers;
+  if (cache_mode) {
+    policy_tiers.push_back(tier_allocs[cache_backing].get());
+  } else {
+    for (const memsim::TierIndex t : perf) {
+      policy_tiers.push_back(tier_allocs[t].get());
+    }
   }
 
   callstack::ModuleMap modules;
@@ -209,23 +243,23 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
   switch (options.condition) {
     case Condition::kDdr:
     case Condition::kCacheMode:
-      policy = std::make_unique<runtime::DdrPolicy>(posix);
+      policy = std::make_unique<runtime::DdrPolicy>(*policy_tiers.back());
       break;
     case Condition::kNumactl:
-      HMEM_ASSERT(hbw != nullptr);
-      policy = std::make_unique<runtime::NumactlPolicy>(posix, *hbw);
+      HMEM_ASSERT(policy_tiers.size() >= 2);
+      policy = std::make_unique<runtime::NumactlPolicy>(policy_tiers);
       break;
     case Condition::kAutoHbw:
-      HMEM_ASSERT(hbw != nullptr);
+      HMEM_ASSERT(policy_tiers.size() >= 2);
       policy = std::make_unique<runtime::AutoHbwLibPolicy>(
-          posix, *hbw, options.autohbw_threshold);
+          policy_tiers, options.autohbw_threshold);
       break;
     case Condition::kFramework: {
       HMEM_ASSERT_MSG(options.placement != nullptr,
                       "framework condition requires a Placement");
-      HMEM_ASSERT(hbw != nullptr);
+      HMEM_ASSERT(policy_tiers.size() >= 2);
       auto fw = std::make_unique<runtime::AutoHbwMalloc>(
-          *options.placement, posix, *hbw, unwinder, translator,
+          *options.placement, policy_tiers, unwinder, translator,
           options.runtime_options);
       framework = fw.get();
       policy = std::move(fw);
@@ -338,10 +372,15 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
                         tier.per_core_bw_gbs,
                     tier.peak_bw_gbs / ranks);
   };
-  const double ddr_bw = rank_bw_gbs(options.node.ddr);
-  const double mcdram_bw =
-      rank_bw_gbs(options.node.mcdram) *
-      (cache_mode ? options.node.cache_mode_bw_derate : 1.0);
+  // Per-rank achievable bandwidth of every tier; cache mode derates the
+  // front tier (tag/fill/writeback traffic rides on the memory side).
+  std::vector<double> tier_bw(n_tiers);
+  for (memsim::TierIndex t = 0; t < n_tiers; ++t) {
+    tier_bw[t] = rank_bw_gbs(options.node.tiers[t]) *
+                 (cache_mode && t == cache_front
+                      ? options.node.cache_mode_bw_derate
+                      : 1.0);
+  }
   const double scale = app.access_scale;
 
   std::unique_ptr<CacheModeModel> mc_model;
@@ -352,14 +391,14 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
     }
     footprints[n_objects] = static_cast<double>(app.stack_bytes);
     mc_model = std::make_unique<CacheModeModel>(
-        static_cast<double>(mcdram_share), std::move(footprints),
+        static_cast<double>(cfg.tiers[cache_front].capacity_bytes),
+        std::move(footprints),
         static_cast<double>(memsim::kCacheLineBytes) * scale,
         options.node.cache_mode_conflict_k);
   }
 
   // ---- Main loop ---------------------------------------------------------
-  std::uint64_t total_ddr_bytes_sim = 0;
-  std::uint64_t total_mc_bytes_sim = 0;
+  std::vector<std::uint64_t> total_tier_sim(n_tiers, 0);
   std::uint64_t total_misses_sim = 0;
   double cumulative_instructions = 0;
   std::vector<MissRecord> miss_records;
@@ -377,6 +416,9 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
   std::vector<PhaseTable> tables(app.phases.size());
   const std::uint64_t miss_count_per_sim =
       std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::llround(scale)));
+  // Hoisted per-phase scratch (re-zeroed each phase, never reallocated).
+  std::vector<std::uint64_t> phase_tier_sim(n_tiers, 0);
+  std::vector<double> tier_seconds(n_tiers, 0.0);
 
   for (std::uint64_t iter = 0; iter < app.iterations; ++iter) {
     for (std::size_t i = 0; i < n_objects; ++i) {
@@ -404,8 +446,7 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
       const auto n_accesses = static_cast<std::uint64_t>(std::llround(
           static_cast<double>(app.accesses_per_iteration) *
           phase.access_share));
-      std::uint64_t phase_ddr_sim = 0;
-      std::uint64_t phase_mc_sim = 0;
+      std::fill(phase_tier_sim.begin(), phase_tier_sim.end(), 0);
       double phase_latency_ns = 0;
       miss_records.clear();
 
@@ -435,27 +476,30 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
         }
         const memsim::AccessResult res = machine.access(addr, is_write);
         double latency_ns = res.latency_ns;
-        std::uint64_t ddr_b = res.ddr_bytes;
-        std::uint64_t mc_b = res.mcdram_bytes;
+        memsim::TierIndex serve_tier = res.tier;
+        std::uint64_t serve_bytes = res.tier_bytes;
+        std::uint64_t fill_bytes = 0;
         if (!res.llc_hit && cache_mode) {
-          // Analytic memory-side cache decision (see CacheModeModel).
+          // Analytic memory-side cache decision (see CacheModeModel). The
+          // flat-mode routing above served the backing tier; rewrite it.
           const std::size_t mc_target = idx == SIZE_MAX ? n_objects : idx;
           if (rng.uniform() < mc_model->hit_probability(mc_target)) {
-            latency_ns = options.node.mcdram.latency_ns +
+            latency_ns = options.node.tiers[cache_front].latency_ns +
                          options.node.mem_cache_tag_ns;
-            ddr_b = 0;
-            mc_b = memsim::kCacheLineBytes;
+            serve_tier = cache_front;
+            serve_bytes = memsim::kCacheLineBytes;
           } else {
             mc_model->on_miss(mc_target);
-            latency_ns = options.node.ddr.latency_ns +
+            latency_ns = options.node.tiers[cache_backing].latency_ns +
                          options.node.mem_cache_tag_ns;
-            ddr_b = memsim::kCacheLineBytes;
-            mc_b = memsim::kCacheLineBytes;  // memory-side fill
+            serve_tier = cache_backing;
+            serve_bytes = memsim::kCacheLineBytes;
+            fill_bytes = memsim::kCacheLineBytes;  // memory-side fill
           }
         }
         phase_latency_ns += latency_ns;
-        phase_ddr_sim += ddr_b;
-        phase_mc_sim += mc_b;
+        phase_tier_sim[serve_tier] += serve_bytes;
+        if (fill_bytes != 0) phase_tier_sim[cache_front] += fill_bytes;
         if (!res.llc_hit) {
           ++total_misses_sim;
           if (prof) miss_records.push_back({k, addr, is_write});
@@ -466,14 +510,27 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
       const double real_instr = static_cast<double>(n_accesses) * scale *
                                 phase.insts_per_access;
       const double compute_s = real_instr / instr_rate;
-      const double ddr_s =
-          static_cast<double>(phase_ddr_sim) * scale / (ddr_bw * 1e9);
-      const double mc_s =
-          static_cast<double>(phase_mc_sim) * scale / (mcdram_bw * 1e9);
+      // Tiers stream in parallel, but the shared mesh/controllers keep the
+      // combination short of perfect overlap: the slowest tier dominates
+      // and every other tier's time is charged at tier_mix_penalty.
+      double dominant_s = 0;
+      std::size_t dominant_tier = 0;
+      for (memsim::TierIndex t = 0; t < n_tiers; ++t) {
+        tier_seconds[t] = static_cast<double>(phase_tier_sim[t]) * scale /
+                          (tier_bw[t] * 1e9);
+        if (tier_seconds[t] > dominant_s) {
+          dominant_s = tier_seconds[t];
+          dominant_tier = t;
+        }
+      }
+      double overlapped_s = 0;
+      for (memsim::TierIndex t = 0; t < n_tiers; ++t) {
+        if (t != dominant_tier) overlapped_s += tier_seconds[t];
+      }
       const double latency_s =
           phase_latency_ns * scale * 1e-9 / (eff_cores * options.mlp);
-      const double tier_s = std::max(ddr_s, mc_s) +
-                            options.tier_mix_penalty * std::min(ddr_s, mc_s);
+      const double tier_s =
+          dominant_s + options.tier_mix_penalty * overlapped_s;
       const double memory_s = std::max(latency_s, tier_s);
       const double phase_s =
           std::max(compute_s, memory_s) +
@@ -496,8 +553,9 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
         prof->on_phase(now_ns, phase.name, /*begin=*/false);
       }
 
-      total_ddr_bytes_sim += phase_ddr_sim;
-      total_mc_bytes_sim += phase_mc_sim;
+      for (memsim::TierIndex t = 0; t < n_tiers; ++t) {
+        total_tier_sim[t] += phase_tier_sim[t];
+      }
 
       for (std::size_t i = 0; i < n_objects; ++i) {
         if (app.objects[i].transient_phase == static_cast<int>(p))
@@ -518,26 +576,32 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
   result.fom = app.work_per_iteration * static_cast<double>(app.iterations) *
                ranks / result.time_s;
 
-  result.ddr_bytes = static_cast<std::uint64_t>(
-      static_cast<double>(total_ddr_bytes_sim) * scale);
-  result.mcdram_bytes = static_cast<std::uint64_t>(
-      static_cast<double>(total_mc_bytes_sim) * scale);
+  // Per-tier traffic, fastest tier first (the order callers reason in).
+  result.tier_traffic.reserve(n_tiers);
+  for (const memsim::TierIndex t : perf) {
+    TierTraffic traffic;
+    traffic.name = cfg.tiers[t].name;
+    traffic.bytes = static_cast<std::uint64_t>(
+        static_cast<double>(total_tier_sim[t]) * scale);
+    result.tier_traffic.push_back(std::move(traffic));
+  }
   result.achieved_bw_gbs =
-      static_cast<double>(result.ddr_bytes + result.mcdram_bytes) /
-      result.time_s / 1e9;
+      static_cast<double>(result.dram_bytes()) / result.time_s / 1e9;
   result.llc_misses = total_misses_sim * miss_count_per_sim;
   result.alloc_calls = alloc_calls;
   result.allocs_per_second = static_cast<double>(alloc_calls) / result.time_s;
   result.interposition_overhead_ns = interpose_ns;
 
-  result.total_hwm_bytes = posix.stats().high_water_mark +
-                           (hbw ? hbw->stats().high_water_mark : 0);
+  result.total_hwm_bytes = 0;
+  for (const auto& a : tier_allocs) {
+    if (a != nullptr) result.total_hwm_bytes += a->stats().high_water_mark;
+  }
   if (framework != nullptr) {
     result.autohbw = framework->stats();
-    result.mcdram_hwm_bytes = framework->stats().fast_hwm;
+    result.fast_hwm_bytes = framework->stats().fast_hwm;
   } else if (options.condition == Condition::kNumactl ||
              options.condition == Condition::kAutoHbw) {
-    result.mcdram_hwm_bytes = hbw->stats().high_water_mark;
+    result.fast_hwm_bytes = tier_allocs[perf.front()]->stats().high_water_mark;
   }
 
   if (prof) {

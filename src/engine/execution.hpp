@@ -20,6 +20,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "advisor/placement_report.hpp"
 #include "apps/app.hpp"
@@ -74,12 +75,19 @@ struct RunOptions {
   /// max(compute, memory) + overlap_beta * min(compute, memory). Zero means
   /// perfect overlap (pure roofline); one means fully serialised.
   double overlap_beta = 0.25;
-  /// Cross-tier contention: DDR and MCDRAM stream in parallel, but the
-  /// shared mesh/controllers keep the combination short of perfect overlap:
-  /// memory time is max(ddr, mcdram) + tier_mix_penalty * min(ddr, mcdram).
+  /// Cross-tier contention: tiers stream in parallel, but the shared
+  /// mesh/controllers keep the combination short of perfect overlap:
+  /// memory time is the dominant tier's time plus tier_mix_penalty times
+  /// the sum of every other tier's.
   double tier_mix_penalty = 0.3;
   /// autohbw size threshold (paper: 1 MiB).
   std::uint64_t autohbw_threshold = 1ULL << 20;
+};
+
+/// Real (scale-corrected) DRAM traffic one tier carried during a run.
+struct TierTraffic {
+  std::string name;            ///< tier name from the machine config
+  std::uint64_t bytes = 0;     ///< per rank
 };
 
 struct RunResult {
@@ -89,17 +97,30 @@ struct RunResult {
   double time_s = 0;
   double fom = 0;
 
-  /// Fast-tier high-water mark, per rank (Figure 4 middle column). For the
-  /// framework this is auto-hbwmalloc's accounting; for numactl/autohbw it
-  /// is the HBW allocator's HWM. Zero under DDR / cache mode.
-  std::uint64_t mcdram_hwm_bytes = 0;
+  /// Fastest-tier high-water mark, per rank (Figure 4 middle column). For
+  /// the framework this is auto-hbwmalloc's accounting; for numactl/autohbw
+  /// it is the fast allocator's HWM. Zero under DDR / cache mode.
+  std::uint64_t fast_hwm_bytes = 0;
   /// Per-rank resident high-water mark across all allocators (Table I).
   std::uint64_t total_hwm_bytes = 0;
 
-  /// Real (scale-corrected) DRAM traffic, per rank.
-  std::uint64_t ddr_bytes = 0;
-  std::uint64_t mcdram_bytes = 0;
+  /// Per-tier real (scale-corrected) DRAM traffic, per rank, ordered
+  /// fastest tier first (the machine's performance order).
+  std::vector<TierTraffic> tier_traffic;
   double achieved_bw_gbs = 0;
+
+  /// Traffic on the fastest / slowest tier ("MCDRAM" / "DDR" on KNL).
+  std::uint64_t fast_bytes() const {
+    return tier_traffic.empty() ? 0 : tier_traffic.front().bytes;
+  }
+  std::uint64_t slow_bytes() const {
+    return tier_traffic.empty() ? 0 : tier_traffic.back().bytes;
+  }
+  std::uint64_t dram_bytes() const {
+    std::uint64_t total = 0;
+    for (const TierTraffic& t : tier_traffic) total += t.bytes;
+    return total;
+  }
 
   std::uint64_t llc_misses = 0;  ///< real, per rank
   std::uint64_t samples = 0;     ///< PEBS samples captured (profiled runs)

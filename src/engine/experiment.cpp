@@ -70,6 +70,8 @@ Fig4Row Fig4Runner::run(const std::vector<std::uint64_t>& budgets,
   Fig4Row row;
   row.app = app_.name;
   row.fom_unit = app_.fom_unit;
+  row.machine = base_.node.name;
+  row.fast_tier_name = base_.node.tiers[base_.node.fastest_tier()].name;
 
   // Stage 1 + 2, shared across every framework cell.
   RunOptions profile_opts;
@@ -96,12 +98,9 @@ Fig4Row Fig4Runner::run(const std::vector<std::uint64_t>& budgets,
     BaselineResult b;
     b.condition = r.condition;
     b.fom = r.fom;
-    b.mcdram_hwm_bytes = r.mcdram_hwm_bytes;
+    b.fast_hwm_bytes = r.fast_hwm_bytes;
     return b;
   };
-
-  const std::uint64_t ddr_share =
-      base_.node.ddr.capacity_bytes / static_cast<std::uint64_t>(app_.ranks);
 
   // Task space: 4 baselines then strategy-major, budget-minor cells.
   const Condition baseline_conditions[] = {
@@ -118,8 +117,8 @@ Fig4Row Fig4Runner::run(const std::vector<std::uint64_t>& budgets,
         const std::size_t c = t - 4;
         const StrategyConfig& strategy = strategies[c / budgets.size()];
         const std::uint64_t budget = budgets[c % budgets.size()];
-        advisor::MemorySpec spec = advisor::MemorySpec::two_tier(
-            budget, ddr_share, base_.node.mcdram.relative_performance);
+        advisor::MemorySpec spec =
+            machine_memory_spec(base_.node, budget, app_.ranks);
         advisor::Options adv_options = strategy.options;
         if (base_.advisor.virtual_budget_bytes > 0) {
           adv_options.virtual_budget_bytes =
@@ -142,7 +141,7 @@ Fig4Row Fig4Runner::run(const std::vector<std::uint64_t>& budgets,
         cell.strategy = strategy.label;
         cell.budget_bytes = budget;
         cell.fom = r.fom;
-        cell.hwm_bytes = r.mcdram_hwm_bytes;
+        cell.hwm_bytes = r.fast_hwm_bytes;
         cell.any_overflow = r.autohbw.has_value() && r.autohbw->any_overflow;
       });
   row.ddr = baselines[0];
@@ -151,9 +150,11 @@ Fig4Row Fig4Runner::run(const std::vector<std::uint64_t>& budgets,
   row.cache = baselines[3];
 
   // dFOM/MByte needs the DDR baseline, so it is filled in after the sweep.
-  // The paper assigns 16 GiB as MEM_x for the two budget-less conditions;
-  // autohbw is excluded from the metric (unknown promoted volume).
-  const std::uint64_t budgetless_mem = 16ULL * kGiB;
+  // The paper assigns the full fast-tier capacity (16 GiB MCDRAM on KNL) as
+  // MEM_x for the two budget-less conditions; autohbw is excluded from the
+  // metric (unknown promoted volume).
+  const std::uint64_t budgetless_mem =
+      base_.node.tiers[base_.node.fastest_tier()].capacity_bytes;
   row.numactl.dfom_per_mb =
       dfom_per_mb(row.numactl.fom, row.ddr.fom, budgetless_mem);
   row.cache.dfom_per_mb =
@@ -207,8 +208,8 @@ std::string format_fig4_row(const Fig4Row& row,
       os << '\n';
     }
     if (with_baselines) {
-      os << "  lines: DDR=" << fmt_double(row.ddr.fom)
-         << " MCDRAM*=" << fmt_double(row.numactl.fom)
+      os << "  lines: DDR=" << fmt_double(row.ddr.fom) << " "
+         << row.fast_tier_name << "*=" << fmt_double(row.numactl.fom)
          << " cache=" << fmt_double(row.cache.fom)
          << " autohbw/1m=" << fmt_double(row.autohbw.fom) << " ("
          << row.fom_unit << ")\n";
@@ -218,7 +219,7 @@ std::string format_fig4_row(const Fig4Row& row,
 
   print_table("FOM (" + row.fom_unit + ")",
               [](const Fig4Cell& c) { return c.fom; }, true);
-  print_table("MCDRAM HWM (MiB/rank)",
+  print_table(row.fast_tier_name + " HWM (MiB/rank)",
               [](const Fig4Cell& c) {
                 return static_cast<double>(c.hwm_bytes) /
                        static_cast<double>(kMiB);
@@ -226,7 +227,8 @@ std::string format_fig4_row(const Fig4Row& row,
               false);
   print_table("dFOM/MByte",
               [](const Fig4Cell& c) { return c.dfom_per_mb; }, false);
-  os << "  dFOM/MByte lines: MCDRAM*=" << fmt_double(row.numactl.dfom_per_mb)
+  os << "  dFOM/MByte lines: " << row.fast_tier_name
+     << "*=" << fmt_double(row.numactl.dfom_per_mb)
      << " cache=" << fmt_double(row.cache.dfom_per_mb) << '\n';
   return os.str();
 }
@@ -239,7 +241,7 @@ std::string fig4_row_to_csv(const Fig4Row& row) {
   auto baseline = [&](const BaselineResult& b) {
     writer.write_row({row.app, "baseline", b.condition, "",
                       fmt_double(b.fom),
-                      fmt_double(static_cast<double>(b.mcdram_hwm_bytes) /
+                      fmt_double(static_cast<double>(b.fast_hwm_bytes) /
                                  static_cast<double>(kMiB)),
                       fmt_double(b.dfom_per_mb)});
   };

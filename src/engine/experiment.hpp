@@ -40,7 +40,7 @@ struct Fig4Cell {
   std::string strategy;
   std::uint64_t budget_bytes = 0;  ///< per rank
   double fom = 0;
-  std::uint64_t hwm_bytes = 0;     ///< MCDRAM HWM per rank (middle column)
+  std::uint64_t hwm_bytes = 0;     ///< fast-tier HWM per rank (middle column)
   double dfom_per_mb = 0;          ///< right column
   bool any_overflow = false;       ///< advisor-selected object did not fit
 };
@@ -48,13 +48,17 @@ struct Fig4Cell {
 struct BaselineResult {
   std::string condition;
   double fom = 0;
-  std::uint64_t mcdram_hwm_bytes = 0;
+  std::uint64_t fast_hwm_bytes = 0;
   double dfom_per_mb = 0;
 };
 
 struct Fig4Row {
   std::string app;
   std::string fom_unit;
+  /// Machine preset the row ran on and its fastest tier's name — the
+  /// budget sweep targets that tier ("MCDRAM" on the paper's KNL).
+  std::string machine = "knl7250";
+  std::string fast_tier_name = "MCDRAM";
   BaselineResult ddr;
   BaselineResult numactl;
   BaselineResult autohbw;

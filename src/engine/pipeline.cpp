@@ -6,9 +6,30 @@
 #include "advisor/advisor.hpp"
 #include "common/assert.hpp"
 #include "common/parallel.hpp"
+#include "common/strings.hpp"
 #include "trace/merge.hpp"
 
 namespace hmem::engine {
+
+advisor::MemorySpec machine_memory_spec(const memsim::MachineConfig& node,
+                                        std::uint64_t fast_budget_per_rank,
+                                        int ranks) {
+  HMEM_ASSERT(!node.tiers.empty());
+  HMEM_ASSERT(ranks >= 1);
+  std::vector<advisor::TierBudget> budgets;
+  const auto perf = node.tiers_by_performance();
+  for (std::size_t k = 0; k < perf.size(); ++k) {
+    const memsim::TierSpec& tier = node.tiers[perf[k]];
+    advisor::TierBudget budget;
+    budget.name = to_lower(tier.name);
+    budget.capacity_bytes =
+        k == 0 ? fast_budget_per_rank
+               : tier.capacity_bytes / static_cast<std::uint64_t>(ranks);
+    budget.relative_performance = tier.relative_performance;
+    budgets.push_back(std::move(budget));
+  }
+  return advisor::MemorySpec(std::move(budgets));
+}
 
 namespace {
 
@@ -100,13 +121,11 @@ PipelineResult run_pipeline(const apps::AppSpec& app_in,
     result.report = aggregate.finish();
   }
 
-  // Stage 3: compute the placement for the requested budget. The DDR tier
-  // is the per-rank fallback share.
-  const std::uint64_t ddr_share =
-      options.node.ddr.capacity_bytes / static_cast<std::uint64_t>(app.ranks);
-  advisor::MemorySpec spec = advisor::MemorySpec::two_tier(
-      options.fast_budget_per_rank, ddr_share,
-      options.node.mcdram.relative_performance);
+  // Stage 3: compute the placement for the requested budget. Every tier
+  // below the fastest contributes its per-rank capacity share; the slowest
+  // is the unbounded fallback.
+  advisor::MemorySpec spec = machine_memory_spec(
+      options.node, options.fast_budget_per_rank, app.ranks);
   advisor::HmemAdvisor adv(spec, options.advisor);
   result.placement = adv.advise(result.report.objects);
   result.placement_report_text =

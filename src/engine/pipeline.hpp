@@ -35,6 +35,15 @@ namespace hmem::engine {
 /// per-rank executions.
 inline constexpr std::uint64_t kRankSeedStride = 7919;
 
+/// Builds the advisor's memory spec from a machine description: tiers in
+/// descending performance, the fastest capped at `fast_budget_per_rank`
+/// (Figure 4's x-axis), every other tier at its per-rank capacity share,
+/// names lowercased to match the historical report format. The slowest tier
+/// doubles as the advisor's unbounded fallback.
+advisor::MemorySpec machine_memory_spec(const memsim::MachineConfig& node,
+                                        std::uint64_t fast_budget_per_rank,
+                                        int ranks);
+
 struct PipelineOptions {
   /// Per-rank fast-tier budget for the advisor (Figure 4's x-axis).
   std::uint64_t fast_budget_per_rank = 256ULL << 20;

@@ -1,9 +1,9 @@
-// Address-space model of the simulated Knights Landing node.
+// Address-space model of the simulated hybrid-memory node.
 //
-// Flat mode exposes DDR and MCDRAM as two disjoint physical ranges (two NUMA
-// nodes on real hardware). We pin both ranges at fixed simulated physical
-// bases so that "which tier owns this address" is a range check, exactly the
-// property the real machine gives the OS.
+// Flat mode exposes every memory tier as its own disjoint physical range
+// (one NUMA node per tier on real hardware). We pin the ranges at fixed
+// simulated physical bases so that "which tier owns this address" is a range
+// check, exactly the property the real machine gives the OS.
 #pragma once
 
 #include <cstdint>
@@ -15,10 +15,17 @@ using Address = std::uint64_t;
 inline constexpr std::uint64_t kCacheLineBytes = 64;
 inline constexpr std::uint64_t kPageBytes = 4096;
 
-/// Simulated physical layout. MCDRAM sits above DDR with a guard gap so
+/// Simulated physical layout: the first tier starts at kTierFirstBase and
+/// each further tier starts at the next kTierBaseAlign boundary past the
+/// previous tier's end (see assign_tier_bases), leaving guard gaps so
 /// out-of-range bugs trip the range checks instead of aliasing.
-inline constexpr Address kDdrBase = 0x0000'0001'0000'0000ULL;      // 4 GiB
-inline constexpr Address kMcdramBase = 0x0000'0040'0000'0000ULL;   // 256 GiB
+inline constexpr Address kTierFirstBase = 0x0000'0001'0000'0000ULL;  // 4 GiB
+inline constexpr Address kTierBaseAlign = 0x0000'0040'0000'0000ULL;  // 256 GiB
+
+/// The layout this scheme produces for the KNL pair (DDR first, MCDRAM
+/// second) — kept named because tests and docs refer to the paper platform.
+inline constexpr Address kDdrBase = kTierFirstBase;                // 4 GiB
+inline constexpr Address kMcdramBase = kTierBaseAlign;             // 256 GiB
 
 constexpr Address line_of(Address addr) {
   return addr & ~(kCacheLineBytes - 1);

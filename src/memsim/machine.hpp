@@ -1,24 +1,28 @@
 // The simulated hybrid-memory node.
 //
-// Machine glues the LLC model, the two DRAM tiers and (in cache mode) the
-// direct-mapped memory-side MCDRAM cache into a single `access()` entry
-// point: given a physical address, it classifies where the access was served
-// and what DRAM traffic it generated. The execution engine aggregates these
-// classifications into phase timings; the PEBS sampler taps the LLC-miss
-// stream.
+// Machine glues the LLC model, an ordered list of N memory tiers and (in
+// cache mode) the direct-mapped memory-side cache into a single `access()`
+// entry point: given a physical address, it classifies where the access was
+// served and what DRAM traffic it generated. The execution engine aggregates
+// these classifications into phase timings; the PEBS sampler taps the
+// LLC-miss stream.
 //
 // Two operating modes mirror the paper's platform:
-//  * kFlat  — MCDRAM is addressable memory (its own range); placement
+//  * kFlat  — every tier is addressable memory (its own range); placement
 //             decides which tier serves a miss.
-//  * kCache — all data lives in the DDR range; MCDRAM fronts it as a
-//             direct-mapped cache (conflict misses and all).
+//  * kCache — one designated tier (the cache *front*) fronts another (the
+//             *backing* tier) as a direct-mapped memory-side cache, conflict
+//             misses and all. All data lives in the backing tier's range.
+//             On KNL: MCDRAM fronting DDR.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "common/config.hpp"
 #include "memsim/address.hpp"
 #include "memsim/cache.hpp"
 #include "memsim/mcdram_cache.hpp"
@@ -29,14 +33,14 @@ namespace hmem::memsim {
 enum class MemMode { kFlat, kCache };
 
 const char* mem_mode_name(MemMode mode);
+std::optional<MemMode> parse_mem_mode(const std::string& name);
 
 /// Where an access was ultimately served from.
 enum class ServedBy {
-  kLlc,              ///< hit in the last-level cache
-  kDdr,              ///< flat mode, DDR range
-  kMcdram,           ///< flat mode, MCDRAM range
-  kMcdramCacheHit,   ///< cache mode, memory-side cache hit
-  kMcdramCacheMiss,  ///< cache mode, served by DDR + MCDRAM fill
+  kLlc,           ///< hit in the last-level cache
+  kTier,          ///< flat mode, served by the tier owning the range
+  kMemCacheHit,   ///< cache mode, memory-side cache hit (front tier)
+  kMemCacheMiss,  ///< cache mode, served by the backing tier + front fill
 };
 
 const char* served_by_name(ServedBy served);
@@ -44,34 +48,48 @@ const char* served_by_name(ServedBy served);
 struct AccessResult {
   bool llc_hit = false;
   ServedBy served_by = ServedBy::kLlc;
+  /// Tier that served the access (meaningless on an LLC hit).
+  TierIndex tier = 0;
   double latency_ns = 0.0;
-  /// DRAM traffic generated by this access (line fills / writebacks).
-  std::uint64_t ddr_bytes = 0;
-  std::uint64_t mcdram_bytes = 0;
+  /// DRAM traffic this access generated on the serving tier (line fill /
+  /// writeback) ...
+  std::uint64_t tier_bytes = 0;
+  /// ... plus, in cache mode, the memory-side fill traffic on the front
+  /// tier (fill_bytes is zero everywhere else).
+  TierIndex fill_tier = 0;
+  std::uint64_t fill_bytes = 0;
 };
 
 struct MachineConfig {
+  /// Sentinel for "pick the default tier" in the cache-pair selectors.
+  static constexpr std::size_t kAutoTier = ~std::size_t{0};
+
   std::string name = "machine";
   int cores = 1;
   double freq_ghz = 1.0;
   /// Instructions one core retires per cycle when not memory-stalled.
   double ipc = 1.0;
   CacheConfig llc;
-  TierSpec ddr;
-  TierSpec mcdram;
+  /// Ordered tier list (address-map order). Identity is the index; the
+  /// advisor's fill order is derived from relative_performance instead.
+  std::vector<TierSpec> tiers;
   MemMode mode = MemMode::kFlat;
+  /// Cache-mode pair: tier `cache_front_tier` fronts `cache_backing_tier`.
+  /// kAutoTier resolves to the fastest / slowest tier respectively.
+  std::size_t cache_front_tier = kAutoTier;
+  std::size_t cache_backing_tier = kAutoTier;
   double llc_latency_ns = 10.0;
   /// Tag-directory lookup added to every cache-mode DRAM access.
   double mem_cache_tag_ns = 12.0;
-  /// Cache mode cannot stream at flat-mode MCDRAM bandwidth: every access
-  /// also moves tag/fill/writeback traffic on the memory side. Measured
-  /// STREAM on KNL lands around 70% of flat; this derates the MCDRAM
-  /// bandwidth the roofline model sees in cache mode.
+  /// Cache mode cannot stream at the front tier's flat-mode bandwidth:
+  /// every access also moves tag/fill/writeback traffic on the memory side.
+  /// Measured STREAM on KNL lands around 70% of flat; this derates the
+  /// front-tier bandwidth the roofline model sees in cache mode.
   double cache_mode_bw_derate = 0.72;
   /// Direct-mapped conflict pressure coefficient: the cache-mode hit
   /// probability is derated by 1 / (1 + k * max(0, demand/capacity - 1)),
-  /// so conflicts only bite when the working set oversubscribes MCDRAM
-  /// ("the lack of associativity is a problem").
+  /// so conflicts only bite when the working set oversubscribes the front
+  /// tier ("the lack of associativity is a problem").
   double cache_mode_conflict_k = 0.05;
   /// Tag-tracking granularity of the memory-side cache.
   std::uint64_t mem_cache_block_bytes = kPageBytes;
@@ -80,10 +98,59 @@ struct MachineConfig {
   /// 96 GiB DDR4 + 16 GiB MCDRAM, 32 MiB aggregate L2 (LLC).
   static MachineConfig knl7250(MemMode mode);
 
+  /// Xeon Max style node: 512 GiB DDR5 + 64 GiB on-package HBM.
+  static MachineConfig spr_hbm(MemMode mode);
+
+  /// DDR plus a slower CXL memory expander (type-3 device).
+  static MachineConfig ddr_cxl(MemMode mode);
+
+  /// Three-tier node: 16 GiB HBM + 128 GiB DDR + 512 GiB PMem.
+  static MachineConfig hbm_ddr_pmem(MemMode mode);
+
   /// Down-scaled node for unit tests: tiny LLC so misses are easy to force,
   /// small tiers so capacity edges are reachable.
   static MachineConfig test_node(MemMode mode);
+
+  /// Three-tier sibling of test_node (HBM + DDR + PMem, a few MiB each).
+  static MachineConfig test_node3(MemMode mode);
+
+  /// Preset lookup by name ("knl", "spr-hbm", "ddr-cxl", "hbm-ddr-pmem",
+  /// plus the test nodes); nullopt for unknown names.
+  static std::optional<MachineConfig> preset(const std::string& name,
+                                             MemMode mode = MemMode::kFlat);
+  /// Preset names in lookup order, for --help texts.
+  static std::vector<std::string> preset_names();
+
+  /// Parses a machine description config:
+  ///   [machine]             name/cores/freq_ghz/ipc/mode + model knobs
+  ///   [llc]                 size, line, ways, latency_ns
+  ///   [tier <name>]         capacity, latency_ns, per_core_bw_gbs,
+  ///                         peak_bw_gbs, relative_performance
+  /// Tier sections appear in address-map order. Throws std::runtime_error
+  /// on invalid input (no tiers, duplicate names, zero capacity,
+  /// non-positive relative performance).
+  static MachineConfig from_config(const Config& config);
+
+  std::size_t tier_count() const { return tiers.size(); }
+  /// Index of the highest / lowest relative_performance tier (first wins
+  /// ties, matching the advisor's stable fill order).
+  TierIndex fastest_tier() const;
+  TierIndex slowest_tier() const;
+  /// Tier indices in descending relative_performance (stable).
+  std::vector<TierIndex> tiers_by_performance() const;
+  /// Resolved cache-mode pair (kAutoTier -> fastest / slowest).
+  TierIndex resolved_cache_front() const;
+  TierIndex resolved_cache_backing() const;
 };
+
+/// Comma-joined preset names ("knl, spr-hbm, ...") for usage texts.
+std::string machine_preset_list();
+
+/// Resolves a --machine style argument: a preset name first, then a
+/// machine config file (MachineConfig::from_config). Returns nullopt and
+/// fills *error (if non-null) on failure.
+std::optional<MachineConfig> load_machine_config(const std::string& arg,
+                                                 std::string* error);
 
 class Machine {
  public:
@@ -92,32 +159,43 @@ class Machine {
   /// Simulates one memory access at line granularity.
   AccessResult access(Address addr, bool is_write);
 
-  /// True when addr falls in the (flat-mode) MCDRAM range.
-  bool in_mcdram(Address addr) const;
-  bool in_ddr(Address addr) const;
-
-  /// Tier that owns the address range (flat-mode view).
-  TierKind owning_tier(Address addr) const;
+  /// Tier that owns the address range (flat-mode view); addresses outside
+  /// every range fall back to the slowest tier.
+  TierIndex owning_tier(Address addr) const;
+  bool in_tier(Address addr, TierIndex tier) const;
 
   const MachineConfig& config() const { return config_; }
   MemMode mode() const { return config_.mode; }
 
   Cache& llc() { return llc_; }
   const Cache& llc() const { return llc_; }
-  MemoryTier& ddr() { return ddr_; }
-  const MemoryTier& ddr() const { return ddr_; }
-  MemoryTier& mcdram() { return mcdram_; }
-  const MemoryTier& mcdram() const { return mcdram_; }
+  std::size_t tier_count() const { return tiers_.size(); }
+  MemoryTier& tier(TierIndex i) { return tiers_[i]; }
+  const MemoryTier& tier(TierIndex i) const { return tiers_[i]; }
+  TierIndex fastest_tier() const { return fastest_; }
+  TierIndex slowest_tier() const { return slowest_; }
   /// Null in flat mode.
   const DirectMappedMemCache* mem_cache() const { return mem_cache_.get(); }
 
   void reset();
 
  private:
+  /// Compact copy of the tier ranges for the per-access routing scan (the
+  /// full TierSpec drags a std::string through the cache).
+  struct TierRange {
+    Address base = 0;
+    Address end = 0;
+    double latency_ns = 0;
+  };
+
   MachineConfig config_;
   Cache llc_;
-  MemoryTier ddr_;
-  MemoryTier mcdram_;
+  std::vector<MemoryTier> tiers_;
+  std::vector<TierRange> ranges_;
+  TierIndex fastest_ = 0;
+  TierIndex slowest_ = 0;
+  TierIndex cache_front_ = 0;
+  TierIndex cache_backing_ = 0;
   std::unique_ptr<DirectMappedMemCache> mem_cache_;
 };
 

@@ -6,20 +6,21 @@
 
 namespace hmem::memsim {
 
-const char* tier_name(TierKind kind) {
-  switch (kind) {
-    case TierKind::kDdr:
-      return "DDR";
-    case TierKind::kMcdram:
-      return "MCDRAM";
-  }
-  return "?";
-}
-
 double effective_bandwidth_gbs(const TierSpec& spec, int cores) {
   HMEM_ASSERT(cores > 0);
   return std::min(static_cast<double>(cores) * spec.per_core_bw_gbs,
                   spec.peak_bw_gbs);
+}
+
+void assign_tier_bases(std::vector<TierSpec>& tiers) {
+  Address next = kTierFirstBase;
+  for (TierSpec& tier : tiers) {
+    if (tier.base == 0) tier.base = next;
+    const Address end = tier.base + tier.capacity_bytes;
+    // Round the next candidate base up to the alignment boundary past this
+    // tier's end; the gap is the guard band.
+    next = (end + kTierBaseAlign) & ~(kTierBaseAlign - 1);
+  }
 }
 
 }  // namespace hmem::memsim

@@ -11,24 +11,53 @@ AutoHbwMalloc::AutoHbwMalloc(const advisor::Placement& placement,
                              callstack::Unwinder& unwinder,
                              callstack::Translator& translator,
                              AutoHbwOptions options)
-    : PlacementPolicy(slow, &fast),
+    : AutoHbwMalloc(placement, std::vector<Allocator*>{&fast, &slow},
+                    unwinder, translator, options) {}
+
+AutoHbwMalloc::AutoHbwMalloc(const advisor::Placement& placement,
+                             std::vector<Allocator*> tier_allocators,
+                             callstack::Unwinder& unwinder,
+                             callstack::Translator& translator,
+                             AutoHbwOptions options)
+    : PlacementPolicy(std::move(tier_allocators)),
       placement_(placement),
       unwinder_(&unwinder),
       translator_(&translator),
       options_(options) {
   HMEM_ASSERT(!placement_.tiers.empty());
-  const auto& fast_objects = placement_.fast().objects;
-  site_stats_.resize(fast_objects.size());
-  for (std::size_t i = 0; i < fast_objects.size(); ++i) {
-    selected_.emplace(fast_objects[i].stack, i);
+  index_selected();
+}
+
+void AutoHbwMalloc::index_selected() {
+  promotable_tiers_ =
+      std::min(placement_.tiers.size() - 1, tiers_.size() - 1);
+  stats_.tier_bytes_in_use.assign(promotable_tiers_, 0);
+  stats_.tier_hwm.assign(promotable_tiers_, 0);
+  stats_.tier_promoted.assign(promotable_tiers_, 0);
+  stats_.tier_budget_rejections.assign(promotable_tiers_, 0);
+  std::size_t flat = 0;
+  for (std::size_t t = 0; t < promotable_tiers_; ++t) {
+    const auto& objects = placement_.tiers[t].objects;
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+      selected_.emplace(objects[i].stack, Decision{true, t, i, flat++});
+    }
   }
+  site_stats_.resize(flat);
 }
 
 AutoHbwMalloc::Decision AutoHbwMalloc::match(
     const callstack::SymbolicCallStack& symbolic) const {
   const auto it = selected_.find(symbolic);
-  if (it == selected_.end()) return Decision{false, 0};
-  return Decision{true, it->second};
+  if (it == selected_.end()) return Decision{};
+  return it->second;
+}
+
+std::uint64_t AutoHbwMalloc::enforced_budget(std::size_t tier) const {
+  // Tier 0 carries the explicitly-enforced fast budget (the virtual-budget
+  // mitigation makes the selection budget differ from it); deeper tiers
+  // enforce their placement budget directly.
+  if (tier == 0) return placement_.enforced_fast_budget_bytes;
+  return placement_.tiers[tier].budget_bytes;
 }
 
 AllocOutcome AutoHbwMalloc::allocate(
@@ -41,7 +70,7 @@ AllocOutcome AutoHbwMalloc::allocate(
   if (options_.use_size_filter &&
       (size < placement_.lb_size || size > placement_.ub_size)) {
     ++stats_.size_filtered_out;
-    return from_allocator(*slow_, size, /*promoted=*/false, overhead_ns);
+    return from_tier(slow_tier(), size, overhead_ns);
   }
 
   // Line 4: unwind (always needed beyond this point).
@@ -74,20 +103,27 @@ AllocOutcome AutoHbwMalloc::allocate(
 
   if (decision.in) {
     ++stats_.matched;
-    SiteRuntimeStats& ss = site_stats_[decision.object_index];
+    const std::size_t t = decision.tier;
+    SiteRuntimeStats& ss = site_stats_[decision.flat_index];
     // Line 12: FITS — both the advisor budget (we must not request more
-    // alternate memory than advised) and the physical arena must accept it.
-    const std::uint64_t budget = placement_.enforced_fast_budget_bytes;
-    const bool within_budget = stats_.fast_bytes_in_use + size <= budget;
-    if (within_budget && fast_->fits(size)) {
-      AllocOutcome outcome =
-          from_allocator(*fast_, size, /*promoted=*/true, overhead_ns);
+    // alternate memory than advised for this tier) and the physical arena
+    // must accept it.
+    const std::uint64_t budget = enforced_budget(t);
+    const bool within_budget =
+        stats_.tier_bytes_in_use[t] + size <= budget;
+    if (within_budget && tiers_[t]->fits(size)) {
+      AllocOutcome outcome = from_tier(t, size, overhead_ns);
       if (outcome.addr != 0) {
         // Line 14: annotate the alternate region; line 15: stats.
-        fast_regions_[outcome.addr] = size;
-        stats_.fast_bytes_in_use += size;
-        stats_.fast_hwm =
-            std::max(stats_.fast_hwm, stats_.fast_bytes_in_use);
+        regions_[outcome.addr] = Region{size, t};
+        stats_.tier_bytes_in_use[t] += size;
+        stats_.tier_hwm[t] =
+            std::max(stats_.tier_hwm[t], stats_.tier_bytes_in_use[t]);
+        ++stats_.tier_promoted[t];
+        if (t == 0) {
+          stats_.fast_bytes_in_use = stats_.tier_bytes_in_use[0];
+          stats_.fast_hwm = stats_.tier_hwm[0];
+        }
         ++stats_.promoted;
         ++ss.allocations;
         ss.bytes += size;
@@ -95,28 +131,31 @@ AllocOutcome AutoHbwMalloc::allocate(
       }
     }
     ++stats_.budget_rejections;
+    ++stats_.tier_budget_rejections[t];
     ++ss.rejected_budget;
     stats_.any_overflow = true;
   }
 
   // Line 21: default allocator.
-  return from_allocator(*slow_, size, /*promoted=*/false, overhead_ns);
+  return from_tier(slow_tier(), size, overhead_ns);
 }
 
 double AutoHbwMalloc::deallocate(Address addr) {
   // Frees must be routed to the package that produced the pointer; the
   // alternate-region annotation is the source of truth.
-  const auto it = fast_regions_.find(addr);
-  if (it != fast_regions_.end()) {
-    stats_.fast_bytes_in_use -= it->second;
-    fast_regions_.erase(it);
-    const bool ok = fast_->deallocate(addr);
-    HMEM_ASSERT_MSG(ok, "annotated fast region not live in fast allocator");
-    return fast_->free_cost_ns();
+  const auto it = regions_.find(addr);
+  if (it != regions_.end()) {
+    const std::size_t t = it->second.tier;
+    stats_.tier_bytes_in_use[t] -= it->second.size;
+    if (t == 0) stats_.fast_bytes_in_use = stats_.tier_bytes_in_use[0];
+    regions_.erase(it);
+    const bool ok = tiers_[t]->deallocate(addr);
+    HMEM_ASSERT_MSG(ok, "annotated region not live in its tier allocator");
+    return tiers_[t]->free_cost_ns();
   }
-  const bool ok = slow_->deallocate(addr);
+  const bool ok = slow().deallocate(addr);
   HMEM_ASSERT_MSG(ok, "free of unknown address");
-  return slow_->free_cost_ns();
+  return slow().free_cost_ns();
 }
 
 }  // namespace hmem::runtime

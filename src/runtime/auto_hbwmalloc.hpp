@@ -8,12 +8,18 @@
 //   line 7   translates the raw stack (ASLR!) to symbolic form;
 //   line 8   matches it against the advisor-selected call-stacks;
 //   line 12  checks the allocation fits the advisor budget *and* the
-//            physical fast memory — the advisor may have under-estimated
-//            (max-size-per-site heuristic, inlined shared call-stacks), so
-//            the budget is enforced at run time;
+//            physical memory of the selected tier — the advisor may have
+//            under-estimated (max-size-per-site heuristic, inlined shared
+//            call-stacks), so the budget is enforced at run time;
 //   line 13+ forwards to the alternate (memkind) allocator, annotating the
 //            region so the matching free is routed to the same package;
 //   line 21  falls back to the default allocator otherwise.
+//
+// Tier generic: the placement's non-fallback tiers map 1:1 (fast to slow)
+// onto the policy's allocator list, so an object selected for the k-th
+// fastest tier is promoted into the k-th fastest allocator with that tier's
+// own budget. On a two-tier machine this degenerates to the paper's exact
+// fast/slow behaviour.
 //
 // The decision cache and the size filter can be disabled (Options) — the
 // ablation bench quantifies what each contributes.
@@ -50,17 +56,36 @@ struct AutoHbwStats {
   std::uint64_t matched = 0;
   std::uint64_t promoted = 0;
   std::uint64_t budget_rejections = 0;
+  /// Fastest-tier accounting (tier 0) — the figures the paper reports.
   std::uint64_t fast_bytes_in_use = 0;
   std::uint64_t fast_hwm = 0;  ///< the HWM reported in Figure 4 (middle)
   /// Set when any selected object failed to fit — the "did not fit into
   /// memory due to user size limitations" debug metric.
   bool any_overflow = false;
+  /// Per-tier accounting, one slot per *non-fallback* placement tier
+  /// (fast to slow; index 0 aliases the fast_* fields above).
+  std::vector<std::uint64_t> tier_bytes_in_use;
+  std::vector<std::uint64_t> tier_hwm;
+  std::vector<std::uint64_t> tier_promoted;
+  std::vector<std::uint64_t> tier_budget_rejections;
 };
 
 class AutoHbwMalloc final : public PlacementPolicy {
  public:
+  /// Two-tier convenience (the paper's platform): promote fast-tier
+  /// selections into `fast`, default everything else to `slow`.
   AutoHbwMalloc(const advisor::Placement& placement, Allocator& slow,
                 Allocator& fast, callstack::Unwinder& unwinder,
+                callstack::Translator& translator,
+                AutoHbwOptions options = {});
+
+  /// N-tier: `tier_allocators` fastest first, one per machine tier; the
+  /// placement's k-th non-fallback tier promotes into the k-th allocator
+  /// (placement tiers beyond the allocator list collapse into the
+  /// fallback).
+  AutoHbwMalloc(const advisor::Placement& placement,
+                std::vector<Allocator*> tier_allocators,
+                callstack::Unwinder& unwinder,
                 callstack::Translator& translator,
                 AutoHbwOptions options = {});
 
@@ -70,7 +95,8 @@ class AutoHbwMalloc final : public PlacementPolicy {
   const std::string& name() const override { return name_; }
 
   const AutoHbwStats& stats() const { return stats_; }
-  /// Per-object stats, parallel to the placement's fast-tier object list.
+  /// Per-object stats, tier-major across the placement's non-fallback
+  /// object lists (tier 0 objects first, then tier 1, ...).
   const std::vector<SiteRuntimeStats>& site_stats() const {
     return site_stats_;
   }
@@ -78,24 +104,37 @@ class AutoHbwMalloc final : public PlacementPolicy {
 
  private:
   struct Decision {
-    bool in = false;              ///< selected for the fast tier
-    std::size_t object_index = 0; ///< into placement.fast().objects
+    bool in = false;               ///< selected for some non-fallback tier
+    std::size_t tier = 0;          ///< placement tier index
+    std::size_t object_index = 0;  ///< into placement.tiers[tier].objects
+    std::size_t flat_index = 0;    ///< into site_stats_
   };
 
+  struct Region {
+    std::uint64_t size = 0;
+    std::size_t tier = 0;
+  };
+
+  void index_selected();
   Decision match(const callstack::SymbolicCallStack& symbolic) const;
+  /// Budget the runtime enforces for one placement tier (the virtual-budget
+  /// mitigation keeps the *selection* budget larger than this for tier 0).
+  std::uint64_t enforced_budget(std::size_t tier) const;
 
   std::string name_ = "framework";
   advisor::Placement placement_;
   callstack::Unwinder* unwinder_;
   callstack::Translator* translator_;
   AutoHbwOptions options_;
+  /// Promotable placement tiers: min(placement tiers - 1, allocators - 1).
+  std::size_t promotable_tiers_ = 0;
 
   /// Selected call-stacks, hashed for O(1) matching (line 8's MATCH).
-  std::unordered_map<callstack::SymbolicCallStack, std::size_t> selected_;
+  std::unordered_map<callstack::SymbolicCallStack, Decision> selected_;
   /// Decision cache keyed by the hash of the *raw* unwound stack (line 5).
   std::unordered_map<std::uint64_t, Decision> cache_;
-  /// Alternate-region annotation: fast-tier address -> size (line 14).
-  std::unordered_map<Address, std::uint64_t> fast_regions_;
+  /// Alternate-region annotation: promoted address -> size/tier (line 14).
+  std::unordered_map<Address, Region> regions_;
 
   AutoHbwStats stats_;
   std::vector<SiteRuntimeStats> site_stats_;

@@ -4,60 +4,77 @@
 
 namespace hmem::runtime {
 
-AllocOutcome PlacementPolicy::from_allocator(Allocator& a, std::uint64_t size,
-                                             bool promoted, double extra_ns) {
+PlacementPolicy::PlacementPolicy(std::vector<Allocator*> tiers)
+    : tiers_(std::move(tiers)) {
+  HMEM_ASSERT_MSG(!tiers_.empty(), "policy needs at least one allocator");
+  for (const Allocator* a : tiers_) HMEM_ASSERT(a != nullptr);
+}
+
+AllocOutcome PlacementPolicy::from_tier(std::size_t tier, std::uint64_t size,
+                                        double extra_ns) {
+  Allocator& a = *tiers_[tier];
   AllocOutcome outcome;
   outcome.cost_ns = a.alloc_cost_ns(size) + extra_ns;
   const auto addr = a.allocate(size);
   if (addr) {
     outcome.addr = *addr;
     outcome.owner = &a;
-    outcome.promoted = promoted;
+    outcome.promoted = tier != slow_tier();
+    outcome.tier = tier;
   }
   return outcome;
 }
 
 double PlacementPolicy::free_from(Address addr) {
-  if (fast_ != nullptr && fast_->owns(addr)) {
-    const bool ok = fast_->deallocate(addr);
-    HMEM_ASSERT_MSG(ok, "free of address not live in fast allocator");
-    return fast_->free_cost_ns();
+  // Fast-to-slow ownership scan; the slowest allocator is the catch-all
+  // whose miss is a genuine error.
+  for (std::size_t t = 0; t + 1 < tiers_.size(); ++t) {
+    if (tiers_[t]->owns(addr)) {
+      const bool ok = tiers_[t]->deallocate(addr);
+      HMEM_ASSERT_MSG(ok, "free of address not live in its tier allocator");
+      return tiers_[t]->free_cost_ns();
+    }
   }
-  const bool ok = slow_->deallocate(addr);
+  const bool ok = slow().deallocate(addr);
   HMEM_ASSERT_MSG(ok, "free of unknown address");
-  return slow_->free_cost_ns();
+  return slow().free_cost_ns();
 }
 
 AllocOutcome PlacementPolicy::allocate_static(std::uint64_t size) {
-  return from_allocator(*slow_, size, /*promoted=*/false);
+  return from_tier(slow_tier(), size);
 }
 
-DdrPolicy::DdrPolicy(Allocator& slow) : PlacementPolicy(slow, nullptr) {}
+DdrPolicy::DdrPolicy(Allocator& slow) : PlacementPolicy({&slow}) {}
 
 AllocOutcome DdrPolicy::allocate(std::uint64_t size,
                                  const callstack::SymbolicCallStack&) {
-  return from_allocator(*slow_, size, /*promoted=*/false);
+  return from_tier(slow_tier(), size);
 }
 
 double DdrPolicy::deallocate(Address addr) { return free_from(addr); }
 
 NumactlPolicy::NumactlPolicy(Allocator& slow, Allocator& fast)
-    : PlacementPolicy(slow, &fast) {}
+    : PlacementPolicy({&fast, &slow}) {}
+
+NumactlPolicy::NumactlPolicy(std::vector<Allocator*> tiers)
+    : PlacementPolicy(std::move(tiers)) {}
 
 AllocOutcome NumactlPolicy::allocate(std::uint64_t size,
                                      const callstack::SymbolicCallStack&) {
-  // Preferred policy: try the fast node first regardless of the object's
-  // importance; fall back to DDR once MCDRAM is exhausted.
-  if (fast_->fits(size)) {
-    AllocOutcome outcome = from_allocator(*fast_, size, /*promoted=*/true);
-    if (outcome.addr != 0) return outcome;
+  // Preferred policy: try each faster tier first regardless of the
+  // object's importance; fall back to the next once a tier is exhausted.
+  for (std::size_t t = 0; t + 1 < tiers_.size(); ++t) {
+    if (tiers_[t]->fits(size)) {
+      AllocOutcome outcome = from_tier(t, size);
+      if (outcome.addr != 0) return outcome;
+    }
   }
-  return from_allocator(*slow_, size, /*promoted=*/false);
+  return from_tier(slow_tier(), size);
 }
 
 AllocOutcome NumactlPolicy::allocate_static(std::uint64_t size) {
   // numactl is the one regime that also carries static and automatic data
-  // into the fast tier.
+  // into faster tiers.
   return allocate(size, {});
 }
 
@@ -65,15 +82,25 @@ double NumactlPolicy::deallocate(Address addr) { return free_from(addr); }
 
 AutoHbwLibPolicy::AutoHbwLibPolicy(Allocator& slow, Allocator& fast,
                                    std::uint64_t threshold_bytes)
-    : PlacementPolicy(slow, &fast), threshold_(threshold_bytes) {}
+    : PlacementPolicy({&fast, &slow}), threshold_(threshold_bytes) {}
+
+AutoHbwLibPolicy::AutoHbwLibPolicy(std::vector<Allocator*> tiers,
+                                   std::uint64_t threshold_bytes,
+                                   std::size_t target_tier)
+    : PlacementPolicy(std::move(tiers)),
+      threshold_(threshold_bytes),
+      target_(target_tier) {
+  HMEM_ASSERT(target_ < tiers_.size());
+}
 
 AllocOutcome AutoHbwLibPolicy::allocate(std::uint64_t size,
                                         const callstack::SymbolicCallStack&) {
-  if (size >= threshold_ && fast_->fits(size)) {
-    AllocOutcome outcome = from_allocator(*fast_, size, /*promoted=*/true);
+  if (size >= threshold_ && target_ != slow_tier() &&
+      tiers_[target_]->fits(size)) {
+    AllocOutcome outcome = from_tier(target_, size);
     if (outcome.addr != 0) return outcome;
   }
-  return from_allocator(*slow_, size, /*promoted=*/false);
+  return from_tier(slow_tier(), size);
 }
 
 double AutoHbwLibPolicy::deallocate(Address addr) { return free_from(addr); }

@@ -2,23 +2,29 @@
 //
 // Every experiment runs the same application under one of five placement
 // regimes. A policy owns the routing of each dynamic allocation (and of the
-// process's static/stack image) to a backing allocator:
+// process's static/stack image) to a backing allocator. Policies are tier
+// generic: they receive one allocator per machine tier in descending
+// performance order (`tiers[0]` = fastest ... `tiers.back()` = slowest,
+// unbounded default), and promotion targets a *tier id* — an index into
+// that list — rather than "the fast tier".
 //
-//  * DdrPolicy        — everything in DDR (the reference line).
+//  * DdrPolicy        — everything in the default tier (the reference
+//                       line; "DDR" on the paper's platform).
 //  * NumactlPolicy    — `numactl -p 1`: *all* data (static, automatic and
-//                       dynamic) preferred into MCDRAM, FCFS until
-//                       exhausted, DDR fallback.
-//  * AutoHbwLibPolicy — memkind's autohbw library: dynamic allocations of at
-//                       least a size threshold (1 MiB in the paper) go to
-//                       MCDRAM when they fit.
+//                       dynamic) preferred into faster tiers, FCFS,
+//                       cascading fast-to-slow until something fits.
+//  * AutoHbwLibPolicy — memkind's autohbw library: dynamic allocations of
+//                       at least a size threshold (1 MiB in the paper) go
+//                       to a target tier (default: fastest) when they fit.
 //  * AutoHbwMalloc    — the paper's contribution (see auto_hbwmalloc.hpp);
 //                       implements this same interface.
-//  * cache mode       — not a policy: everything goes to DDR (DdrPolicy)
-//                       and the Machine runs with MemMode::kCache.
+//  * cache mode       — not a policy: everything goes to the backing tier
+//                       (DdrPolicy) and the Machine runs MemMode::kCache.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "alloc/allocator.hpp"
 #include "callstack/callstack.hpp"
@@ -35,8 +41,11 @@ struct AllocOutcome {
   /// Simulated CPU cost of the allocation path (allocator cost plus any
   /// interposition overhead), charged to execution time by the engine.
   double cost_ns = 0;
-  /// True when the bytes landed in the fast tier.
+  /// True when the bytes landed in any tier faster than the default.
   bool promoted = false;
+  /// Tier id (index into the policy's fast-to-slow allocator list) that
+  /// received the bytes.
+  std::size_t tier = 0;
 };
 
 class PlacementPolicy {
@@ -59,19 +68,25 @@ class PlacementPolicy {
 
   virtual const std::string& name() const = 0;
 
- protected:
-  PlacementPolicy(Allocator& slow, Allocator* fast)
-      : slow_(&slow), fast_(fast) {}
+  /// The policy's allocators, fastest first; back() is the default.
+  const std::vector<Allocator*>& tiers() const { return tiers_; }
 
-  AllocOutcome from_allocator(Allocator& a, std::uint64_t size,
-                              bool promoted, double extra_ns = 0.0);
+ protected:
+  /// `tiers` in descending performance order; must hold at least the
+  /// default (slowest) allocator.
+  explicit PlacementPolicy(std::vector<Allocator*> tiers);
+
+  Allocator& slow() const { return *tiers_.back(); }
+  std::size_t slow_tier() const { return tiers_.size() - 1; }
+
+  AllocOutcome from_tier(std::size_t tier, std::uint64_t size,
+                         double extra_ns = 0.0);
   double free_from(Address addr);
 
-  Allocator* slow_;
-  Allocator* fast_;  ///< null in cache mode / DDR-only setups
+  std::vector<Allocator*> tiers_;
 };
 
-/// Reference: everything in DDR.
+/// Reference: everything in the default (slowest) tier.
 class DdrPolicy final : public PlacementPolicy {
  public:
   explicit DdrPolicy(Allocator& slow);
@@ -85,10 +100,14 @@ class DdrPolicy final : public PlacementPolicy {
   std::string name_ = "ddr";
 };
 
-/// numactl -p 1: FCFS into MCDRAM (including statics), DDR fallback.
+/// numactl -p 1: FCFS into faster tiers (including statics), cascading
+/// fast-to-slow; the slowest tier is the unconditional fallback.
 class NumactlPolicy final : public PlacementPolicy {
  public:
+  /// Two-tier convenience: fast preferred, slow fallback.
   NumactlPolicy(Allocator& slow, Allocator& fast);
+  /// N-tier: allocators fastest first.
+  explicit NumactlPolicy(std::vector<Allocator*> tiers);
 
   AllocOutcome allocate(std::uint64_t size,
                         const callstack::SymbolicCallStack& context) override;
@@ -100,11 +119,16 @@ class NumactlPolicy final : public PlacementPolicy {
   std::string name_ = "numactl";
 };
 
-/// memkind autohbw: dynamic allocations >= threshold go fast when they fit.
+/// memkind autohbw: dynamic allocations >= threshold go to the target tier
+/// when they fit.
 class AutoHbwLibPolicy final : public PlacementPolicy {
  public:
   AutoHbwLibPolicy(Allocator& slow, Allocator& fast,
                    std::uint64_t threshold_bytes = 1ULL << 20);
+  /// N-tier: promote threshold-sized allocations into `target_tier` (an
+  /// index into `tiers`, default 0 = fastest).
+  AutoHbwLibPolicy(std::vector<Allocator*> tiers,
+                   std::uint64_t threshold_bytes, std::size_t target_tier = 0);
 
   AllocOutcome allocate(std::uint64_t size,
                         const callstack::SymbolicCallStack& context) override;
@@ -112,10 +136,12 @@ class AutoHbwLibPolicy final : public PlacementPolicy {
   const std::string& name() const override { return name_; }
 
   std::uint64_t threshold_bytes() const { return threshold_; }
+  std::size_t target_tier() const { return target_; }
 
  private:
   std::string name_ = "autohbw";
   std::uint64_t threshold_;
+  std::size_t target_ = 0;
 };
 
 }  // namespace hmem::runtime

@@ -2,6 +2,8 @@
 // multi-tier cascade, and the placement-report round trip.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "advisor/advisor.hpp"
 #include "advisor/knapsack.hpp"
 #include "advisor/memory_spec.hpp"
@@ -167,6 +169,43 @@ TEST(MemorySpec, FromConfigSortsByPerformance) {
   EXPECT_EQ(spec.slowest().name, "ddr");
 }
 
+TEST(MemorySpec, FromConfigRejectsNoTiers) {
+  EXPECT_THROW(MemorySpec::from_config(Config::parse("")),
+               std::runtime_error);
+  EXPECT_THROW(
+      MemorySpec::from_config(Config::parse("[runtime]\nfoo = 1\n")),
+      std::runtime_error);
+}
+
+TEST(MemorySpec, FromConfigRejectsDuplicateTierNames) {
+  // "[tier hbm]" and "[tier  hbm]" are distinct sections that trim to the
+  // same tier name — a silent duplicate before the hardening.
+  EXPECT_THROW(MemorySpec::from_config(Config::parse(
+                   "[tier hbm]\ncapacity = 1G\n"
+                   "[tier  hbm]\ncapacity = 2G\n")),
+               std::runtime_error);
+}
+
+TEST(MemorySpec, FromConfigRejectsZeroCapacity) {
+  EXPECT_THROW(
+      MemorySpec::from_config(Config::parse("[tier ddr]\ncapacity = 0\n")),
+      std::runtime_error);
+  EXPECT_THROW(MemorySpec::from_config(
+                   Config::parse("[tier ddr]\nrelative_performance = 2\n")),
+               std::runtime_error);  // capacity missing entirely
+}
+
+TEST(MemorySpec, FromConfigRejectsNonPositivePerformance) {
+  EXPECT_THROW(MemorySpec::from_config(Config::parse(
+                   "[tier ddr]\ncapacity = 1G\n"
+                   "relative_performance = 0\n")),
+               std::runtime_error);
+  EXPECT_THROW(MemorySpec::from_config(Config::parse(
+                   "[tier ddr]\ncapacity = 1G\n"
+                   "relative_performance = -1.5\n")),
+               std::runtime_error);
+}
+
 TEST(MemorySpec, ConfigTextRoundTrip) {
   const auto spec = MemorySpec::two_tier(256ULL << 20, 96ULL * kGiB);
   const auto again =
@@ -207,6 +246,38 @@ TEST(Advisor, ThreeTierCascade) {
   EXPECT_EQ(placement.tiers[1].objects[0].name, "b");
   EXPECT_EQ(placement.tiers[2].objects.size(), 2u);
   EXPECT_EQ(placement.tier_of(objects[1].site).value_or(99), 1u);
+}
+
+TEST(Advisor, MiddleTierFillsAndOverflowCascadesToSlowest) {
+  // Middle tier holds exactly two pages: once "b" and "c" fill it, "d" and
+  // "e" must cascade past it into the unbounded slowest tier.
+  const std::vector<ObjectInfo> objects = {
+      obj("a", memsim::kPageBytes, 100), obj("b", memsim::kPageBytes, 90),
+      obj("c", memsim::kPageBytes, 80), obj("d", memsim::kPageBytes, 70),
+      obj("e", memsim::kPageBytes, 60)};
+  MemorySpec spec({TierBudget{"hbm", memsim::kPageBytes, 6.0},
+                   TierBudget{"ddr", 2 * memsim::kPageBytes, 3.0},
+                   TierBudget{"pmem", 1ULL << 30, 1.0}});
+  HmemAdvisor adv(spec, Options{});
+  const auto placement = adv.advise(objects);
+  ASSERT_EQ(placement.tiers.size(), 3u);
+  ASSERT_EQ(placement.tiers[0].objects.size(), 1u);
+  EXPECT_EQ(placement.tiers[0].objects[0].name, "a");
+  ASSERT_EQ(placement.tiers[1].objects.size(), 2u);  // middle tier full
+  EXPECT_EQ(placement.tiers[1].objects[0].name, "b");
+  EXPECT_EQ(placement.tiers[1].objects[1].name, "c");
+  EXPECT_EQ(placement.tiers[1].footprint_bytes, 2 * memsim::kPageBytes);
+  ASSERT_EQ(placement.tiers[2].objects.size(), 2u);  // overflow cascaded
+  EXPECT_EQ(placement.tiers[2].objects[0].name, "d");
+  EXPECT_EQ(placement.tiers[2].objects[1].name, "e");
+  // The size pre-filter must span the middle tier's selections too.
+  EXPECT_EQ(placement.lb_size, memsim::kPageBytes);
+  EXPECT_EQ(placement.ub_size, memsim::kPageBytes);
+  // Report round-trip preserves all three tiers.
+  const auto parsed = read_placement_report(write_placement_report(placement));
+  ASSERT_EQ(parsed.tiers.size(), 3u);
+  EXPECT_EQ(parsed.tiers[1].objects.size(), 2u);
+  EXPECT_EQ(parsed.tiers[1].budget_bytes, 2 * memsim::kPageBytes);
 }
 
 TEST(Advisor, StaticObjectsReportedNotPlaced) {

@@ -26,8 +26,11 @@ TEST_P(AppSweep, DeterministicAcrossRepeats) {
   const auto a = run(Condition::kNumactl);
   const auto b = run(Condition::kNumactl);
   EXPECT_DOUBLE_EQ(a.fom, b.fom);
-  EXPECT_EQ(a.ddr_bytes, b.ddr_bytes);
-  EXPECT_EQ(a.mcdram_bytes, b.mcdram_bytes);
+  ASSERT_EQ(a.tier_traffic.size(), b.tier_traffic.size());
+  for (std::size_t t = 0; t < a.tier_traffic.size(); ++t) {
+    EXPECT_EQ(a.tier_traffic[t].bytes, b.tier_traffic[t].bytes)
+        << a.tier_traffic[t].name;
+  }
   EXPECT_EQ(a.llc_misses, b.llc_misses);
 }
 
@@ -39,11 +42,14 @@ TEST_P(AppSweep, SeedChangesAslrNotPhysics) {
   EXPECT_NEAR(a.fom, b.fom, a.fom * 0.02);
 }
 
-TEST_P(AppSweep, DdrRunTouchesOnlyDdr) {
+TEST_P(AppSweep, DdrRunTouchesOnlyTheSlowestTier) {
   const auto r = run(Condition::kDdr);
-  EXPECT_GT(r.ddr_bytes, 0u);
-  EXPECT_EQ(r.mcdram_bytes, 0u);
-  EXPECT_EQ(r.mcdram_hwm_bytes, 0u);
+  EXPECT_GT(r.slow_bytes(), 0u);
+  // Every faster tier stays untouched under the reference condition.
+  for (std::size_t t = 0; t + 1 < r.tier_traffic.size(); ++t) {
+    EXPECT_EQ(r.tier_traffic[t].bytes, 0u) << r.tier_traffic[t].name;
+  }
+  EXPECT_EQ(r.fast_hwm_bytes, 0u);
 }
 
 TEST_P(AppSweep, EveryConditionBeatsOrMatchesDdr) {
@@ -61,8 +67,8 @@ TEST_P(AppSweep, NumactlHwmBoundedByMcdramShare) {
   const auto r = run(Condition::kNumactl);
   const auto spec = app();
   const std::uint64_t share = (16ULL << 30) / spec.ranks;
-  EXPECT_LE(r.mcdram_hwm_bytes, share);
-  EXPECT_GT(r.mcdram_hwm_bytes, 0u);
+  EXPECT_LE(r.fast_hwm_bytes, share);
+  EXPECT_GT(r.fast_hwm_bytes, 0u);
 }
 
 TEST_P(AppSweep, TrafficConservation) {
@@ -70,9 +76,8 @@ TEST_P(AppSweep, TrafficConservation) {
   // destroy much of it (cache mode adds fill traffic, flat modes do not).
   const auto ddr = run(Condition::kDdr);
   const auto numactl = run(Condition::kNumactl);
-  const double total_ddr = static_cast<double>(ddr.ddr_bytes);
-  const double total_numactl =
-      static_cast<double>(numactl.ddr_bytes + numactl.mcdram_bytes);
+  const double total_ddr = static_cast<double>(ddr.slow_bytes());
+  const double total_numactl = static_cast<double>(numactl.dram_bytes());
   EXPECT_NEAR(total_numactl, total_ddr, total_ddr * 0.15);
 }
 
@@ -84,7 +89,7 @@ TEST_P(AppSweep, ProfiledRunMatchesUnprofiledPlacement) {
   RunOptions profiled;
   profiled.profile = true;
   const auto b = run_app(app(), profiled);
-  EXPECT_EQ(a.ddr_bytes, b.ddr_bytes);
+  EXPECT_EQ(a.slow_bytes(), b.slow_bytes());
   EXPECT_GE(b.time_s, a.time_s);  // overhead only adds
   EXPECT_GT(b.samples, 0u);
 }

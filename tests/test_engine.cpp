@@ -47,16 +47,19 @@ TEST(RunApp, DeterministicForSameSeed) {
   const auto b = run_app(app, opts);
   EXPECT_DOUBLE_EQ(a.fom, b.fom);
   EXPECT_EQ(a.llc_misses, b.llc_misses);
-  EXPECT_EQ(a.ddr_bytes, b.ddr_bytes);
+  EXPECT_EQ(a.slow_bytes(), b.slow_bytes());
 }
 
 TEST(RunApp, DdrBaselineTouchesNoMcdram) {
   RunOptions opts;
   opts.condition = Condition::kDdr;
   const auto r = run_app(tiny_app(), opts);
-  EXPECT_EQ(r.mcdram_bytes, 0u);
-  EXPECT_EQ(r.mcdram_hwm_bytes, 0u);
-  EXPECT_GT(r.ddr_bytes, 0u);
+  ASSERT_EQ(r.tier_traffic.size(), 2u);  // knl: MCDRAM fast, DDR slow
+  EXPECT_EQ(r.tier_traffic.front().name, "MCDRAM");
+  EXPECT_EQ(r.tier_traffic.back().name, "DDR");
+  EXPECT_EQ(r.fast_bytes(), 0u);
+  EXPECT_EQ(r.fast_hwm_bytes, 0u);
+  EXPECT_GT(r.slow_bytes(), 0u);
   EXPECT_GT(r.fom, 0.0);
 }
 
@@ -68,8 +71,8 @@ TEST(RunApp, NumactlPromotesAndSpeedsUp) {
   const auto numactl = run_app(tiny_app(), numactl_opts);
   // tiny app fits the per-rank MCDRAM share entirely -> clear speedup.
   EXPECT_GT(numactl.fom, ddr.fom * 1.1);
-  EXPECT_GT(numactl.mcdram_hwm_bytes, 0u);
-  EXPECT_GT(numactl.mcdram_bytes, 0u);
+  EXPECT_GT(numactl.fast_hwm_bytes, 0u);
+  EXPECT_GT(numactl.fast_bytes(), 0u);
 }
 
 TEST(RunApp, CacheModeBetweenDdrAndFlat) {
@@ -123,8 +126,8 @@ TEST(RunApp, FrameworkPromotesSelectedObjectOnly) {
   const auto r = run_app(app, opts);
   ASSERT_TRUE(r.autohbw.has_value());
   EXPECT_EQ(r.autohbw->promoted, 1u);
-  EXPECT_EQ(r.mcdram_hwm_bytes, 8ULL << 20);
-  EXPECT_GT(r.mcdram_bytes, 0u);
+  EXPECT_EQ(r.fast_hwm_bytes, 8ULL << 20);
+  EXPECT_GT(r.fast_bytes(), 0u);
 
   RunOptions ddr_opts;
   const auto ddr = run_app(app, ddr_opts);
@@ -287,6 +290,136 @@ TEST(StreamTriad, DdrSaturatesWithCores) {
   const double sixtyeight = bw(68);
   EXPECT_GT(sixteen, one * 8);          // scales at low counts
   EXPECT_NEAR(sixtyeight, sixteen, 5);  // saturated past ~16 cores
+}
+
+// ------------------------------------------------------------- N tiers ----
+
+/// Three-tier machine scaled so tiny workloads hit its capacity edges:
+/// 16 MiB HBM (fastest), 10 MiB DDR (middle), 256 MiB PMEM (fallback).
+memsim::MachineConfig three_tier_node() {
+  memsim::MachineConfig node =
+      memsim::MachineConfig::test_node3(memsim::MemMode::kFlat);
+  node.tiers[0].capacity_bytes = 256ULL << 20;  // PMEM
+  node.tiers[1].capacity_bytes = 10ULL << 20;   // DDR
+  node.tiers[2].capacity_bytes = 16ULL << 20;   // HBM
+  return node;
+}
+
+/// Single-rank app whose objects straddle the three-tier node's budgets:
+/// "a" (2 MiB, hottest) fits the HBM budget, "b" (6 MiB, warm) only the
+/// middle tier, "c" (30 MiB, cold) nothing but the fallback.
+apps::AppSpec three_tier_app() {
+  apps::AppSpec app;
+  app.name = "tritier";
+  app.fom_unit = "it/s";
+  app.ranks = 1;
+  app.threads_per_rank = 4;
+  app.iterations = 10;
+  app.accesses_per_iteration = 4000;
+  app.access_scale = 100.0;
+  app.work_per_iteration = 1.0;
+  app.stack_bytes = 1ULL << 20;
+  app.objects = {
+      apps::ObjectSpec{.name = "a", .size_bytes = 2ULL << 20,
+                       .pattern = apps::AccessPattern::kRandom},
+      apps::ObjectSpec{.name = "b", .size_bytes = 6ULL << 20,
+                       .pattern = apps::AccessPattern::kRandom},
+      apps::ObjectSpec{.name = "c", .size_bytes = 30ULL << 20,
+                       .pattern = apps::AccessPattern::kStream},
+  };
+  apps::PhaseSpec phase;
+  phase.name = "main";
+  phase.object_weights = {0.6, 0.3, 0.08};
+  phase.stack_weight = 0.02;
+  phase.insts_per_access = 20.0;
+  app.phases = {phase};
+  return app;
+}
+
+TEST(ThreeTier, PipelineCascadesAcrossAllTiers) {
+  // End-to-end profile -> advise -> run on a three-tier preset-style node:
+  // the knapsack cascade must spread the objects across all three tiers
+  // and the runtime must promote into *both* non-fallback tiers.
+  PipelineOptions opts;
+  opts.node = three_tier_node();
+  opts.fast_budget_per_rank = 4ULL << 20;
+  opts.sampler.period = 2000;
+  const auto result = run_pipeline(three_tier_app(), opts);
+
+  ASSERT_EQ(result.placement.tiers.size(), 3u);
+  ASSERT_EQ(result.placement.tiers[0].objects.size(), 1u);
+  EXPECT_EQ(result.placement.tiers[0].objects[0].name, "a");
+  ASSERT_EQ(result.placement.tiers[1].objects.size(), 1u);  // overflow
+  EXPECT_EQ(result.placement.tiers[1].objects[0].name, "b");
+  ASSERT_EQ(result.placement.tiers[2].objects.size(), 1u);  // fallback
+  EXPECT_EQ(result.placement.tiers[2].objects[0].name, "c");
+
+  // The production run promoted into both the HBM and the DDR tier.
+  ASSERT_TRUE(result.production_run.autohbw.has_value());
+  const auto& stats = *result.production_run.autohbw;
+  ASSERT_EQ(stats.tier_promoted.size(), 2u);
+  EXPECT_GE(stats.tier_promoted[0], 1u);
+  EXPECT_GE(stats.tier_promoted[1], 1u);
+  EXPECT_EQ(stats.promoted, stats.tier_promoted[0] + stats.tier_promoted[1]);
+
+  // Traffic lands on all three tiers (fast -> slow order in the result).
+  ASSERT_EQ(result.production_run.tier_traffic.size(), 3u);
+  EXPECT_EQ(result.production_run.tier_traffic[0].name, "HBM");
+  EXPECT_EQ(result.production_run.tier_traffic[1].name, "DDR");
+  EXPECT_EQ(result.production_run.tier_traffic[2].name, "PMEM");
+  for (const auto& traffic : result.production_run.tier_traffic) {
+    EXPECT_GT(traffic.bytes, 0u) << traffic.name;
+  }
+
+  // Spreading the hot data off the 300 ns PMEM pays off vs everything-slow.
+  RunOptions ddr_opts;
+  ddr_opts.node = opts.node;
+  const auto slow_only = run_app(three_tier_app(), ddr_opts);
+  EXPECT_GT(result.production_run.fom, slow_only.fom * 1.2);
+}
+
+TEST(ThreeTier, NumactlCascadesFcfsAcrossTiers) {
+  // FCFS preference order on three tiers: the 16 MiB HBM takes what fits
+  // first, the rest spills to DDR, then PMEM.
+  RunOptions opts;
+  opts.node = three_tier_node();
+  opts.condition = Condition::kNumactl;
+  const auto r = run_app(three_tier_app(), opts);
+  EXPECT_GT(r.fast_hwm_bytes, 0u);
+  ASSERT_EQ(r.tier_traffic.size(), 3u);
+  EXPECT_GT(r.tier_traffic[0].bytes, 0u);  // HBM saw traffic
+
+  RunOptions slow_opts;
+  slow_opts.node = opts.node;
+  const auto slow_only = run_app(three_tier_app(), slow_opts);
+  EXPECT_GT(r.fom, slow_only.fom);
+}
+
+TEST(ThreeTier, HandBuiltConfigWithoutBasesRoutesCorrectly) {
+  // A caller-supplied node whose tiers were never laid out (all bases
+  // zero) must still route traffic per tier: run_app assigns the bases
+  // before building allocators, so the Machine and the allocators agree.
+  memsim::MachineConfig node = three_tier_node();
+  for (auto& tier : node.tiers) tier.base = 0;
+  RunOptions opts;
+  opts.node = node;
+  opts.condition = Condition::kNumactl;
+  const auto r = run_app(three_tier_app(), opts);
+  EXPECT_GT(r.fast_bytes(), 0u);  // HBM saw traffic, not just the fallback
+  EXPECT_GT(r.fast_hwm_bytes, 0u);
+}
+
+TEST(ThreeTier, CacheModeFrontsFastestOverSlowest) {
+  RunOptions opts;
+  opts.node = three_tier_node();
+  opts.condition = Condition::kCacheMode;
+  const auto cache = run_app(three_tier_app(), opts);
+  RunOptions slow_opts;
+  slow_opts.node = opts.node;
+  const auto slow_only = run_app(three_tier_app(), slow_opts);
+  // HBM fronting PMEM beats everything-in-PMEM.
+  EXPECT_GT(cache.fom, slow_only.fom);
+  EXPECT_GT(cache.fast_bytes(), 0u);  // fill + hit traffic on the front
 }
 
 TEST(ConditionNames, Stable) {

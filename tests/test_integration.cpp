@@ -145,8 +145,8 @@ TEST(Integration, SnapDensityHwmAnomaly) {
   misses.advisor.strategy = advisor::Strategy::kMisses;
   const auto misses_run = run_pipeline(app, misses);
 
-  EXPECT_LT(density_run.production_run.mcdram_hwm_bytes, 100ULL << 20);
-  EXPECT_GT(misses_run.production_run.mcdram_hwm_bytes, 150ULL << 20);
+  EXPECT_LT(density_run.production_run.fast_hwm_bytes, 100ULL << 20);
+  EXPECT_GT(misses_run.production_run.fast_hwm_bytes, 150ULL << 20);
 }
 
 TEST(Integration, GtcpDensityBeatsMissesAtSmallBudgets) {

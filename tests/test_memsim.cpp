@@ -1,6 +1,8 @@
 // Unit and property tests for the memory-system simulator.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "common/prng.hpp"
 #include "common/units.hpp"
 #include "memsim/cache.hpp"
@@ -208,7 +210,6 @@ TEST(McdramCache, FlushClears) {
 
 TEST(Tier, EffectiveBandwidthSaturates) {
   TierSpec ddr{.name = "DDR",
-               .kind = TierKind::kDdr,
                .capacity_bytes = kGiB,
                .latency_ns = 100,
                .per_core_bw_gbs = 6.5,
@@ -235,17 +236,21 @@ TEST(Tier, StatsAccumulate) {
 // ------------------------------------------------------------- machine ----
 
 TEST(Machine, FlatModeRoutesByAddressRange) {
+  // test_node tier 0 = DDR, tier 1 = MCDRAM (address-map order).
   Machine m(MachineConfig::test_node(MemMode::kFlat));
   const auto ddr = m.access(kDdrBase + 12345, false);
   EXPECT_FALSE(ddr.llc_hit);
-  EXPECT_EQ(ddr.served_by, ServedBy::kDdr);
-  EXPECT_EQ(ddr.ddr_bytes, kCacheLineBytes);
-  EXPECT_EQ(ddr.mcdram_bytes, 0u);
+  EXPECT_EQ(ddr.served_by, ServedBy::kTier);
+  EXPECT_EQ(ddr.tier, 0u);
+  EXPECT_EQ(ddr.tier_bytes, kCacheLineBytes);
+  EXPECT_EQ(ddr.fill_bytes, 0u);
 
   const auto mc = m.access(kMcdramBase + 512, true);
-  EXPECT_EQ(mc.served_by, ServedBy::kMcdram);
-  EXPECT_EQ(mc.mcdram_bytes, kCacheLineBytes);
-  EXPECT_EQ(m.mcdram().stats().writes, 1u);
+  EXPECT_EQ(mc.served_by, ServedBy::kTier);
+  EXPECT_EQ(mc.tier, 1u);
+  EXPECT_EQ(mc.tier_bytes, kCacheLineBytes);
+  EXPECT_EQ(m.tier(1).stats().writes, 1u);
+  EXPECT_EQ(m.tier(0).stats().writes, 0u);
 }
 
 TEST(Machine, LlcHitCostsLess) {
@@ -255,30 +260,38 @@ TEST(Machine, LlcHitCostsLess) {
   EXPECT_FALSE(miss.llc_hit);
   EXPECT_TRUE(hit.llc_hit);
   EXPECT_LT(hit.latency_ns, miss.latency_ns);
-  EXPECT_EQ(hit.ddr_bytes, 0u);
+  EXPECT_EQ(hit.tier_bytes, 0u);
 }
 
 TEST(Machine, CacheModeFillsAndHits) {
+  // MCDRAM (tier 1, the fastest) fronts DDR (tier 0, the slowest).
   Machine m(MachineConfig::test_node(MemMode::kCache));
   ASSERT_NE(m.mem_cache(), nullptr);
   const auto first = m.access(kDdrBase, false);
-  EXPECT_EQ(first.served_by, ServedBy::kMcdramCacheMiss);
-  EXPECT_EQ(first.ddr_bytes, kCacheLineBytes);
-  EXPECT_EQ(first.mcdram_bytes, kCacheLineBytes);  // fill
+  EXPECT_EQ(first.served_by, ServedBy::kMemCacheMiss);
+  EXPECT_EQ(first.tier, 0u);  // served by the backing tier
+  EXPECT_EQ(first.tier_bytes, kCacheLineBytes);
+  EXPECT_EQ(first.fill_tier, 1u);  // memory-side fill into the front
+  EXPECT_EQ(first.fill_bytes, kCacheLineBytes);
 
   // Different line, same memory-side page: tag already present.
   const auto second = m.access(kDdrBase + 512, false);
-  EXPECT_EQ(second.served_by, ServedBy::kMcdramCacheHit);
-  EXPECT_EQ(second.ddr_bytes, 0u);
+  EXPECT_EQ(second.served_by, ServedBy::kMemCacheHit);
+  EXPECT_EQ(second.tier, 1u);
+  EXPECT_EQ(second.fill_bytes, 0u);
 }
 
 TEST(Machine, OwningTierAndRangeChecks) {
   Machine m(MachineConfig::test_node(MemMode::kFlat));
-  EXPECT_TRUE(m.in_ddr(kDdrBase));
-  EXPECT_FALSE(m.in_mcdram(kDdrBase));
-  EXPECT_TRUE(m.in_mcdram(kMcdramBase + 1));
-  EXPECT_EQ(m.owning_tier(kDdrBase), TierKind::kDdr);
-  EXPECT_EQ(m.owning_tier(kMcdramBase), TierKind::kMcdram);
+  EXPECT_TRUE(m.in_tier(kDdrBase, 0));
+  EXPECT_FALSE(m.in_tier(kDdrBase, 1));
+  EXPECT_TRUE(m.in_tier(kMcdramBase + 1, 1));
+  EXPECT_EQ(m.owning_tier(kDdrBase), 0u);
+  EXPECT_EQ(m.owning_tier(kMcdramBase), 1u);
+  // Addresses outside every range fall back to the slowest tier.
+  EXPECT_EQ(m.owning_tier(0), m.slowest_tier());
+  EXPECT_EQ(m.fastest_tier(), 1u);
+  EXPECT_EQ(m.slowest_tier(), 0u);
 }
 
 TEST(Machine, ResetClearsCachesAndStats) {
@@ -286,7 +299,7 @@ TEST(Machine, ResetClearsCachesAndStats) {
   m.access(kDdrBase, false);
   m.access(kDdrBase, false);
   m.reset();
-  EXPECT_EQ(m.ddr().stats().accesses(), 0u);
+  EXPECT_EQ(m.tier(0).stats().accesses(), 0u);
   EXPECT_FALSE(m.llc().contains(kDdrBase));
 }
 
@@ -294,9 +307,132 @@ TEST(Machine, Knl7250MatchesPaperPlatform) {
   const auto cfg = MachineConfig::knl7250(MemMode::kFlat);
   EXPECT_EQ(cfg.cores, 68);
   EXPECT_DOUBLE_EQ(cfg.freq_ghz, 1.40);
-  EXPECT_EQ(cfg.ddr.capacity_bytes, 96ULL * kGiB);
-  EXPECT_EQ(cfg.mcdram.capacity_bytes, 16ULL * kGiB);
-  EXPECT_GT(cfg.mcdram.peak_bw_gbs, 4 * cfg.ddr.peak_bw_gbs);
+  ASSERT_EQ(cfg.tier_count(), 2u);
+  const TierSpec& ddr = cfg.tiers[0];
+  const TierSpec& mcdram = cfg.tiers[1];
+  EXPECT_EQ(ddr.name, "DDR");
+  EXPECT_EQ(mcdram.name, "MCDRAM");
+  EXPECT_EQ(ddr.capacity_bytes, 96ULL * kGiB);
+  EXPECT_EQ(mcdram.capacity_bytes, 16ULL * kGiB);
+  EXPECT_GT(mcdram.peak_bw_gbs, 4 * ddr.peak_bw_gbs);
+  // The historical physical layout is reproduced by assign_tier_bases.
+  EXPECT_EQ(ddr.base, kDdrBase);
+  EXPECT_EQ(mcdram.base, kMcdramBase);
+  EXPECT_EQ(cfg.fastest_tier(), 1u);
+  EXPECT_EQ(cfg.slowest_tier(), 0u);
+}
+
+// ------------------------------------------------------------- N tiers ----
+
+TEST(Machine, ThreeTierRoutingAcrossAddressRanges) {
+  // test_node3: PMEM (0, slowest), DDR (1), HBM (2, fastest) — three
+  // disjoint ranges; flat-mode misses route by range.
+  const auto cfg = MachineConfig::test_node3(MemMode::kFlat);
+  ASSERT_EQ(cfg.tier_count(), 3u);
+  Machine m(cfg);
+  EXPECT_EQ(m.fastest_tier(), 2u);
+  EXPECT_EQ(m.slowest_tier(), 0u);
+
+  for (TierIndex t = 0; t < 3; ++t) {
+    const Address addr = cfg.tiers[t].base + 3 * kCacheLineBytes;
+    const auto res = m.access(addr, t == 1);
+    EXPECT_FALSE(res.llc_hit);
+    EXPECT_EQ(res.served_by, ServedBy::kTier);
+    EXPECT_EQ(res.tier, t);
+    EXPECT_EQ(res.tier_bytes, kCacheLineBytes);
+    EXPECT_DOUBLE_EQ(res.latency_ns, cfg.tiers[t].latency_ns);
+    EXPECT_EQ(m.owning_tier(addr), t);
+  }
+  EXPECT_EQ(m.tier(0).stats().reads, 1u);
+  EXPECT_EQ(m.tier(1).stats().writes, 1u);
+  EXPECT_EQ(m.tier(2).stats().reads, 1u);
+  // The per-tier counters saw exactly one access each.
+  for (TierIndex t = 0; t < 3; ++t) {
+    EXPECT_EQ(m.tier(t).stats().accesses(), 1u);
+    EXPECT_EQ(m.tier(t).stats().bytes(), kCacheLineBytes);
+  }
+}
+
+TEST(Tier, BaseAssignmentIsDisjointAndAligned) {
+  std::vector<TierSpec> tiers(3);
+  tiers[0].capacity_bytes = 96ULL * kGiB;
+  tiers[1].capacity_bytes = 16ULL * kGiB;
+  tiers[2].capacity_bytes = 512ULL * kGiB;
+  assign_tier_bases(tiers);
+  EXPECT_EQ(tiers[0].base, kTierFirstBase);
+  EXPECT_EQ(tiers[1].base, kTierBaseAlign);  // the historical MCDRAM base
+  // Ranges are disjoint with guard gaps between them.
+  for (std::size_t i = 0; i + 1 < tiers.size(); ++i) {
+    EXPECT_GT(tiers[i + 1].base, tiers[i].base + tiers[i].capacity_bytes);
+    EXPECT_EQ(tiers[i + 1].base % kTierBaseAlign, 0u);
+  }
+  // Pre-assigned bases survive.
+  std::vector<TierSpec> pinned(1);
+  pinned[0].capacity_bytes = kGiB;
+  pinned[0].base = 0x1234000;
+  assign_tier_bases(pinned);
+  EXPECT_EQ(pinned[0].base, 0x1234000u);
+}
+
+TEST(Machine, CacheModePairResolvesToFastestFrontingSlowest) {
+  const auto cfg = MachineConfig::test_node3(MemMode::kCache);
+  EXPECT_EQ(cfg.resolved_cache_front(), 2u);    // HBM
+  EXPECT_EQ(cfg.resolved_cache_backing(), 0u);  // PMEM
+  Machine m(cfg);
+  ASSERT_NE(m.mem_cache(), nullptr);
+  const auto first = m.access(cfg.tiers[0].base, false);
+  EXPECT_EQ(first.served_by, ServedBy::kMemCacheMiss);
+  EXPECT_EQ(first.tier, 0u);
+  EXPECT_EQ(first.fill_tier, 2u);
+}
+
+TEST(MachineConfig, PresetLookup) {
+  for (const auto& name : MachineConfig::preset_names()) {
+    const auto cfg = MachineConfig::preset(name);
+    ASSERT_TRUE(cfg.has_value()) << name;
+    EXPECT_GE(cfg->tier_count(), 2u) << name;
+    // Every preset has disjoint, assigned tier ranges.
+    for (std::size_t i = 0; i + 1 < cfg->tiers.size(); ++i) {
+      EXPECT_GT(cfg->tiers[i + 1].base,
+                cfg->tiers[i].base + cfg->tiers[i].capacity_bytes)
+          << name;
+    }
+  }
+  EXPECT_EQ(MachineConfig::preset("hbm-ddr-pmem")->tier_count(), 3u);
+  EXPECT_FALSE(MachineConfig::preset("no-such-machine").has_value());
+}
+
+TEST(MachineConfig, FromConfigParsesTiers) {
+  const auto cfg = MachineConfig::from_config(Config::parse(
+      "[machine]\nname = custom\ncores = 8\nfreq_ghz = 2.0\nipc = 2\n"
+      "mode = flat\n"
+      "[llc]\nsize = 1M\nline = 64\nways = 8\n"
+      "[tier SLOW]\ncapacity = 4G\nlatency_ns = 200\n"
+      "relative_performance = 1\n"
+      "[tier FAST]\ncapacity = 1G\nlatency_ns = 90\n"
+      "relative_performance = 4\n"));
+  EXPECT_EQ(cfg.name, "custom");
+  EXPECT_EQ(cfg.cores, 8);
+  ASSERT_EQ(cfg.tier_count(), 2u);
+  EXPECT_EQ(cfg.tiers[0].name, "SLOW");
+  EXPECT_EQ(cfg.fastest_tier(), 1u);
+  EXPECT_EQ(cfg.llc.size_bytes, 1ULL << 20);
+  EXPECT_GT(cfg.tiers[1].base, cfg.tiers[0].base);
+}
+
+TEST(MachineConfig, FromConfigRejectsDegenerateInput) {
+  EXPECT_THROW(MachineConfig::from_config(Config::parse("[machine]\n")),
+               std::runtime_error);  // no tiers
+  // "[tier a]" and "[tier  a]" are distinct sections naming the same tier.
+  EXPECT_THROW(MachineConfig::from_config(Config::parse(
+                   "[tier a]\ncapacity = 1G\n[tier  a]\ncapacity = 2G\n")),
+               std::runtime_error);  // duplicate name
+  EXPECT_THROW(MachineConfig::from_config(
+                   Config::parse("[tier a]\ncapacity = 0\n")),
+               std::runtime_error);  // zero capacity
+  EXPECT_THROW(MachineConfig::from_config(Config::parse(
+                   "[tier a]\ncapacity = 1G\nrelative_performance = -2\n")),
+               std::runtime_error);  // non-positive performance
 }
 
 }  // namespace

@@ -117,11 +117,13 @@ void expect_identical(const engine::RunResult& a, const engine::RunResult& b,
                       const std::string& label) {
   EXPECT_EQ(a.fom, b.fom) << label;
   EXPECT_EQ(a.time_s, b.time_s) << label;
-  EXPECT_EQ(a.ddr_bytes, b.ddr_bytes) << label;
-  EXPECT_EQ(a.mcdram_bytes, b.mcdram_bytes) << label;
+  ASSERT_EQ(a.tier_traffic.size(), b.tier_traffic.size()) << label;
+  for (std::size_t t = 0; t < a.tier_traffic.size(); ++t) {
+    EXPECT_EQ(a.tier_traffic[t].bytes, b.tier_traffic[t].bytes) << label;
+  }
   EXPECT_EQ(a.llc_misses, b.llc_misses) << label;
   EXPECT_EQ(a.samples, b.samples) << label;
-  EXPECT_EQ(a.mcdram_hwm_bytes, b.mcdram_hwm_bytes) << label;
+  EXPECT_EQ(a.fast_hwm_bytes, b.fast_hwm_bytes) << label;
   EXPECT_EQ(a.alloc_calls, b.alloc_calls) << label;
 }
 
@@ -190,7 +192,7 @@ TEST(ParallelDeterminism, ExperimentSweepBitIdenticalToSerial) {
                                   const engine::BaselineResult& y) {
     EXPECT_EQ(x.condition, y.condition);
     EXPECT_EQ(x.fom, y.fom);
-    EXPECT_EQ(x.mcdram_hwm_bytes, y.mcdram_hwm_bytes);
+    EXPECT_EQ(x.fast_hwm_bytes, y.fast_hwm_bytes);
     EXPECT_EQ(x.dfom_per_mb, y.dfom_per_mb);
   };
   expect_baseline(a.ddr, b.ddr);

@@ -5,6 +5,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
+#include <string>
+
+#include "memsim/machine.hpp"
 
 namespace hmem::tools {
 
@@ -23,6 +27,21 @@ inline const char* cli_value(int argc, char** argv, int& i,
 /// positional argument.
 inline bool cli_is_flag(const char* arg) {
   return std::strncmp(arg, "--", 2) == 0;
+}
+
+/// Comma-separated preset list for usage texts: "knl, spr-hbm, ...".
+inline std::string machine_preset_list() {
+  return memsim::machine_preset_list();
+}
+
+/// Resolves a --machine argument (preset name or machine config file);
+/// prints the error and returns nullopt on failure.
+inline std::optional<memsim::MachineConfig> load_machine(
+    const std::string& arg) {
+  std::string error;
+  auto machine = memsim::load_machine_config(arg, &error);
+  if (!machine) std::fprintf(stderr, "--machine: %s\n", error.c_str());
+  return machine;
 }
 
 }  // namespace hmem::tools

@@ -17,6 +17,10 @@
 //     --threshold t    Misses(t%) threshold          (default 0)
 //     --virtual b      virtual selection budget (e.g. 512M)
 //     --slow b         fallback tier capacity        (default 1.5G)
+//     --machine m      derive the tier list from a machine preset (knl,
+//                      spr-hbm, ddr-cxl, hbm-ddr-pmem) or config file: the
+//                      fastest tier gets <fast-budget>, every other tier
+//                      its per-process capacity; overrides --slow
 //     --csv file       write the per-object CSV here
 #include <cstdio>
 #include <cstring>
@@ -30,6 +34,7 @@
 #include "analysis/aggregator.hpp"
 #include "common/units.hpp"
 #include "cli.hpp"
+#include "engine/pipeline.hpp"
 #include "trace/merge.hpp"
 
 int main(int argc, char** argv) {
@@ -38,6 +43,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   advisor::Options options;
   std::uint64_t slow = parse_bytes("1.5G").value();
+  std::optional<memsim::MachineConfig> machine;
   const char* csv_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strategy") == 0) {
@@ -66,6 +72,10 @@ int main(int argc, char** argv) {
         return 2;
       }
       slow = *v;
+    } else if (std::strcmp(argv[i], "--machine") == 0) {
+      machine =
+          tools::load_machine(tools::cli_value(argc, argv, i, "--machine"));
+      if (!machine) return 2;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv_path = tools::cli_value(argc, argv, i, "--csv");
     } else if (tools::cli_is_flag(argv[i])) {
@@ -78,8 +88,10 @@ int main(int argc, char** argv) {
   if (positional.size() < 2) {
     std::fprintf(stderr,
                  "usage: %s <trace> [trace...] <fast-budget> [--strategy s] "
-                 "[--threshold t] [--virtual b] [--slow b] [--csv file]\n",
-                 argv[0]);
+                 "[--threshold t] [--virtual b] [--slow b] "
+                 "[--machine preset|config.ini] [--csv file]\n"
+                 "  machine presets: %s\n",
+                 argv[0], tools::machine_preset_list().c_str());
     return 2;
   }
   const auto budget = parse_bytes(positional.back());
@@ -135,8 +147,10 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(report.total_samples),
                report.unattributed_fraction() * 100.0);
 
-  advisor::HmemAdvisor adv(advisor::MemorySpec::two_tier(*budget, slow),
-                           options);
+  const advisor::MemorySpec spec =
+      machine ? engine::machine_memory_spec(*machine, *budget, /*ranks=*/1)
+              : advisor::MemorySpec::two_tier(*budget, slow);
+  advisor::HmemAdvisor adv(spec, options);
   const auto placement = adv.advise(report.objects);
   std::cout << advisor::write_placement_report(placement);
   return 0;

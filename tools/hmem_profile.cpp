@@ -14,6 +14,7 @@
 //
 //   usage: hmem_profile <app> <trace-out> [period] [min-alloc-bytes]
 //                       [--format text|binary] [--ranks N] [--jobs J]
+//                       [--machine preset|config.ini]
 //                       [--period P] [--min-alloc B]
 //     app              hpcg | lulesh | bt | minife | cgpop | snap |
 //                      maxw-dgtd | gtc-p
@@ -21,6 +22,8 @@
 //     --format f       trace encoding (default text)
 //     --ranks N        simulated ranks -> N shards (default: app default)
 //     --jobs J         profile up to J ranks concurrently (default 1)
+//     --machine m      machine preset (knl, spr-hbm, ddr-cxl,
+//                      hbm-ddr-pmem) or a machine config file (default knl)
 //     period           PEBS sampling period (default 37589)
 //     min-alloc-bytes  allocation monitoring threshold (default 4096)
 #include <atomic>
@@ -44,9 +47,11 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <app> <trace-out> [period] [min-alloc-bytes]\n"
-               "          [--format text|binary] [--ranks N] [--period P] "
-               "[--min-alloc B]\n",
-               argv0);
+               "          [--format text|binary] [--ranks N] [--jobs J]\n"
+               "          [--machine preset|config.ini] [--period P] "
+               "[--min-alloc B]\n"
+               "  machine presets: %s\n",
+               argv0, hmem::tools::machine_preset_list().c_str());
   std::exit(2);
 }
 
@@ -59,6 +64,8 @@ int main(int argc, char** argv) {
   trace::TraceFormat format = trace::TraceFormat::kText;
   int ranks = 0;  // 0 = single run with the app's default rank count
   int jobs = 1;
+  memsim::MachineConfig node =
+      memsim::MachineConfig::knl7250(memsim::MemMode::kFlat);
   std::optional<std::uint64_t> period;     // 0 is a valid value for both:
   std::optional<std::uint64_t> min_alloc;  // "every miss" / "every alloc"
   for (int i = 1; i < argc; ++i) {
@@ -82,6 +89,11 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--jobs must be >= 1\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--machine") == 0) {
+      const auto machine =
+          tools::load_machine(tools::cli_value(argc, argv, i, "--machine"));
+      if (!machine) return 2;
+      node = *machine;
     } else if (std::strcmp(argv[i], "--period") == 0) {
       period = std::strtoull(tools::cli_value(argc, argv, i, "--period"),
                              nullptr, 10);
@@ -119,6 +131,7 @@ int main(int argc, char** argv) {
 
   engine::RunOptions base;
   base.profile = true;
+  base.node = node;
   if (period) base.sampler.period = *period;
   if (min_alloc) base.min_alloc_bytes = *min_alloc;
 

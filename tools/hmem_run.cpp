@@ -9,8 +9,10 @@
 // printed in the order given.
 //
 //   usage: hmem_run <app> [--condition c[,c...]] [--placement report.txt]
-//                   [--ranks N] [--jobs J]
+//                   [--machine preset|config.ini] [--ranks N] [--jobs J]
 //     condition   ddr | numactl | autohbw | cache     (default ddr)
+//     machine     machine preset (knl, spr-hbm, ddr-cxl, hbm-ddr-pmem) or
+//                 a machine config file                (default knl)
 //     ranks       override the app's simulated rank count (scaling studies:
 //                 per-rank LLC, capacity and bandwidth shares shrink as N
 //                 grows, exactly as in the profiled multi-rank pipeline)
@@ -44,9 +46,18 @@ std::string report_text(const hmem::engine::RunResult& run) {
   std::snprintf(buf, sizeof(buf), "time        : %.3f s (simulated)\n",
                 run.time_s);
   os << buf;
-  os << "MCDRAM HWM  : " << format_bytes(run.mcdram_hwm_bytes) << "/rank\n";
-  os << "DRAM traffic: " << format_bytes(run.ddr_bytes) << " DDR + "
-     << format_bytes(run.mcdram_bytes) << " MCDRAM per rank\n";
+  const std::string fast_name =
+      run.tier_traffic.empty() ? "fast" : run.tier_traffic.front().name;
+  std::snprintf(buf, sizeof(buf), "%-12s: ", (fast_name + " HWM").c_str());
+  os << buf << format_bytes(run.fast_hwm_bytes) << "/rank\n";
+  os << "DRAM traffic: ";
+  for (std::size_t t = run.tier_traffic.size(); t-- > 0;) {
+    // Slowest tier first, mirroring the historical "DDR + MCDRAM" order.
+    os << format_bytes(run.tier_traffic[t].bytes) << ' '
+       << run.tier_traffic[t].name;
+    if (t != 0) os << " + ";
+  }
+  os << " per rank\n";
   if (run.autohbw.has_value()) {
     std::snprintf(buf, sizeof(buf),
                   "interposer  : %llu intercepted, %llu promoted, "
@@ -69,8 +80,10 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <app> [--condition ddr|numactl|autohbw|cache"
-                 "[,...]] [--placement report.txt] [--ranks N] [--jobs J]\n",
-                 argv[0]);
+                 "[,...]] [--placement report.txt] "
+                 "[--machine preset|config.ini] [--ranks N] [--jobs J]\n"
+                 "  machine presets: %s\n",
+                 argv[0], tools::machine_preset_list().c_str());
     return 2;
   }
   auto app = apps::find_app(argv[1]);
@@ -89,6 +102,8 @@ int main(int argc, char** argv) {
   advisor::Placement placement;
   bool use_placement = false;
   int jobs = 1;
+  memsim::MachineConfig node =
+      memsim::MachineConfig::knl7250(memsim::MemMode::kFlat);
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--condition") == 0) {
       const std::string list = tools::cli_value(argc, argv, i, "--condition");
@@ -121,6 +136,11 @@ int main(int argc, char** argv) {
         return 1;
       }
       use_placement = true;
+    } else if (std::strcmp(argv[i], "--machine") == 0) {
+      const auto machine =
+          tools::load_machine(tools::cli_value(argc, argv, i, "--machine"));
+      if (!machine) return 2;
+      node = *machine;
     } else if (std::strcmp(argv[i], "--ranks") == 0) {
       const int ranks = std::atoi(tools::cli_value(argc, argv, i, "--ranks"));
       if (ranks < 1) {
@@ -144,12 +164,20 @@ int main(int argc, char** argv) {
     // baselines listed via --condition.
     conditions.push_back(engine::Condition::kFramework);
   }
-  if (conditions.empty()) conditions.push_back(engine::Condition::kDdr);
+  if (conditions.empty()) {
+    // No explicit condition: honour the machine's own mode — a config
+    // file declaring `mode = cache` means "run this machine in cache
+    // mode", not the DDR reference.
+    conditions.push_back(node.mode == memsim::MemMode::kCache
+                             ? engine::Condition::kCacheMode
+                             : engine::Condition::kDdr);
+  }
 
   std::vector<std::string> reports(conditions.size());
   parallel_for(jobs, conditions.size(), [&](std::size_t c) {
     engine::RunOptions opts;
     opts.condition = conditions[c];
+    opts.node = node;
     if (conditions[c] == engine::Condition::kFramework) {
       opts.placement = &placement;
     }
