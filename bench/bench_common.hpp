@@ -18,6 +18,19 @@ struct BenchOptions {
       memsim::MachineConfig::knl7250(memsim::MemMode::kFlat);
 };
 
+/// Resolves a --machine value (preset name or machine config file); exits
+/// with status 2 when it does not parse. Single point of change for every
+/// bench that takes the flag.
+inline memsim::MachineConfig parse_machine_value(const char* arg) {
+  std::string error;
+  const auto machine = memsim::load_machine_config(arg, &error);
+  if (!machine) {
+    std::fprintf(stderr, "--machine: %s\n", error.c_str());
+    std::exit(2);
+  }
+  return *machine;
+}
+
 /// Parses [--jobs N] [--machine preset|config.ini]; exits with usage on
 /// anything else. Shared by the fig4 rows and the ablation sweeps so the
 /// flags cannot drift between them.
@@ -28,13 +41,7 @@ inline BenchOptions parse_bench_options(int argc, char** argv) {
       options.jobs = std::atoi(argv[++i]);
       if (options.jobs < 1) options.jobs = 1;
     } else if (std::strcmp(argv[i], "--machine") == 0 && i + 1 < argc) {
-      std::string error;
-      const auto machine = memsim::load_machine_config(argv[++i], &error);
-      if (!machine) {
-        std::fprintf(stderr, "--machine: %s\n", error.c_str());
-        std::exit(2);
-      }
-      options.node = *machine;
+      options.node = parse_machine_value(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--machine preset|config.ini]\n",

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "apps/workloads.hpp"
+#include "bench_common.hpp"
 #include "common/parallel.hpp"
 #include "engine/execution.hpp"
 #include "engine/pipeline.hpp"
@@ -96,13 +97,7 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--baseline-aps") == 0 && i + 1 < argc) {
       baseline_aps = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--machine") == 0 && i + 1 < argc) {
-      std::string error;
-      const auto machine = memsim::load_machine_config(argv[++i], &error);
-      if (!machine) {
-        std::fprintf(stderr, "--machine: %s\n", error.c_str());
-        return 2;
-      }
-      node = *machine;
+      node = hmem::bench::parse_machine_value(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {

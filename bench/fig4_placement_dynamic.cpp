@@ -1,0 +1,179 @@
+// Figure 4, dynamic row: static knapsack placement vs the phase-aware
+// schedule, as a dFOM/MByte comparison across every bundled workload (the
+// paper's eight plus the two phase-shifting stress apps) and every machine
+// preset. Each cell runs the full pipeline once per condition family:
+// profile -> aggregate (whole-run + per-phase) -> static placement +
+// schedule -> framework and dynamic production runs, plus the DDR baseline
+// the dFOM metric is anchored to.
+//
+// The static pipeline structurally cannot beat dynamic on the phase-shift
+// apps (churn, transient): their hot sets do not fit the budget *together*
+// but do fit it *per phase*. On single-phase apps the two conditions are
+// bit-identical by construction — the sweep doubles as a regression check
+// for that (the `=` rows).
+//
+//   usage: bench_fig4_placement_dynamic [--jobs N]
+//          [--machine preset|config.ini] [--smoke]
+//     --jobs     sweep independent cells concurrently (bit-identical to
+//                serial, like every other fig4 bench)
+//     --machine  restrict the sweep to one machine (default: all four
+//                presets)
+//     --smoke    shrink every app for CI (structure preserved)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/workloads.hpp"
+#include "bench_common.hpp"
+#include "common/parallel.hpp"
+#include "common/units.hpp"
+#include "engine/experiment.hpp"
+#include "engine/pipeline.hpp"
+
+namespace {
+
+using namespace hmem;
+
+struct Cell {
+  std::string app;
+  std::string machine;
+  std::string fast_tier;
+  std::uint64_t budget = 0;  ///< per rank
+  double ddr_fom = 0;
+  double static_fom = 0;
+  double dynamic_fom = 0;
+  double static_dfom = 0;
+  double dynamic_dfom = 0;
+  std::size_t phases = 0;
+  std::uint64_t migration_bytes = 0;  ///< per rank
+  double migration_cost_s = 0;
+};
+
+/// Per-rank fast-tier budget of a cell. The phase-shift apps are sized
+/// against 96 MiB (one hot set fits, the union does not); the OpenMP-only
+/// BT sweeps node-wide budgets in Figure 4, so it gets a node-wide 2 GiB;
+/// everything else uses the paper's largest per-rank point.
+std::uint64_t budget_for(const apps::AppSpec& app) {
+  if (app.phases.size() > 1 && app.ranks == 8) return 96 * kMiB;
+  if (app.ranks == 1) return 2ULL * kGiB;
+  return 256 * kMiB;
+}
+
+Cell run_cell(apps::AppSpec app, const memsim::MachineConfig& node) {
+  Cell cell;
+  cell.app = app.name;
+  cell.machine = node.name;
+  cell.fast_tier = node.tiers[node.fastest_tier()].name;
+  cell.budget = budget_for(app);
+
+  engine::PipelineOptions options;
+  options.per_phase = true;
+  options.fast_budget_per_rank = cell.budget;
+  options.node = node;
+  const engine::PipelineResult result = engine::run_pipeline(app, options);
+
+  engine::RunOptions ddr;
+  ddr.condition = engine::Condition::kDdr;
+  ddr.seed = options.production_seed;
+  ddr.node = node;
+  const engine::RunResult ddr_run = engine::run_app(app, ddr);
+
+  cell.ddr_fom = ddr_run.fom;
+  cell.static_fom = result.production_run.fom;
+  cell.dynamic_fom = result.dynamic_run.fom;
+  cell.static_dfom =
+      engine::dfom_per_mb(cell.static_fom, cell.ddr_fom, cell.budget);
+  cell.dynamic_dfom =
+      engine::dfom_per_mb(cell.dynamic_fom, cell.ddr_fom, cell.budget);
+  cell.phases = result.schedule.phases.size();
+  cell.migration_bytes = result.dynamic_run.migration_bytes;
+  cell.migration_cost_s = result.dynamic_run.migration_cost_s;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 1;
+  bool smoke = false;
+  std::vector<memsim::MachineConfig> machines;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+      if (jobs < 1) jobs = 1;
+    } else if (std::strcmp(argv[i], "--machine") == 0 && i + 1 < argc) {
+      machines = {bench::parse_machine_value(argv[++i])};
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--jobs N] [--machine preset|config.ini] "
+                   "[--smoke]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (machines.empty()) {
+    for (const char* name : {"knl", "spr-hbm", "ddr-cxl", "hbm-ddr-pmem"}) {
+      machines.push_back(
+          *memsim::MachineConfig::preset(name, memsim::MemMode::kFlat));
+    }
+  }
+
+  std::vector<apps::AppSpec> apps = apps::all_apps();
+  for (apps::AppSpec& app : apps::phase_shift_apps()) {
+    apps.push_back(std::move(app));
+  }
+  if (smoke) {
+    for (apps::AppSpec& app : apps) {
+      app.iterations = std::min<std::uint64_t>(app.iterations, 4);
+      app.accesses_per_iteration =
+          std::min<std::uint64_t>(app.accesses_per_iteration, 6000);
+    }
+  }
+
+  // One independent pipeline per (app, machine) cell; every task writes
+  // only its own slot, so --jobs N is bit-identical to serial.
+  std::vector<Cell> cells(apps.size() * machines.size());
+  parallel_for(jobs, cells.size(), [&](std::size_t c) {
+    cells[c] = run_cell(apps[c / machines.size()],
+                        machines[c % machines.size()]);
+  });
+
+  std::printf(
+      "Figure 4, dynamic row — static knapsack vs phase-aware schedule\n"
+      "(dFOM/MByte per the paper's metric; '>' = dynamic wins, '=' = "
+      "bit-identical single-phase placement)\n\n");
+  std::printf("%-10s %-13s %8s %3s %12s %12s %12s %2s %14s\n", "app",
+              "machine", "budget", "ph", "ddr FOM", "static dFOM",
+              "dyn dFOM", "", "migrated/rank");
+  for (const Cell& cell : cells) {
+    const char* verdict = cell.dynamic_dfom > cell.static_dfom   ? ">"
+                          : cell.dynamic_dfom == cell.static_dfom ? "="
+                                                                  : "<";
+    std::printf("%-10s %-13s %8s %3zu %12.4g %12.4g %12.4g %2s %14s\n",
+                cell.app.c_str(), cell.machine.c_str(),
+                format_bytes(cell.budget).c_str(), cell.phases, cell.ddr_fom,
+                cell.static_dfom, cell.dynamic_dfom, verdict,
+                format_bytes(cell.migration_bytes).c_str());
+  }
+
+  std::printf("\n--- CSV ---\n");
+  std::printf(
+      "app,machine,fast_tier,budget_mib,phases,ddr_fom,static_fom,"
+      "dynamic_fom,static_dfom_per_mb,dynamic_dfom_per_mb,"
+      "migration_mib_per_rank,migration_cost_s\n");
+  for (const Cell& cell : cells) {
+    std::printf("%s,%s,%s,%llu,%zu,%.6g,%.6g,%.6g,%.6g,%.6g,%.3f,%.4f\n",
+                cell.app.c_str(), cell.machine.c_str(),
+                cell.fast_tier.c_str(),
+                static_cast<unsigned long long>(cell.budget / kMiB),
+                cell.phases, cell.ddr_fom, cell.static_fom, cell.dynamic_fom,
+                cell.static_dfom, cell.dynamic_dfom,
+                static_cast<double>(cell.migration_bytes) /
+                    static_cast<double>(kMiB),
+                cell.migration_cost_s);
+  }
+  return 0;
+}

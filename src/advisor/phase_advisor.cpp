@@ -1,0 +1,121 @@
+#include "advisor/phase_advisor.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace hmem::advisor {
+
+const Placement* PlacementSchedule::placement_for(
+    const std::string& phase) const {
+  for (const PhasePlacement& pp : phases) {
+    if (pp.phase == phase) return &pp.placement;
+  }
+  return nullptr;
+}
+
+std::uint64_t PlacementSchedule::migration_bytes_per_cycle() const {
+  std::uint64_t total = 0;
+  for (const auto& list : migrations) {
+    for (const Migration& m : list) total += m.bytes;
+  }
+  return total;
+}
+
+namespace {
+
+/// Object identity across phases is the allocation call-stack — the same
+/// identity auto-hbwmalloc matches at run time (site ids do not survive the
+/// report round-trip).
+struct TierOf {
+  std::unordered_map<callstack::SymbolicCallStack, std::size_t> by_stack;
+  std::size_t fallback = 0;
+
+  explicit TierOf(const Placement& placement) {
+    fallback = placement.tiers.empty() ? 0 : placement.tiers.size() - 1;
+    for (std::size_t t = 0; t + 1 < placement.tiers.size(); ++t) {
+      for (const ObjectInfo& obj : placement.tiers[t].objects) {
+        by_stack.emplace(obj.stack, t);
+      }
+    }
+  }
+
+  std::size_t tier(const callstack::SymbolicCallStack& stack) const {
+    const auto it = by_stack.find(stack);
+    return it == by_stack.end() ? fallback : it->second;
+  }
+};
+
+std::vector<Migration> diff_placements(const Placement& prev,
+                                       const Placement& next) {
+  const TierOf prev_tiers(prev);
+  const TierOf next_tiers(next);
+
+  // The object universe: everything either placement knows about. Objects
+  // appearing in neither's non-fallback tiers sit in the fallback on both
+  // sides and never move.
+  std::vector<Migration> moves;
+  std::unordered_map<callstack::SymbolicCallStack, bool> seen;
+  auto consider = [&](const ObjectInfo& obj) {
+    if (!obj.is_dynamic) return;  // statics cannot be retargeted
+    if (!seen.emplace(obj.stack, true).second) return;
+    const std::size_t from = prev_tiers.tier(obj.stack);
+    const std::size_t to = next_tiers.tier(obj.stack);
+    if (from == to) return;
+    Migration m;
+    m.object_name = obj.name;
+    m.stack = obj.stack;
+    m.bytes = obj.max_size_bytes;
+    m.from_tier = from;
+    m.to_tier = to;
+    moves.push_back(std::move(m));
+  };
+  for (const TierPlacement& tier : prev.tiers) {
+    for (const ObjectInfo& obj : tier.objects) consider(obj);
+  }
+  for (const TierPlacement& tier : next.tiers) {
+    for (const ObjectInfo& obj : tier.objects) consider(obj);
+  }
+
+  // Demotions first: a full fast tier must drain before it refills (the
+  // runtime applies the list in order and cascades FCFS when it cannot).
+  std::stable_sort(moves.begin(), moves.end(),
+                   [](const Migration& a, const Migration& b) {
+                     return a.is_demotion() && !b.is_demotion();
+                   });
+  return moves;
+}
+
+}  // namespace
+
+void compute_migrations(PlacementSchedule& schedule) {
+  const std::size_t n = schedule.phases.size();
+  schedule.migrations.assign(n, {});
+  if (n < 2) return;
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::size_t prev = (p + n - 1) % n;
+    schedule.migrations[p] = diff_placements(
+        schedule.phases[prev].placement, schedule.phases[p].placement);
+  }
+}
+
+PhaseAdvisor::PhaseAdvisor(MemorySpec spec, Options options)
+    : advisor_(std::move(spec), options) {}
+
+PlacementSchedule PhaseAdvisor::advise(
+    const std::vector<PhaseObjects>& phases) const {
+  HMEM_ASSERT_MSG(!phases.empty(), "phase advisor needs at least one phase");
+  PlacementSchedule schedule;
+  schedule.phases.reserve(phases.size());
+  for (const PhaseObjects& phase : phases) {
+    PhasePlacement pp;
+    pp.phase = phase.name;
+    pp.placement = advisor_.advise(phase.objects);
+    schedule.phases.push_back(std::move(pp));
+  }
+  compute_migrations(schedule);
+  return schedule;
+}
+
+}  // namespace hmem::advisor

@@ -1,0 +1,78 @@
+#include "advisor/schedule_report.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "advisor/placement_report.hpp"
+#include "common/strings.hpp"
+
+namespace hmem::advisor {
+
+bool is_schedule_report(const std::string& text) {
+  for (const std::string& raw : split(text, '\n')) {
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    return line == kScheduleReportHeader;
+  }
+  return false;
+}
+
+std::string write_schedule_report(const PlacementSchedule& schedule) {
+  std::ostringstream os;
+  os << kScheduleReportHeader << '\n';
+  os << "phases = " << schedule.phases.size() << '\n';
+  for (std::size_t p = 0; p < schedule.phases.size(); ++p) {
+    const PhasePlacement& pp = schedule.phases[p];
+    os << "[phase " << pp.phase << "]\n";
+    if (p < schedule.migrations.size() && !schedule.migrations[p].empty()) {
+      // For the human reader only; the parser recomputes the diff.
+      std::uint64_t bytes = 0;
+      for (const Migration& m : schedule.migrations[p]) bytes += m.bytes;
+      os << "# entering this phase migrates " << schedule.migrations[p].size()
+         << " object(s), " << bytes << " bytes\n";
+    }
+    os << write_placement_report(pp.placement);
+  }
+  return os.str();
+}
+
+PlacementSchedule read_schedule_report(const std::string& text) {
+  if (!is_schedule_report(text)) {
+    throw std::runtime_error(
+        "not a placement schedule (missing '# hmem_advisor placement "
+        "schedule' header)");
+  }
+  PlacementSchedule schedule;
+  std::string current_phase;
+  std::ostringstream chunk;
+  bool in_phase = false;
+  auto flush = [&]() {
+    if (!in_phase) return;
+    PhasePlacement pp;
+    pp.phase = current_phase;
+    pp.placement = read_placement_report(chunk.str());
+    schedule.phases.push_back(std::move(pp));
+    chunk.str({});
+    chunk.clear();
+  };
+  for (const std::string& raw : split(text, '\n')) {
+    const std::string line = trim(raw);
+    if (starts_with(line, "[phase ") && line.back() == ']') {
+      flush();
+      in_phase = true;
+      current_phase = trim(line.substr(7, line.size() - 8));
+      continue;
+    }
+    if (in_phase) chunk << raw << '\n';
+    // Header lines ("phases = N", comments) before the first [phase] are
+    // informational; the phase sections are the source of truth.
+  }
+  flush();
+  if (schedule.phases.empty()) {
+    throw std::runtime_error("placement schedule contains no phases");
+  }
+  compute_migrations(schedule);
+  return schedule;
+}
+
+}  // namespace hmem::advisor

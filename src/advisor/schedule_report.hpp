@@ -1,0 +1,43 @@
+// Human-readable placement *schedule* report — the hand-off between
+// `hmem_advise --per-phase` and the engine's dynamic condition.
+//
+// The format nests one placement report per phase under `[phase <name>]`
+// headers, so each phase section round-trips through the existing placement
+// report parser. Migration lists are NOT serialized: they are a pure
+// function of the per-phase placements and are recomputed on read
+// (compute_migrations), which keeps the file hand-editable — change a
+// phase's object list and the migrations follow.
+//
+//   # hmem_advisor placement schedule
+//   phases = 2
+//   [phase calc_forces]
+//   strategy = misses
+//   ...
+//   [tier mcdram budget=268435456]
+//   <name> | <max_size> | <llc_misses> | <callstack>
+//   [phase advance_elements]
+//   ...
+#pragma once
+
+#include <string>
+
+#include "advisor/phase_advisor.hpp"
+
+namespace hmem::advisor {
+
+/// First line of every schedule report; sniffed by consumers that accept
+/// either a placement or a schedule file (hmem_run --placement).
+inline constexpr const char* kScheduleReportHeader =
+    "# hmem_advisor placement schedule";
+
+/// True when `text` starts with the schedule header (leading whitespace
+/// tolerated) — cheap format sniffing.
+bool is_schedule_report(const std::string& text);
+
+std::string write_schedule_report(const PlacementSchedule& schedule);
+
+/// Parses a report produced by write_schedule_report and recomputes the
+/// migration lists. Throws std::runtime_error on malformed input.
+PlacementSchedule read_schedule_report(const std::string& text);
+
+}  // namespace hmem::advisor

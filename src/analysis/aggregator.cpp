@@ -43,6 +43,14 @@ void AggregateVisitor::on_free(const trace::FreeEvent& e) {
   registry_.on_free(e.addr);
 }
 
+std::size_t AggregateVisitor::phase_accum_for(const std::string& name) {
+  for (std::size_t i = 0; i < phase_accum_.size(); ++i) {
+    if (phase_accum_[i].name == name) return i;
+  }
+  phase_accum_.push_back(PhaseAccum{name, {}});
+  return phase_accum_.size() - 1;
+}
+
 void AggregateVisitor::on_sample(const trace::SampleEvent& e) {
   check_order(e.time_ns);
   ++result_.total_samples;
@@ -50,16 +58,35 @@ void AggregateVisitor::on_sample(const trace::SampleEvent& e) {
   const auto obj = registry_.lookup(e.addr);
   if (obj) {
     accum_for(obj->site).misses += e.weight;
+    if (!open_phases_.empty()) {
+      PhaseAccum& pa = phase_accum_[open_phases_.back()];
+      if (obj->site >= pa.misses.size()) pa.misses.resize(sites_->size(), 0);
+      pa.misses[obj->site] += e.weight;
+    }
   } else {
     ++result_.unattributed_samples;
     result_.unattributed_misses += e.weight;
   }
 }
 
-// Phase/counter events are folding concerns, not aggregation ones — but
-// they still participate in the time-order invariant.
+// Phase events drive the per-phase profile slicing; counter events are a
+// folding concern. Both participate in the time-order invariant.
 void AggregateVisitor::on_phase(const trace::PhaseEvent& e) {
   check_order(e.time_ns);
+  const std::size_t idx = phase_accum_for(e.name);
+  if (e.begin) {
+    open_phases_.push_back(idx);
+    return;
+  }
+  // Close the most recent begin of this name (merged multi-rank streams may
+  // deliver ends out of stack order); an unmatched end is ignored.
+  for (std::size_t i = open_phases_.size(); i-- > 0;) {
+    if (open_phases_[i] == idx) {
+      open_phases_.erase(open_phases_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
 }
 
 void AggregateVisitor::on_counter(const trace::CounterEvent& e) {
@@ -67,6 +94,11 @@ void AggregateVisitor::on_counter(const trace::CounterEvent& e) {
 }
 
 AggregateResult AggregateVisitor::finish() {
+  const auto by_misses = [](const advisor::ObjectInfo& a,
+                            const advisor::ObjectInfo& b) {
+    if (a.llc_misses != b.llc_misses) return a.llc_misses > b.llc_misses;
+    return a.site < b.site;
+  };
   for (callstack::SiteId id = 0; id < accum_.size(); ++id) {
     if (!accum_[id].seen) continue;
     const auto& info = sites_->get(id);
@@ -80,12 +112,24 @@ AggregateResult AggregateVisitor::finish() {
     result_.objects.push_back(std::move(obj));
   }
   // Descending misses — the order every consumer wants.
-  std::sort(result_.objects.begin(), result_.objects.end(),
-            [](const advisor::ObjectInfo& a, const advisor::ObjectInfo& b) {
-              if (a.llc_misses != b.llc_misses)
-                return a.llc_misses > b.llc_misses;
-              return a.site < b.site;
-            });
+  std::sort(result_.objects.begin(), result_.objects.end(), by_misses);
+
+  // Per-phase slices: every whole-run site appears in every phase (objects
+  // a phase never touches simply carry zero misses and are never selected),
+  // so a single-phase trace reproduces `objects` exactly.
+  for (const PhaseAccum& pa : phase_accum_) {
+    advisor::PhaseObjects phase;
+    phase.name = pa.name;
+    phase.objects.reserve(result_.objects.size());
+    for (const advisor::ObjectInfo& whole : result_.objects) {
+      advisor::ObjectInfo obj = whole;
+      obj.llc_misses =
+          whole.site < pa.misses.size() ? pa.misses[whole.site] : 0;
+      phase.objects.push_back(std::move(obj));
+    }
+    std::sort(phase.objects.begin(), phase.objects.end(), by_misses);
+    result_.phases.push_back(std::move(phase));
+  }
   return std::move(result_);
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "advisor/object_info.hpp"
+#include "advisor/phase_advisor.hpp"
 #include "callstack/sitedb.hpp"
 #include "profiler/object_registry.hpp"
 #include "trace/format.hpp"
@@ -28,6 +29,13 @@ namespace hmem::analysis {
 
 struct AggregateResult {
   std::vector<advisor::ObjectInfo> objects;
+  /// Per-phase slices of `objects`, in first-seen phase order: the same
+  /// sites (same max_size/is_dynamic, same descending-miss sort) with
+  /// llc_misses restricted to samples taken while that phase was open.
+  /// Single-phase traces therefore yield phases[0].objects == objects,
+  /// which is what makes a single-phase PlacementSchedule bit-identical to
+  /// the static placement. Input for advisor::PhaseAdvisor.
+  std::vector<advisor::PhaseObjects> phases;
   /// Samples whose address matched no live object (stack/static traffic the
   /// allocation instrumentation never saw; BT/CGPOP before the paper's
   /// hand modification are the canonical case).
@@ -66,12 +74,26 @@ class AggregateVisitor : public trace::EventVisitor {
     std::uint64_t misses = 0;
     bool seen = false;
   };
+  /// Per-phase miss accumulator (max_size/is_dynamic stay whole-run).
+  struct PhaseAccum {
+    std::string name;
+    std::vector<std::uint64_t> misses;  ///< indexed by SiteId
+  };
 
   void check_order(double t);
   SiteAccum& accum_for(callstack::SiteId site);
+  std::size_t phase_accum_for(const std::string& name);
 
   const callstack::SiteDb* sites_;
   std::vector<SiteAccum> accum_;
+  std::vector<PhaseAccum> phase_accum_;  ///< first-seen phase-name order
+  /// Open-phase tracking. A single-rank trace opens/closes phases strictly
+  /// sequentially; a k-way *merged* multi-rank stream interleaves the same
+  /// phase names across ranks (phase events carry no rank id), so begins
+  /// are stacked and a sample is binned into the most recently begun phase
+  /// still open — deterministic, exact for single-rank traces, and at worst
+  /// a boundary smear for merged ones.
+  std::vector<std::size_t> open_phases_;  ///< indices into phase_accum_
   profiler::ObjectRegistry registry_;
   double last_time_ = -1.0;
   AggregateResult result_;

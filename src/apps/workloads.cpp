@@ -26,6 +26,16 @@
 //                MCDRAM share so cache mode is slightly superior.
 //  * gtc-p     — small dense grid arrays vs large moderate-density particle
 //                arrays: density beats misses at small budgets.
+//
+// Beyond Table I, two phase-shifting stress apps target the dynamic
+// (phase-aware) placement path — hot sets that fit the fast budget per
+// phase but not in union:
+//
+//  * churn     — persistent ping/pong arrays alternate as the hot set;
+//                only boundary migration can serve both phases fast.
+//  * transient — per-phase transient hot arrays; allocation-time routing
+//                under the per-phase placement serves each phase fast with
+//                zero migration traffic.
 #include "apps/workloads.hpp"
 
 #include "common/assert.hpp"
@@ -437,6 +447,113 @@ AppSpec make_stream_triad(int threads) {
   return app;
 }
 
+AppSpec make_churn() {
+  AppSpec app;
+  app.name = "churn";
+  app.fom_unit = "sweeps/s";
+  app.ranks = 8;
+  app.threads_per_rank = 4;
+  app.iterations = 30;
+  app.accesses_per_iteration = 36000;
+  app.access_scale = 800.0;
+  app.work_per_iteration = 1.0;
+  app.stack_bytes = MB(8);
+
+  // Two persistent arrays alternate as the hot set. Sized so a 96 MiB/rank
+  // fast budget holds exactly one of them: the static advisor must leave
+  // the other in the slow tier forever, while the dynamic schedule swaps
+  // them at every phase boundary (migration cost deliberately much smaller
+  // than the hot-phase traffic it redirects).
+  app.objects = {
+      dyn("ping", MB(64), AccessPattern::kRandom),
+      dyn("pong", MB(64), AccessPattern::kRandom),
+      dyn("backdrop", MB(192), AccessPattern::kStream),
+      [] {  // small buffers churned every iteration; their hotness
+            // alternates with the phases as well
+        ObjectSpec o = dyn("churn_bufs", 512ULL * 1024,
+                           AccessPattern::kRandom, 5);
+        o.churn = true;
+        o.instances = 16;
+        return o;
+      }(),
+      stat("churn_params", MB(8), AccessPattern::kRandom),
+  };
+
+  PhaseSpec ping_phase;
+  ping_phase.name = "ping_phase";
+  ping_phase.access_share = 0.5;
+  //                          ping  pong  back  churn static
+  ping_phase.object_weights = {0.85, 0.01, 0.04, 0.05, 0.01};
+  ping_phase.stack_weight = 0.04;
+  ping_phase.insts_per_access = 14.0;
+
+  PhaseSpec pong_phase = ping_phase;
+  pong_phase.name = "pong_phase";
+  pong_phase.object_weights = {0.01, 0.85, 0.04, 0.05, 0.01};
+
+  app.phases = {ping_phase, pong_phase};
+  return app;
+}
+
+AppSpec make_transient() {
+  AppSpec app;
+  app.name = "transient";
+  app.fom_unit = "sweeps/s";
+  app.ranks = 8;
+  app.threads_per_rank = 4;
+  app.iterations = 24;
+  app.accesses_per_iteration = 30000;
+  app.access_scale = 800.0;
+  app.work_per_iteration = 1.0;
+  app.stack_bytes = MB(8);
+
+  // Three phase-scoped transient work arrays (192 MiB together — a 96 MiB
+  // budget fits one) plus a small always-hot array. The static advisor's
+  // always-live assumption charges all three against the budget at once;
+  // the dynamic schedule gives each phase's transient the whole budget at
+  // allocation time, with nothing live to migrate at the boundaries.
+  app.objects = {
+      [] {
+        ObjectSpec o = dyn("work_build", MB(64), AccessPattern::kRandom, 5);
+        o.transient_phase = 0;
+        return o;
+      }(),
+      [] {
+        ObjectSpec o = dyn("work_solve", MB(64), AccessPattern::kRandom, 5);
+        o.transient_phase = 1;
+        return o;
+      }(),
+      [] {
+        ObjectSpec o = dyn("work_refine", MB(64), AccessPattern::kRandom, 5);
+        o.transient_phase = 2;
+        return o;
+      }(),
+      dyn("warm_index", MB(16), AccessPattern::kRandom),
+      dyn("backdrop", MB(256), AccessPattern::kStream),
+      stat("transient_params", MB(8), AccessPattern::kRandom),
+  };
+
+  auto phase = [](const char* name, int hot) {
+    PhaseSpec p;
+    p.name = name;
+    p.access_share = 1.0 / 3.0;
+    p.object_weights.assign(6, 0.0);
+    p.object_weights[static_cast<std::size_t>(hot)] = 0.70;
+    p.object_weights[3] = 0.15;  // warm_index
+    p.object_weights[4] = 0.04;  // backdrop
+    p.object_weights[5] = 0.02;  // statics
+    p.stack_weight = 0.05;
+    p.insts_per_access = 16.0;
+    return p;
+  };
+  app.phases = {phase("build", 0), phase("solve", 1), phase("refine", 2)};
+  return app;
+}
+
+std::vector<AppSpec> phase_shift_apps() {
+  return {make_churn(), make_transient()};
+}
+
 std::vector<AppSpec> all_apps() {
   return {make_hpcg(),  make_lulesh(), make_nas_bt(),    make_minife(),
           make_cgpop(), make_snap(),   make_maxw_dgtd(), make_gtcp()};
@@ -444,6 +561,9 @@ std::vector<AppSpec> all_apps() {
 
 std::optional<AppSpec> find_app(const std::string& name) {
   for (auto& app : all_apps()) {
+    if (app.name == name) return app;
+  }
+  for (auto& app : phase_shift_apps()) {
     if (app.name == name) return app;
   }
   return std::nullopt;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "alloc/allocators.hpp"
@@ -32,6 +33,9 @@ std::uint64_t floor_pow2(std::uint64_t v) {
 /// Per-object live state during a run.
 struct ObjectState {
   std::vector<Address> instances;  ///< live instance base addresses
+  /// Policy tier currently hosting each instance (parallel to instances);
+  /// only maintained — and only needed — under the dynamic condition.
+  std::vector<std::size_t> tiers;
   std::unique_ptr<apps::AccessGenerator> generator;
 };
 
@@ -162,6 +166,8 @@ const char* condition_name(Condition condition) {
       return "cache";
     case Condition::kFramework:
       return "framework";
+    case Condition::kDynamic:
+      return "dynamic";
   }
   return "?";
 }
@@ -265,6 +271,18 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
       policy = std::move(fw);
       break;
     }
+    case Condition::kDynamic: {
+      HMEM_ASSERT_MSG(
+          options.schedule != nullptr && !options.schedule->phases.empty(),
+          "dynamic condition requires a PlacementSchedule");
+      HMEM_ASSERT(policy_tiers.size() >= 2);
+      auto fw = std::make_unique<runtime::AutoHbwMalloc>(
+          options.schedule->phases.front().placement, policy_tiers, unwinder,
+          translator, options.runtime_options);
+      framework = fw.get();
+      policy = std::move(fw);
+      break;
+    }
   }
 
   // ---- Profiler & site database -----------------------------------------
@@ -328,6 +346,7 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
                         : policy->allocate(obj.size_bytes, stacks[i]);
       HMEM_ASSERT_MSG(out.addr != 0, "simulated out of memory");
       state[i].instances.push_back(out.addr);
+      state[i].tiers.push_back(out.tier);
       now_ns += out.cost_ns;
       interpose_ns += out.cost_ns;
       if (!obj.is_static) ++alloc_calls;
@@ -343,6 +362,7 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
       interpose_ns += cost;
     }
     state[i].instances.clear();
+    state[i].tiers.clear();
   };
 
   // ---- Process image: stack first, then statics, then persistent heap.
@@ -397,6 +417,108 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
         options.node.cache_mode_conflict_k);
   }
 
+  // ---- Phase-aware schedule (dynamic condition) --------------------------
+  // With more than one schedule phase, every phase boundary swaps the
+  // runtime's placement and migrates live objects whose tier assignment
+  // changed. Migration is charged through the memory model: each moved
+  // region costs its live size as a source-tier read plus a destination-tier
+  // write at the per-rank roofline bandwidths, serialized at the boundary
+  // (a real migration stalls the ranks the same way). A single-phase
+  // schedule never transitions, making the run bit-identical to kFramework
+  // on the same placement.
+  const advisor::PlacementSchedule* schedule = options.schedule;
+  const bool dynamic_on = options.condition == Condition::kDynamic &&
+                          schedule->phases.size() > 1;
+  const std::size_t slow_policy_tier = policy_tiers.size() - 1;
+  std::vector<std::size_t> sched_of_phase;          // app phase -> schedule
+  std::vector<std::vector<std::size_t>> desired_tier;  // [sched][object]
+  std::vector<std::uint64_t> migration_real(n_tiers, 0);  // real bytes/tier
+  std::vector<std::uint64_t> mig_scratch(n_tiers, 0);
+  std::uint64_t migration_bytes_total = 0;
+  std::uint64_t migration_moves = 0;
+  double migration_cost_ns = 0;
+  std::size_t sched_current = 0;
+  if (dynamic_on) {
+    sched_of_phase.resize(app.phases.size());
+    for (std::size_t p = 0; p < app.phases.size(); ++p) {
+      std::size_t found = schedule->phases.size();
+      for (std::size_t sp = 0; sp < schedule->phases.size(); ++sp) {
+        if (schedule->phases[sp].phase == app.phases[p].name) {
+          found = sp;
+          break;
+        }
+      }
+      HMEM_ASSERT_MSG(found < schedule->phases.size(),
+                      "schedule is missing a placement for an app phase");
+      sched_of_phase[p] = found;
+    }
+    // Per schedule phase, the policy tier every object belongs in — matched
+    // by allocation call-stack, the same identity auto-hbwmalloc uses.
+    const std::size_t promotable =
+        std::min(schedule->phases.front().placement.tiers.size() - 1,
+                 slow_policy_tier);
+    desired_tier.assign(
+        schedule->phases.size(),
+        std::vector<std::size_t>(n_objects, slow_policy_tier));
+    for (std::size_t sp = 0; sp < schedule->phases.size(); ++sp) {
+      const advisor::Placement& pl = schedule->phases[sp].placement;
+      std::unordered_map<callstack::SymbolicCallStack, std::size_t> tier_of;
+      for (std::size_t t = 0; t + 1 < pl.tiers.size(); ++t) {
+        for (const auto& obj : pl.tiers[t].objects) {
+          tier_of.emplace(obj.stack, t);
+        }
+      }
+      for (std::size_t i = 0; i < n_objects; ++i) {
+        if (app.objects[i].is_static) continue;
+        const auto it = tier_of.find(stacks[i]);
+        if (it != tier_of.end() && it->second < promotable) {
+          desired_tier[sp][i] = it->second;
+        }
+      }
+    }
+  }
+  auto schedule_transition = [&](std::size_t sp) {
+    if (sp == sched_current) return;
+    sched_current = sp;
+    framework->set_placement(schedule->phases[sp].placement);
+    std::fill(mig_scratch.begin(), mig_scratch.end(), 0);
+    double alloc_ns = 0;
+    // Demotions first so the fast tiers drain before they refill; the
+    // policy cascades FCFS toward slower tiers when a target is full.
+    for (const bool demotion_pass : {true, false}) {
+      for (std::size_t i = 0; i < n_objects; ++i) {
+        if (app.objects[i].is_static) continue;
+        const std::size_t desired = desired_tier[sp][i];
+        ObjectState& os = state[i];
+        for (std::size_t j = 0; j < os.instances.size(); ++j) {
+          const std::size_t cur = os.tiers[j];
+          if (cur == desired) continue;
+          if ((desired > cur) != demotion_pass) continue;
+          const runtime::AllocOutcome out =
+              policy->retarget(os.instances[j], desired);
+          if (out.addr == 0 || out.addr == os.instances[j]) continue;
+          const std::uint64_t moved = app.objects[i].size_bytes;
+          mig_scratch[perf[cur]] += moved;       // source-tier read
+          mig_scratch[perf[out.tier]] += moved;  // destination-tier write
+          migration_bytes_total += moved;
+          ++migration_moves;
+          alloc_ns += out.cost_ns;
+          os.instances[j] = out.addr;
+          os.tiers[j] = out.tier;
+        }
+      }
+    }
+    double mig_s = 0;
+    for (memsim::TierIndex t = 0; t < n_tiers; ++t) {
+      migration_real[t] += mig_scratch[t];
+      mig_s += static_cast<double>(mig_scratch[t]) / (tier_bw[t] * 1e9);
+    }
+    const double mig_ns = mig_s * 1e9 + alloc_ns;
+    now_ns += mig_ns;
+    interpose_ns += alloc_ns;
+    migration_cost_ns += mig_ns;
+  };
+
   // ---- Main loop ---------------------------------------------------------
   std::vector<std::uint64_t> total_tier_sim(n_tiers, 0);
   std::uint64_t total_misses_sim = 0;
@@ -421,6 +543,10 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
   std::vector<double> tier_seconds(n_tiers, 0.0);
 
   for (std::uint64_t iter = 0; iter < app.iterations; ++iter) {
+    // The wrap-around transition happens before the churn reallocations so
+    // churned objects are born under the placement of the phase about to
+    // run instead of being migrated right after allocation.
+    if (dynamic_on) schedule_transition(sched_of_phase.front());
     for (std::size_t i = 0; i < n_objects; ++i) {
       if (app.objects[i].churn) {
         if (!state[i].instances.empty()) do_free(i);
@@ -430,6 +556,7 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
 
     for (std::size_t p = 0; p < app.phases.size(); ++p) {
       const apps::PhaseSpec& phase = app.phases[p];
+      if (dynamic_on) schedule_transition(sched_of_phase[p]);
       for (std::size_t i = 0; i < n_objects; ++i) {
         if (app.objects[i].transient_phase == static_cast<int>(p))
           do_alloc(i);
@@ -577,14 +704,20 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
                ranks / result.time_s;
 
   // Per-tier traffic, fastest tier first (the order callers reason in).
+  // Migration traffic is real (not sampled), so it joins after scaling.
   result.tier_traffic.reserve(n_tiers);
   for (const memsim::TierIndex t : perf) {
     TierTraffic traffic;
     traffic.name = cfg.tiers[t].name;
     traffic.bytes = static_cast<std::uint64_t>(
-        static_cast<double>(total_tier_sim[t]) * scale);
+                        static_cast<double>(total_tier_sim[t]) * scale) +
+                    migration_real[t];
+    traffic.migration_bytes = migration_real[t];
     result.tier_traffic.push_back(std::move(traffic));
   }
+  result.migration_bytes = migration_bytes_total;
+  result.migration_count = migration_moves;
+  result.migration_cost_s = migration_cost_ns * 1e-9;
   result.achieved_bw_gbs =
       static_cast<double>(result.dram_bytes()) / result.time_s / 1e9;
   result.llc_misses = total_misses_sim * miss_count_per_sim;

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "advisor/phase_advisor.hpp"
 #include "advisor/placement_report.hpp"
 #include "apps/app.hpp"
 #include "callstack/sitedb.hpp"
@@ -38,6 +39,7 @@ enum class Condition {
   kAutoHbw,    ///< autohbw library, 1 MiB threshold
   kCacheMode,  ///< MCDRAM as direct-mapped memory-side cache
   kFramework,  ///< the paper's framework (requires a Placement)
+  kDynamic,    ///< phase-aware framework (requires a PlacementSchedule)
 };
 
 const char* condition_name(Condition condition);
@@ -46,6 +48,11 @@ struct RunOptions {
   Condition condition = Condition::kDdr;
   /// Placement from hmem_advisor; required when condition == kFramework.
   const advisor::Placement* placement = nullptr;
+  /// Per-phase schedule from hmem_advise --per-phase; required when
+  /// condition == kDynamic. Phase names must match the app's phase names
+  /// (they come from the same app's trace). With a single-phase schedule
+  /// the run is bit-identical to kFramework on the same placement.
+  const advisor::PlacementSchedule* schedule = nullptr;
   runtime::AutoHbwOptions runtime_options;
 
   /// Attach the profiler (stage-1 run): collect the trace, pay the cost.
@@ -87,7 +94,11 @@ struct RunOptions {
 /// Real (scale-corrected) DRAM traffic one tier carried during a run.
 struct TierTraffic {
   std::string name;            ///< tier name from the machine config
-  std::uint64_t bytes = 0;     ///< per rank
+  std::uint64_t bytes = 0;     ///< per rank, migration traffic included
+  /// Portion of `bytes` that is phase-boundary migration traffic (source
+  /// tiers carry the read, destination tiers the write). Zero outside the
+  /// dynamic condition.
+  std::uint64_t migration_bytes = 0;
 };
 
 struct RunResult {
@@ -121,6 +132,15 @@ struct RunResult {
     for (const TierTraffic& t : tier_traffic) total += t.bytes;
     return total;
   }
+
+  /// Dynamic-condition migration accounting (zero elsewhere), per rank:
+  /// bytes moved across tiers at phase boundaries (counted once per move),
+  /// the number of region moves, and the simulated seconds the moves cost
+  /// (source-tier read + destination-tier write at the roofline bandwidths,
+  /// plus allocator bookkeeping).
+  std::uint64_t migration_bytes = 0;
+  std::uint64_t migration_count = 0;
+  double migration_cost_s = 0;
 
   std::uint64_t llc_misses = 0;  ///< real, per rank
   std::uint64_t samples = 0;     ///< PEBS samples captured (profiled runs)

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "advisor/advisor.hpp"
+#include "advisor/phase_advisor.hpp"
+#include "advisor/schedule_report.hpp"
 #include "common/assert.hpp"
 #include "common/parallel.hpp"
 #include "common/strings.hpp"
@@ -29,6 +31,17 @@ advisor::MemorySpec machine_memory_spec(const memsim::MachineConfig& node,
     budgets.push_back(std::move(budget));
   }
   return advisor::MemorySpec(std::move(budgets));
+}
+
+std::uint64_t clamp_fast_budget(const memsim::MachineConfig& node,
+                                std::uint64_t requested_bytes,
+                                bool* clamped) {
+  HMEM_ASSERT(!node.tiers.empty());
+  const std::uint64_t capacity =
+      node.tiers[node.fastest_tier()].capacity_bytes;
+  const bool over = requested_bytes > capacity;
+  if (clamped != nullptr) *clamped = over;
+  return over ? capacity : requested_bytes;
 }
 
 namespace {
@@ -142,6 +155,25 @@ PipelineResult run_pipeline(const apps::AppSpec& app_in,
   production_opts.seed = options.production_seed;
   production_opts.node = options.node;
   result.production_run = run_app(app, production_opts);
+
+  // Phase-aware stages: per-phase knapsacks over the folded profiles, then
+  // a dynamic production run consuming the parsed schedule report (same
+  // text round-trip and ASLR discipline as the static path).
+  if (options.per_phase) {
+    advisor::PhaseAdvisor phase_adv(spec, options.advisor);
+    result.schedule = phase_adv.advise(result.report.phases);
+    result.schedule_report_text =
+        advisor::write_schedule_report(result.schedule);
+    const advisor::PlacementSchedule parsed_schedule =
+        advisor::read_schedule_report(result.schedule_report_text);
+    RunOptions dynamic_opts;
+    dynamic_opts.condition = Condition::kDynamic;
+    dynamic_opts.schedule = &parsed_schedule;
+    dynamic_opts.runtime_options = options.runtime_options;
+    dynamic_opts.seed = options.production_seed;
+    dynamic_opts.node = options.node;
+    result.dynamic_run = run_app(app, dynamic_opts);
+  }
   return result;
 }
 

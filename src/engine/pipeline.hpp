@@ -44,6 +44,14 @@ advisor::MemorySpec machine_memory_spec(const memsim::MachineConfig& node,
                                         std::uint64_t fast_budget_per_rank,
                                         int ranks);
 
+/// Clamps a requested fast-tier budget to what the machine can physically
+/// provide (the fastest tier's full capacity). A budget above that would
+/// make the advisor select a working set the runtime can never host —
+/// callers should warn the user when `*clamped` comes back true.
+std::uint64_t clamp_fast_budget(const memsim::MachineConfig& node,
+                                std::uint64_t requested_bytes,
+                                bool* clamped = nullptr);
+
 struct PipelineOptions {
   /// Per-rank fast-tier budget for the advisor (Figure 4's x-axis).
   std::uint64_t fast_budget_per_rank = 256ULL << 20;
@@ -67,6 +75,12 @@ struct PipelineOptions {
   int jobs = 1;
   /// Serialization format of the per-rank shards.
   trace::TraceFormat shard_format = trace::TraceFormat::kBinary;
+  /// Phase-aware mode: additionally run the PhaseAdvisor over the folded
+  /// per-phase profiles (stage 3) and a second production run under the
+  /// dynamic condition, filling PipelineResult::schedule / dynamic_run.
+  /// The static placement and production run are always produced, so
+  /// per_phase gives the static-vs-dynamic comparison in one call.
+  bool per_phase = false;
 };
 
 struct PipelineResult {
@@ -75,6 +89,12 @@ struct PipelineResult {
   advisor::Placement placement;      ///< stage 3
   std::string placement_report_text;
   RunResult production_run;          ///< stage 4
+
+  /// Phase-aware artefacts (per_phase only). The schedule round-trips
+  /// through its text report exactly like the static placement does.
+  advisor::PlacementSchedule schedule;
+  std::string schedule_report_text;
+  RunResult dynamic_run;
 
   /// Multi-rank stage-1 artefacts (profile_ranks > 1 only).
   std::vector<RunResult> rank_profile_runs;  ///< one per rank

@@ -31,10 +31,15 @@ AutoHbwMalloc::AutoHbwMalloc(const advisor::Placement& placement,
 void AutoHbwMalloc::index_selected() {
   promotable_tiers_ =
       std::min(placement_.tiers.size() - 1, tiers_.size() - 1);
-  stats_.tier_bytes_in_use.assign(promotable_tiers_, 0);
-  stats_.tier_hwm.assign(promotable_tiers_, 0);
-  stats_.tier_promoted.assign(promotable_tiers_, 0);
-  stats_.tier_budget_rejections.assign(promotable_tiers_, 0);
+  // Accounting vectors grow on first use and persist across placement
+  // swaps: bytes-in-use tracks live regions, which outlive any one phase.
+  if (stats_.tier_bytes_in_use.size() < promotable_tiers_) {
+    stats_.tier_bytes_in_use.resize(promotable_tiers_, 0);
+    stats_.tier_hwm.resize(promotable_tiers_, 0);
+    stats_.tier_promoted.resize(promotable_tiers_, 0);
+    stats_.tier_budget_rejections.resize(promotable_tiers_, 0);
+  }
+  selected_.clear();
   std::size_t flat = 0;
   for (std::size_t t = 0; t < promotable_tiers_; ++t) {
     const auto& objects = placement_.tiers[t].objects;
@@ -42,7 +47,17 @@ void AutoHbwMalloc::index_selected() {
       selected_.emplace(objects[i].stack, Decision{true, t, i, flat++});
     }
   }
-  site_stats_.resize(flat);
+  // Fresh per-site slots: flat indices are positions in *this* placement's
+  // object lists, so carrying the old vector across a swap would silently
+  // sum different objects' stats under one index.
+  site_stats_.assign(flat, SiteRuntimeStats{});
+}
+
+void AutoHbwMalloc::set_placement(const advisor::Placement& placement) {
+  HMEM_ASSERT(!placement.tiers.empty());
+  placement_ = placement;
+  cache_.clear();  // raw-stack decisions are placement-specific
+  index_selected();
 }
 
 AutoHbwMalloc::Decision AutoHbwMalloc::match(
@@ -138,6 +153,66 @@ AllocOutcome AutoHbwMalloc::allocate(
 
   // Line 21: default allocator.
   return from_tier(slow_tier(), size, overhead_ns);
+}
+
+AllocOutcome AutoHbwMalloc::retarget(Address addr, std::size_t target_tier) {
+  HMEM_ASSERT(target_tier < tiers_.size());
+  const auto it = regions_.find(addr);
+  const bool annotated = it != regions_.end();
+  const std::size_t current = annotated ? it->second.tier : slow_tier();
+  std::uint64_t size = 0;
+  if (annotated) {
+    size = it->second.size;
+  } else {
+    const auto live = slow().allocation_size(addr);
+    HMEM_ASSERT_MSG(live.has_value(), "retarget of address not live anywhere");
+    size = *live;
+  }
+
+  // Cascade target -> slower over the tiers this placement manages (plus
+  // the default), enforcing the advisor budget exactly as allocate() does.
+  for (std::size_t t = target_tier; t < tiers_.size(); ++t) {
+    if (t != slow_tier() && t >= promotable_tiers_) continue;
+    if (t == current) {
+      AllocOutcome stay;
+      stay.addr = addr;
+      stay.owner = tiers_[current];
+      stay.tier = current;
+      stay.promoted = current != slow_tier();
+      return stay;
+    }
+    const bool within_budget =
+        t == slow_tier() ||
+        stats_.tier_bytes_in_use[t] + size <= enforced_budget(t);
+    if (!within_budget || !tiers_[t]->fits(size)) continue;
+    AllocOutcome moved = from_tier(t, size);
+    if (moved.addr == 0) continue;
+    // Source side: release the annotation and the tier accounting.
+    if (annotated) {
+      stats_.tier_bytes_in_use[current] -= size;
+      if (current == 0)
+        stats_.fast_bytes_in_use = stats_.tier_bytes_in_use[0];
+      regions_.erase(it);
+    }
+    const bool ok = tiers_[current]->deallocate(addr);
+    HMEM_ASSERT_MSG(ok, "retarget source vanished mid-move");
+    moved.cost_ns += tiers_[current]->free_cost_ns();
+    // Destination side: annotate and account when it is an alternate tier.
+    if (t != slow_tier()) {
+      regions_[moved.addr] = Region{size, t};
+      stats_.tier_bytes_in_use[t] += size;
+      stats_.tier_hwm[t] =
+          std::max(stats_.tier_hwm[t], stats_.tier_bytes_in_use[t]);
+      if (t == 0) {
+        stats_.fast_bytes_in_use = stats_.tier_bytes_in_use[0];
+        stats_.fast_hwm = stats_.tier_hwm[0];
+      }
+    }
+    ++stats_.migrations;
+    stats_.migrated_bytes += size;
+    return moved;
+  }
+  return {};
 }
 
 double AutoHbwMalloc::deallocate(Address addr) {

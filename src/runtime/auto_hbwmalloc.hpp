@@ -56,6 +56,10 @@ struct AutoHbwStats {
   std::uint64_t matched = 0;
   std::uint64_t promoted = 0;
   std::uint64_t budget_rejections = 0;
+  /// Phase-aware runs: live regions moved between tiers and the bytes they
+  /// carried (counted once per move, not per direction).
+  std::uint64_t migrations = 0;
+  std::uint64_t migrated_bytes = 0;
   /// Fastest-tier accounting (tier 0) — the figures the paper reports.
   std::uint64_t fast_bytes_in_use = 0;
   std::uint64_t fast_hwm = 0;  ///< the HWM reported in Figure 4 (middle)
@@ -92,11 +96,25 @@ class AutoHbwMalloc final : public PlacementPolicy {
   AllocOutcome allocate(std::uint64_t size,
                         const callstack::SymbolicCallStack& context) override;
   double deallocate(Address addr) override;
+  /// Tier-aware move of a live region: keeps the alternate-region
+  /// annotations, per-tier byte accounting and budget enforcement coherent
+  /// while cascading FCFS past full/over-budget tiers.
+  AllocOutcome retarget(Address addr, std::size_t target_tier) override;
   const std::string& name() const override { return name_; }
 
+  /// Swaps in the next phase's placement (phase-aware schedules): rebuilds
+  /// the selection index and invalidates the decision cache, while live
+  /// regions, per-tier bytes-in-use and the cumulative counters carry over.
+  /// The placement must target the same tier structure (same non-fallback
+  /// tier count and budgets — one MemorySpec, many phases).
+  void set_placement(const advisor::Placement& placement);
+
   const AutoHbwStats& stats() const { return stats_; }
-  /// Per-object stats, tier-major across the placement's non-fallback
-  /// object lists (tier 0 objects first, then tier 1, ...).
+  /// Per-object stats, tier-major across the *current* placement's
+  /// non-fallback object lists (tier 0 objects first, then tier 1, ...).
+  /// set_placement resets them — indices are positions in one placement's
+  /// lists, so they cannot aggregate across phases; the cumulative
+  /// counters live in stats().
   const std::vector<SiteRuntimeStats>& site_stats() const {
     return site_stats_;
   }

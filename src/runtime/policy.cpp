@@ -44,6 +44,40 @@ AllocOutcome PlacementPolicy::allocate_static(std::uint64_t size) {
   return from_tier(slow_tier(), size);
 }
 
+AllocOutcome PlacementPolicy::retarget(Address addr, std::size_t target_tier) {
+  HMEM_ASSERT(target_tier < tiers_.size());
+  std::size_t current = slow_tier();
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    if (tiers_[t]->owns(addr)) {
+      current = t;
+      break;
+    }
+  }
+  const auto size = tiers_[current]->allocation_size(addr);
+  HMEM_ASSERT_MSG(size.has_value(), "retarget of address not live anywhere");
+
+  // Cascade target -> slower, numactl-style. Landing on the current tier
+  // means the object is already as fast as it can get: stay put.
+  for (std::size_t t = target_tier; t < tiers_.size(); ++t) {
+    if (t == current) {
+      AllocOutcome stay;
+      stay.addr = addr;
+      stay.owner = tiers_[current];
+      stay.tier = current;
+      stay.promoted = current != slow_tier();
+      return stay;
+    }
+    if (!tiers_[t]->fits(*size)) continue;
+    AllocOutcome moved = from_tier(t, *size);
+    if (moved.addr == 0) continue;
+    const bool ok = tiers_[current]->deallocate(addr);
+    HMEM_ASSERT_MSG(ok, "retarget source vanished mid-move");
+    moved.cost_ns += tiers_[current]->free_cost_ns();
+    return moved;
+  }
+  return {};
+}
+
 DdrPolicy::DdrPolicy(Allocator& slow) : PlacementPolicy({&slow}) {}
 
 AllocOutcome DdrPolicy::allocate(std::uint64_t size,

@@ -66,6 +66,16 @@ class PlacementPolicy {
   /// allocator.
   virtual AllocOutcome allocate_static(std::uint64_t size);
 
+  /// Moves a live dynamic allocation into `target_tier` (phase-aware
+  /// re-placement). When the target tier cannot take it, the move cascades
+  /// FCFS toward slower tiers, exactly like the numactl fallback; reaching
+  /// the allocation's current tier on the way means "stay put" (addr
+  /// unchanged, zero cost). Returns addr == 0 only when every candidate
+  /// tier refused — the object then stays where it was. The returned
+  /// cost_ns charges the allocator bookkeeping of the move (the data-copy
+  /// traffic itself is the engine's to charge through the memory model).
+  virtual AllocOutcome retarget(Address addr, std::size_t target_tier);
+
   virtual const std::string& name() const = 0;
 
   /// The policy's allocators, fastest first; back() is the default.

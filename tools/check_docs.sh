@@ -1,0 +1,49 @@
+#!/bin/sh
+# Docs consistency check, run by the CI docs job (and locally from the
+# repo root):
+#   1. every relative markdown link in README.md / docs/*.md resolves to
+#      an existing file or directory;
+#   2. every CLI flag the three hmem_* tools accept appears in
+#      docs/TOOLS.md, so the reference cannot silently drift from the
+#      argv parsers.
+# Plain grep/sed — no dependencies beyond POSIX sh.
+set -u
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$repo_root" || exit 1
+fail=0
+
+# ---- 1. markdown links ----------------------------------------------------
+for md in README.md docs/*.md; do
+  dir=$(dirname "$md")
+  # Extract (target) of every [text](target); one per line.
+  for target in $(grep -oE '\]\([^)]+\)' "$md" | sed -e 's/^](//' -e 's/)$//'); do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path=${target%%#*}   # strip in-page anchors
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "BROKEN LINK: $md -> $target"
+      fail=1
+    fi
+  done
+done
+
+# ---- 2. CLI flags documented ----------------------------------------------
+# The tools test argv with string literals ("--machine", "--per-phase",
+# ...); every such literal must be mentioned in docs/TOOLS.md.
+flags=$(grep -ohE '"--[a-z-]+"' tools/hmem_profile.cpp tools/hmem_advise.cpp \
+          tools/hmem_run.cpp | tr -d '"' | sort -u)
+for flag in $flags; do
+  if ! grep -q -- "$flag" docs/TOOLS.md; then
+    echo "UNDOCUMENTED FLAG: $flag (from tools/hmem_*.cpp) missing in docs/TOOLS.md"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED"
+  exit 1
+fi
+echo "check_docs: OK (links resolve, all CLI flags documented)"

@@ -20,7 +20,13 @@
 //     --machine m      derive the tier list from a machine preset (knl,
 //                      spr-hbm, ddr-cxl, hbm-ddr-pmem) or config file: the
 //                      fastest tier gets <fast-budget>, every other tier
-//                      its per-process capacity; overrides --slow
+//                      its per-process capacity; overrides --slow. A budget
+//                      above the fastest tier's capacity is clamped (with a
+//                      warning) to what the machine can physically provide
+//     --per-phase      emit a placement *schedule* instead: one knapsack
+//                      per folded phase plus the migration diff between
+//                      consecutive phases (consume with hmem_run
+//                      --condition dynamic)
 //     --csv file       write the per-object CSV here
 #include <cstdio>
 #include <cstring>
@@ -30,7 +36,9 @@
 #include <vector>
 
 #include "advisor/advisor.hpp"
+#include "advisor/phase_advisor.hpp"
 #include "advisor/placement_report.hpp"
+#include "advisor/schedule_report.hpp"
 #include "analysis/aggregator.hpp"
 #include "common/units.hpp"
 #include "cli.hpp"
@@ -45,6 +53,7 @@ int main(int argc, char** argv) {
   std::uint64_t slow = parse_bytes("1.5G").value();
   std::optional<memsim::MachineConfig> machine;
   const char* csv_path = nullptr;
+  bool per_phase = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strategy") == 0) {
       const auto s = advisor::parse_strategy(
@@ -76,6 +85,8 @@ int main(int argc, char** argv) {
       machine =
           tools::load_machine(tools::cli_value(argc, argv, i, "--machine"));
       if (!machine) return 2;
+    } else if (std::strcmp(argv[i], "--per-phase") == 0) {
+      per_phase = true;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv_path = tools::cli_value(argc, argv, i, "--csv");
     } else if (tools::cli_is_flag(argv[i])) {
@@ -89,17 +100,33 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <trace> [trace...] <fast-budget> [--strategy s] "
                  "[--threshold t] [--virtual b] [--slow b] "
-                 "[--machine preset|config.ini] [--csv file]\n"
+                 "[--machine preset|config.ini] [--per-phase] [--csv file]\n"
                  "  machine presets: %s\n",
                  argv[0], tools::machine_preset_list().c_str());
     return 2;
   }
-  const auto budget = parse_bytes(positional.back());
+  auto budget = parse_bytes(positional.back());
   if (!budget) {
     std::fprintf(stderr, "bad budget: %s\n", positional.back().c_str());
     return 2;
   }
   positional.pop_back();  // the rest are trace shards
+  if (machine) {
+    // A budget the machine cannot physically provide would make the advisor
+    // select a working set the runtime can never host: clamp and say so.
+    bool clamped = false;
+    const std::uint64_t usable =
+        engine::clamp_fast_budget(*machine, *budget, &clamped);
+    if (clamped) {
+      std::fprintf(stderr,
+                   "warning: budget %s exceeds the %s tier's capacity %s; "
+                   "clamping\n",
+                   format_bytes(*budget).c_str(),
+                   machine->tiers[machine->fastest_tier()].name.c_str(),
+                   format_bytes(usable).c_str());
+      budget = usable;
+    }
+  }
 
   // One shared SiteDb: every shard's sites are re-interned into it, so the
   // merged stream aggregates per allocation site across all ranks. Each
@@ -150,6 +177,23 @@ int main(int argc, char** argv) {
   const advisor::MemorySpec spec =
       machine ? engine::machine_memory_spec(*machine, *budget, /*ranks=*/1)
               : advisor::MemorySpec::two_tier(*budget, slow);
+  if (per_phase) {
+    if (report.phases.empty()) {
+      std::fprintf(stderr,
+                   "--per-phase: the trace carries no phase events; "
+                   "re-profile or drop the flag\n");
+      return 1;
+    }
+    advisor::PhaseAdvisor adv(spec, options);
+    const auto schedule = adv.advise(report.phases);
+    std::fprintf(stderr,
+                 "schedule: %zu phase(s), %llu bytes migrated per cycle\n",
+                 schedule.phases.size(),
+                 static_cast<unsigned long long>(
+                     schedule.migration_bytes_per_cycle()));
+    std::cout << advisor::write_schedule_report(schedule);
+    return 0;
+  }
   advisor::HmemAdvisor adv(spec, options);
   const auto placement = adv.advise(report.objects);
   std::cout << advisor::write_placement_report(placement);

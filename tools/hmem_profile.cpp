@@ -17,7 +17,7 @@
 //                       [--machine preset|config.ini]
 //                       [--period P] [--min-alloc B]
 //     app              hpcg | lulesh | bt | minife | cgpop | snap |
-//                      maxw-dgtd | gtc-p
+//                      maxw-dgtd | gtc-p | churn | transient
 //     trace-out        output trace path (suffix .rank<k> when --ranks > 1)
 //     --format f       trace encoding (default text)
 //     --ranks N        simulated ranks -> N shards (default: app default)
@@ -121,6 +121,9 @@ int main(int argc, char** argv) {
     for (const auto& a : apps::all_apps()) {
       if (!known.empty()) known += ", ";
       known += a.name;
+    }
+    for (const auto& a : apps::phase_shift_apps()) {
+      known += ", " + a.name;
     }
     std::fprintf(stderr, "unknown app %s (expected one of: %s)\n",
                  positional[0].c_str(), known.c_str());

@@ -2,7 +2,10 @@
 //
 // Runs one of the bundled applications under one or more placement
 // conditions. With --placement, auto-hbwmalloc honours an hmem_advise
-// report (the framework condition); otherwise baseline conditions apply.
+// report: a static placement runs the framework condition, a per-phase
+// schedule (hmem_advise --per-phase; the file format is sniffed) runs the
+// dynamic condition, re-placing objects at phase boundaries with migration
+// traffic charged and reported. Baseline conditions apply otherwise.
 // --condition takes a comma-separated list (e.g. ddr,numactl,cache), and
 // --jobs N runs up to N conditions concurrently — each run is an
 // independent simulation, so the reports are identical to serial runs and
@@ -10,7 +13,10 @@
 //
 //   usage: hmem_run <app> [--condition c[,c...]] [--placement report.txt]
 //                   [--machine preset|config.ini] [--ranks N] [--jobs J]
-//     condition   ddr | numactl | autohbw | cache     (default ddr)
+//     condition   ddr | numactl | autohbw | cache | dynamic (default ddr;
+//                 dynamic needs a --placement schedule)
+//     placement   hmem_advise output: a placement report (framework
+//                 condition) or a placement schedule (dynamic condition)
 //     machine     machine preset (knl, spr-hbm, ddr-cxl, hbm-ddr-pmem) or
 //                 a machine config file                (default knl)
 //     ranks       override the app's simulated rank count (scaling studies:
@@ -25,6 +31,7 @@
 #include <vector>
 
 #include "advisor/placement_report.hpp"
+#include "advisor/schedule_report.hpp"
 #include "apps/workloads.hpp"
 #include "common/parallel.hpp"
 #include "common/strings.hpp"
@@ -58,6 +65,20 @@ std::string report_text(const hmem::engine::RunResult& run) {
     if (t != 0) os << " + ";
   }
   os << " per rank\n";
+  if (run.migration_count > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "migration   : %llu moves, %s moved, %.3f s charged (",
+                  static_cast<unsigned long long>(run.migration_count),
+                  format_bytes(run.migration_bytes).c_str(),
+                  run.migration_cost_s);
+    os << buf;
+    for (std::size_t t = run.tier_traffic.size(); t-- > 0;) {
+      os << format_bytes(run.tier_traffic[t].migration_bytes) << ' '
+         << run.tier_traffic[t].name;
+      if (t != 0) os << " + ";
+    }
+    os << ")\n";
+  }
   if (run.autohbw.has_value()) {
     std::snprintf(buf, sizeof(buf),
                   "interposer  : %llu intercepted, %llu promoted, "
@@ -80,7 +101,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <app> [--condition ddr|numactl|autohbw|cache"
-                 "[,...]] [--placement report.txt] "
+                 "|dynamic[,...]] [--placement report.txt] "
                  "[--machine preset|config.ini] [--ranks N] [--jobs J]\n"
                  "  machine presets: %s\n",
                  argv[0], tools::machine_preset_list().c_str());
@@ -93,6 +114,9 @@ int main(int argc, char** argv) {
       if (!known.empty()) known += ", ";
       known += a.name;
     }
+    for (const auto& a : apps::phase_shift_apps()) {
+      known += ", " + a.name;
+    }
     std::fprintf(stderr, "unknown app %s (expected one of: %s)\n", argv[1],
                  known.c_str());
     return 2;
@@ -100,7 +124,10 @@ int main(int argc, char** argv) {
 
   std::vector<engine::Condition> conditions;
   advisor::Placement placement;
+  advisor::PlacementSchedule schedule;
   bool use_placement = false;
+  bool use_schedule = false;
+  bool dynamic_requested = false;
   int jobs = 1;
   memsim::MachineConfig node =
       memsim::MachineConfig::knl7250(memsim::MemMode::kFlat);
@@ -116,6 +143,10 @@ int main(int argc, char** argv) {
           conditions.push_back(engine::Condition::kAutoHbw);
         } else if (c == "cache") {
           conditions.push_back(engine::Condition::kCacheMode);
+        } else if (c == "dynamic") {
+          // Queued once the schedule is known; order is preserved below by
+          // appending it after the baselines, like the framework condition.
+          dynamic_requested = true;
         } else {
           std::fprintf(stderr, "unknown condition %s\n", c.c_str());
           return 2;
@@ -130,12 +161,17 @@ int main(int argc, char** argv) {
       std::ostringstream text;
       text << in.rdbuf();
       try {
-        placement = advisor::read_placement_report(text.str());
+        if (advisor::is_schedule_report(text.str())) {
+          schedule = advisor::read_schedule_report(text.str());
+          use_schedule = true;
+        } else {
+          placement = advisor::read_placement_report(text.str());
+          use_placement = true;
+        }
       } catch (const std::exception& e) {
         std::fprintf(stderr, "placement parse error: %s\n", e.what());
         return 1;
       }
-      use_placement = true;
     } else if (std::strcmp(argv[i], "--machine") == 0) {
       const auto machine =
           tools::load_machine(tools::cli_value(argc, argv, i, "--machine"));
@@ -159,10 +195,21 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (dynamic_requested && !use_schedule) {
+    std::fprintf(stderr,
+                 "--condition dynamic needs a placement *schedule* "
+                 "(hmem_advise --per-phase) via --placement\n");
+    return 2;
+  }
   if (use_placement) {
     // A placement implies the framework condition; it runs alongside any
     // baselines listed via --condition.
     conditions.push_back(engine::Condition::kFramework);
+  }
+  if (use_schedule) {
+    // A schedule implies the dynamic condition (an explicit
+    // `--condition dynamic` is accepted but redundant).
+    conditions.push_back(engine::Condition::kDynamic);
   }
   if (conditions.empty()) {
     // No explicit condition: honour the machine's own mode — a config
@@ -180,6 +227,9 @@ int main(int argc, char** argv) {
     opts.node = node;
     if (conditions[c] == engine::Condition::kFramework) {
       opts.placement = &placement;
+    }
+    if (conditions[c] == engine::Condition::kDynamic) {
+      opts.schedule = &schedule;
     }
     reports[c] = report_text(engine::run_app(*app, opts));
   });
