@@ -24,10 +24,14 @@ ObjectInfo parse_object_line(const std::string& line, bool is_dynamic) {
   if (fields.size() != 4) malformed(line);
   ObjectInfo obj;
   obj.name = trim(fields[0]);
+  // The trimmed strings must outlive the *end check: strtoull's end pointer
+  // aims into them.
   char* end = nullptr;
-  obj.max_size_bytes = std::strtoull(trim(fields[1]).c_str(), &end, 10);
+  const std::string size_field = trim(fields[1]);
+  obj.max_size_bytes = std::strtoull(size_field.c_str(), &end, 10);
   if (end == nullptr || *end != '\0') malformed(line);
-  obj.llc_misses = std::strtoull(trim(fields[2]).c_str(), &end, 10);
+  const std::string misses_field = trim(fields[2]);
+  obj.llc_misses = std::strtoull(misses_field.c_str(), &end, 10);
   if (end == nullptr || *end != '\0') malformed(line);
   if (!callstack::SymbolicCallStack::from_string(trim(fields[3]), obj.stack))
     malformed(line);

@@ -6,6 +6,57 @@
 
 namespace hmem::apps {
 
+namespace {
+
+struct PatternName {
+  AccessPattern pattern;
+  const char* name;
+};
+
+// First entry per pattern is the canonical spelling; later entries are
+// accepted aliases (the original enum names predate the config DSL).
+constexpr PatternName kPatternNames[] = {
+    {AccessPattern::kStream, "seq"},
+    {AccessPattern::kStream, "stream"},
+    {AccessPattern::kRandom, "random"},
+    {AccessPattern::kStrided, "stride"},
+    {AccessPattern::kStrided, "strided"},
+    {AccessPattern::kRandomPermute, "random-permute"},
+    {AccessPattern::kZipf, "zipf"},
+    {AccessPattern::kPointerChase, "pointer-chase"},
+    {AccessPattern::kBursty, "bursty"},
+};
+
+}  // namespace
+
+const char* pattern_name(AccessPattern pattern) {
+  for (const auto& entry : kPatternNames) {
+    if (entry.pattern == pattern) return entry.name;
+  }
+  return "?";
+}
+
+std::optional<AccessPattern> parse_pattern(const std::string& name) {
+  for (const auto& entry : kPatternNames) {
+    if (name == entry.name) return entry.pattern;
+  }
+  return std::nullopt;
+}
+
+std::string pattern_list() {
+  std::string list;
+  AccessPattern last = AccessPattern::kRandom;
+  bool first = true;
+  for (const auto& entry : kPatternNames) {
+    if (!first && entry.pattern == last) continue;  // skip aliases
+    if (!first) list += ", ";
+    list += entry.name;
+    last = entry.pattern;
+    first = false;
+  }
+  return list;
+}
+
 std::size_t AppSpec::object_index(const std::string& obj_name) const {
   for (std::size_t i = 0; i < objects.size(); ++i) {
     if (objects[i].name == obj_name) return i;
@@ -50,11 +101,25 @@ std::string validate(const AppSpec& spec) {
     return "invalid execution geometry";
   if (spec.iterations == 0) return "zero iterations";
   if (spec.accesses_per_iteration == 0) return "zero accesses per iteration";
-  if (spec.access_scale <= 0) return "non-positive access scale";
-  if (spec.work_per_iteration <= 0) return "non-positive work per iteration";
+  // Written as !(x > 0 && finite) so NaN — which fails every ordered
+  // comparison — lands in the reject branch instead of slipping through.
+  if (!(spec.access_scale > 0 && std::isfinite(spec.access_scale)))
+    return "non-positive access scale";
+  if (!(spec.work_per_iteration > 0 && std::isfinite(spec.work_per_iteration)))
+    return "non-positive work per iteration";
   for (const auto& obj : spec.objects) {
     if (obj.name.empty()) return "object with empty name";
     if (obj.size_bytes == 0) return "object '" + obj.name + "' has zero size";
+    if (obj.pattern == AccessPattern::kZipf &&
+        !(obj.zipf_alpha > 0 && std::isfinite(obj.zipf_alpha)))
+      return "object '" + obj.name + "' needs a positive finite zipf_alpha";
+    if (obj.pattern == AccessPattern::kBursty && obj.burst_lines == 0)
+      return "object '" + obj.name + "' needs burst_lines >= 1";
+    if ((obj.pattern == AccessPattern::kRandomPermute ||
+         obj.pattern == AccessPattern::kPointerChase) &&
+        obj.size_bytes > kMaxTablePatternBytes)
+      return "object '" + obj.name +
+             "' is too large for a table-backed pattern (max 1 GiB)";
     if (obj.callstack_depth < 1)
       return "object '" + obj.name + "' has invalid callstack depth";
     if (obj.is_static && obj.churn)
@@ -72,13 +137,19 @@ std::string validate(const AppSpec& spec) {
     if (phase.name.empty()) return "phase with empty name";
     if (phase.object_weights.size() != spec.objects.size())
       return "phase '" + phase.name + "' weight vector size mismatch";
-    if (phase.access_share <= 0)
+    if (!(phase.access_share > 0 && std::isfinite(phase.access_share)))
       return "phase '" + phase.name + "' has non-positive access share";
-    if (phase.stack_weight < 0 || phase.stack_weight > 1)
+    if (!(phase.stack_weight >= 0 && phase.stack_weight <= 1))
       return "phase '" + phase.name + "' stack weight out of range";
+    if (!(phase.write_fraction >= 0 && phase.write_fraction <= 1))
+      return "phase '" + phase.name + "' write fraction out of range";
+    if (!(phase.insts_per_access >= 0 &&
+          std::isfinite(phase.insts_per_access)))
+      return "phase '" + phase.name + "' has invalid insts_per_access";
     double weight_sum = phase.stack_weight;
     for (double w : phase.object_weights) {
-      if (w < 0) return "phase '" + phase.name + "' has negative weight";
+      if (!(w >= 0 && std::isfinite(w)))
+        return "phase '" + phase.name + "' has negative weight";
       weight_sum += w;
     }
     if (weight_sum <= 0)

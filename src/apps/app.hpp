@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,10 +20,31 @@
 namespace hmem::apps {
 
 enum class AccessPattern {
-  kStream,   ///< sequential lines, position persists across iterations
-  kRandom,   ///< uniform random line within the object
-  kStrided,  ///< fixed large stride (gather-like)
+  kStream,         ///< sequential lines, position persists across iterations
+  kRandom,         ///< uniform random line within the object
+  kStrided,        ///< fixed large stride (gather-like)
+  kRandomPermute,  ///< fixed random permutation of all lines, replayed
+  kZipf,           ///< power-law skew: low lines hot, tail cold
+  kPointerChase,   ///< random single-cycle successor chain (linked list)
+  kBursty,         ///< random jump, then a short sequential burst
 };
+
+/// Canonical config-file name of a pattern ("seq", "random", "stride",
+/// "random-permute", "zipf", "pointer-chase", "bursty").
+const char* pattern_name(AccessPattern pattern);
+
+/// Inverse of pattern_name; also accepts the legacy aliases "stream" and
+/// "strided". Returns nullopt for unknown names.
+std::optional<AccessPattern> parse_pattern(const std::string& name);
+
+/// Comma-separated pattern names for usage and error texts.
+std::string pattern_list();
+
+/// Table-backed patterns (random-permute, pointer-chase) materialise one
+/// 32-bit entry per cache line, so a hostile config could demand unbounded
+/// memory; validate() rejects such objects above this size (1 GiB object =
+/// 64 MiB table).
+inline constexpr std::uint64_t kMaxTablePatternBytes = 1ULL << 30;
 
 struct ObjectSpec {
   std::string name;
@@ -49,10 +71,19 @@ struct ObjectSpec {
   /// Call-stack depth of the allocation site (affects unwind/translate
   /// cost; apps with deep inlined stacks stress the interposer).
   int callstack_depth = 3;
+  /// kZipf skew exponent (> 0); ~0.8 matches common cache-friendly skews,
+  /// larger values concentrate traffic on fewer lines.
+  double zipf_alpha = 0.8;
+  /// kStrided stride in cache lines; 0 selects the historical default (67).
+  std::uint64_t stride_lines = 0;
+  /// kBursty run length in cache lines between random jumps.
+  std::uint64_t burst_lines = 64;
 
   std::uint64_t total_bytes() const {
     return size_bytes * static_cast<std::uint64_t>(instances);
   }
+
+  bool operator==(const ObjectSpec&) const = default;
 };
 
 struct PhaseSpec {
@@ -69,6 +100,8 @@ struct PhaseSpec {
   double write_fraction = 0.3;
   /// Arithmetic intensity: instructions retired per (real) memory access.
   double insts_per_access = 12.0;
+
+  bool operator==(const PhaseSpec&) const = default;
 };
 
 struct AppSpec {
@@ -88,6 +121,8 @@ struct AppSpec {
   std::uint64_t stack_bytes = 8ULL << 20;
   std::vector<ObjectSpec> objects;
   std::vector<PhaseSpec> phases;
+
+  bool operator==(const AppSpec&) const = default;
 
   /// Index lookup by object name; asserts when absent (test helper).
   std::size_t object_index(const std::string& name) const;

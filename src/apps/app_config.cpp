@@ -1,0 +1,341 @@
+#include "apps/app_config.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/workloads.hpp"
+#include "common/strings.hpp"
+#include "common/units.hpp"
+
+namespace hmem::apps {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("app config: " + what);
+}
+
+/// Name of an "[object x]" / "[phase x]" section, nullopt when the section
+/// is not of that kind. The bare kind with no name is an error the caller
+/// reports (an empty name never parses as "not this kind").
+std::optional<std::string> section_name(const std::string& section,
+                                        const std::string& kind) {
+  if (section == kind) fail("[" + kind + "] section needs a name");
+  if (!section.starts_with(kind + " ")) return std::nullopt;
+  const std::string name = trim(section.substr(kind.size() + 1));
+  if (name.empty()) fail("[" + kind + "] section needs a name");
+  return name;
+}
+
+/// Shortest decimal representation that round-trips to the same double, so
+/// generated configs stay readable ("0.0357") yet bit-identical.
+std::string format_double(double value) {
+  char buf[64];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+bool all_digits(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// get_int with a sign check: count-like keys silently cast to unsigned
+/// fields, so a negative value must be a named error, not a 2^64 wrap.
+long long get_count(const Config& config, const std::string& section,
+                    const std::string& key, long long fallback) {
+  const long long value = config.get_int(section, key, fallback);
+  if (value < 0)
+    fail("[" + section + "] " + key + " must be non-negative (got " +
+         std::to_string(value) + ")");
+  return value;
+}
+
+}  // namespace
+
+AppSpec from_config(const Config& config) {
+  bool has_app = false;
+  for (const auto& section : config.sections()) {
+    if (section == "app") has_app = true;
+  }
+  if (!has_app) fail("missing [app] section");
+
+  AppSpec spec;
+  spec.name = config.get_string("app", "name", "");
+  if (spec.name.empty()) fail("[app] name missing");
+  const AppSpec defaults;
+  spec.fom_unit = config.get_string("app", "fom_unit", "FOM/s");
+  spec.ranks = static_cast<int>(get_count(config, "app", "ranks", defaults.ranks));
+  spec.threads_per_rank = static_cast<int>(
+      get_count(config, "app", "threads_per_rank", defaults.threads_per_rank));
+  spec.iterations = static_cast<std::uint64_t>(get_count(
+      config, "app", "iterations", static_cast<long long>(defaults.iterations)));
+  spec.accesses_per_iteration = static_cast<std::uint64_t>(
+      get_count(config, "app", "accesses_per_iteration",
+                static_cast<long long>(defaults.accesses_per_iteration)));
+  spec.access_scale =
+      config.get_double("app", "access_scale", defaults.access_scale);
+  spec.work_per_iteration = config.get_double("app", "work_per_iteration",
+                                              defaults.work_per_iteration);
+  spec.stack_bytes = config.get_bytes("app", "stack_bytes", defaults.stack_bytes);
+
+  // First pass: objects (allocation order = section order), with weights
+  // and transient-phase references kept raw until both lists exist.
+  struct PendingPhase {
+    PhaseSpec phase;
+    std::string section;
+    std::string weights;
+  };
+  std::vector<PendingPhase> pending_phases;
+  std::vector<std::pair<std::size_t, std::string>> pending_transients;
+  for (const auto& section : config.sections()) {
+    if (section == "app") continue;
+    if (const auto name = section_name(section, "object")) {
+      for (const auto& obj : spec.objects) {
+        if (obj.name == *name) fail("[" + section + "] declared twice");
+      }
+      ObjectSpec obj;
+      obj.name = *name;
+      const auto size_raw = config.get(section, "size");
+      if (!size_raw) fail("[" + section + "] size missing");
+      const auto size = parse_bytes(*size_raw);
+      if (!size || *size == 0)
+        fail("[" + section + "] size must be a positive byte count (got '" +
+             *size_raw + "')");
+      obj.size_bytes = *size;
+      const std::string pattern = config.get_string(section, "pattern", "seq");
+      const auto parsed = parse_pattern(pattern);
+      if (!parsed)
+        fail("[" + section + "] unknown pattern '" + pattern +
+             "' (expected " + pattern_list() + ")");
+      obj.pattern = *parsed;
+      obj.is_static = config.get_bool(section, "static", false);
+      obj.churn = config.get_bool(section, "churn", false);
+      obj.instances =
+          static_cast<int>(get_count(config, section, "instances", 1));
+      obj.callstack_depth =
+          static_cast<int>(get_count(config, section, "callstack_depth", 3));
+      const ObjectSpec obj_defaults;
+      obj.zipf_alpha =
+          config.get_double(section, "zipf_alpha", obj_defaults.zipf_alpha);
+      obj.stride_lines = static_cast<std::uint64_t>(get_count(
+          config, section, "stride_lines",
+          static_cast<long long>(obj_defaults.stride_lines)));
+      obj.burst_lines = static_cast<std::uint64_t>(get_count(
+          config, section, "burst_lines",
+          static_cast<long long>(obj_defaults.burst_lines)));
+      if (const auto transient = config.get(section, "transient_phase")) {
+        pending_transients.emplace_back(spec.objects.size(), trim(*transient));
+      }
+      spec.objects.push_back(obj);
+    } else if (const auto phase = section_name(section, "phase")) {
+      for (const auto& p : pending_phases) {
+        if (p.phase.name == *phase) fail("[" + section + "] declared twice");
+      }
+      PendingPhase pending;
+      pending.section = section;
+      pending.phase.name = *phase;
+      const PhaseSpec phase_defaults;
+      pending.phase.access_share = config.get_double(
+          section, "access_share", phase_defaults.access_share);
+      pending.phase.stack_weight = config.get_double(
+          section, "stack_weight", phase_defaults.stack_weight);
+      pending.phase.write_fraction = config.get_double(
+          section, "write_fraction", phase_defaults.write_fraction);
+      pending.phase.insts_per_access = config.get_double(
+          section, "insts_per_access", phase_defaults.insts_per_access);
+      pending.weights = config.get_string(section, "weights", "");
+      pending_phases.push_back(std::move(pending));
+    } else if (section.empty()) {
+      fail("keys outside a section (expected [app], [object <name>], "
+           "[phase <name>])");
+    } else {
+      fail("unrecognised section [" + section +
+           "] (expected [app], [object <name>], [phase <name>])");
+    }
+  }
+
+  // Second pass: resolve phase weight lists against the object names.
+  for (auto& pending : pending_phases) {
+    pending.phase.object_weights.assign(spec.objects.size(), 0.0);
+    std::istringstream tokens(pending.weights);
+    std::string token;
+    std::vector<bool> seen(spec.objects.size(), false);
+    while (tokens >> token) {
+      const auto colon = token.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == token.size())
+        fail("[" + pending.section + "] weights entry '" + token +
+             "' must be object:weight");
+      const std::string obj_name = token.substr(0, colon);
+      std::size_t index = spec.objects.size();
+      for (std::size_t i = 0; i < spec.objects.size(); ++i) {
+        if (spec.objects[i].name == obj_name) index = i;
+      }
+      if (index == spec.objects.size())
+        fail("[" + pending.section + "] weights reference unknown object '" +
+             obj_name + "'");
+      if (seen[index])
+        fail("[" + pending.section + "] weights list object '" + obj_name +
+             "' twice");
+      seen[index] = true;
+      const std::string number = token.substr(colon + 1);
+      char* end = nullptr;
+      const double weight = std::strtod(number.c_str(), &end);
+      if (end == nullptr || *end != '\0')
+        fail("[" + pending.section + "] weights entry '" + token +
+             "' has a malformed weight");
+      pending.phase.object_weights[index] = weight;
+    }
+    spec.phases.push_back(std::move(pending.phase));
+  }
+
+  // Transient-phase references resolve by phase name (or, for generated
+  // compatibility, a bare index).
+  for (const auto& [index, reference] : pending_transients) {
+    int resolved = -1;
+    for (std::size_t p = 0; p < spec.phases.size(); ++p) {
+      if (spec.phases[p].name == reference) resolved = static_cast<int>(p);
+    }
+    if (resolved < 0 && all_digits(reference)) {
+      const long long numeric = std::strtoll(reference.c_str(), nullptr, 10);
+      if (numeric < static_cast<long long>(spec.phases.size()))
+        resolved = static_cast<int>(numeric);
+    }
+    if (resolved < 0)
+      fail("[object " + spec.objects[index].name +
+           "] transient_phase references unknown phase '" + reference + "'");
+    spec.objects[index].transient_phase = resolved;
+  }
+
+  const std::string problem = validate(spec);
+  if (!problem.empty()) fail(problem);
+  return spec;
+}
+
+AppSpec from_config_text(const std::string& text) {
+  // Config::parse merges duplicate [section] headers silently, which would
+  // let a config declare [phase solve] twice and quietly combine the keys.
+  // Catch that here with the same header recognition parse() uses.
+  std::vector<std::string> headers;
+  for (const std::string& raw_line : split(text, '\n')) {
+    std::string line = trim(raw_line);
+    const auto comment = line.find_first_of("#;");
+    if (comment != std::string::npos) line = trim(line.substr(0, comment));
+    if (line.size() < 2 || line.front() != '[' || line.back() != ']') continue;
+    const std::string section = trim(line.substr(1, line.size() - 2));
+    for (const auto& prior : headers) {
+      if (prior == section) fail("[" + section + "] declared twice");
+    }
+    headers.push_back(section);
+  }
+  return from_config(Config::parse(text));
+}
+
+std::string to_config_text(const AppSpec& spec) {
+  std::ostringstream out;
+  out << "# " << spec.name
+      << " — app config DSL (see docs/TOOLS.md, \"App configs\")\n";
+  out << "[app]\n";
+  out << "name = " << spec.name << '\n';
+  out << "fom_unit = " << spec.fom_unit << '\n';
+  out << "ranks = " << spec.ranks << '\n';
+  out << "threads_per_rank = " << spec.threads_per_rank << '\n';
+  out << "iterations = " << spec.iterations << '\n';
+  out << "accesses_per_iteration = " << spec.accesses_per_iteration << '\n';
+  out << "access_scale = " << format_double(spec.access_scale) << '\n';
+  out << "work_per_iteration = " << format_double(spec.work_per_iteration)
+      << '\n';
+  out << "stack_bytes = " << spec.stack_bytes << '\n';
+
+  const ObjectSpec obj_defaults;
+  for (const auto& obj : spec.objects) {
+    out << "\n[object " << obj.name << "]\n";
+    out << "size = " << obj.size_bytes << '\n';
+    out << "pattern = " << pattern_name(obj.pattern) << '\n';
+    if (obj.is_static) out << "static = true\n";
+    if (obj.churn) out << "churn = true\n";
+    if (obj.instances != obj_defaults.instances)
+      out << "instances = " << obj.instances << '\n';
+    if (obj.transient_phase >= 0)
+      out << "transient_phase = "
+          << spec.phases[static_cast<std::size_t>(obj.transient_phase)].name
+          << '\n';
+    if (obj.callstack_depth != obj_defaults.callstack_depth)
+      out << "callstack_depth = " << obj.callstack_depth << '\n';
+    if (obj.zipf_alpha != obj_defaults.zipf_alpha)
+      out << "zipf_alpha = " << format_double(obj.zipf_alpha) << '\n';
+    if (obj.stride_lines != obj_defaults.stride_lines)
+      out << "stride_lines = " << obj.stride_lines << '\n';
+    if (obj.burst_lines != obj_defaults.burst_lines)
+      out << "burst_lines = " << obj.burst_lines << '\n';
+  }
+
+  for (const auto& phase : spec.phases) {
+    out << "\n[phase " << phase.name << "]\n";
+    out << "access_share = " << format_double(phase.access_share) << '\n';
+    out << "stack_weight = " << format_double(phase.stack_weight) << '\n';
+    out << "write_fraction = " << format_double(phase.write_fraction) << '\n';
+    out << "insts_per_access = " << format_double(phase.insts_per_access)
+        << '\n';
+    std::string weights;
+    for (std::size_t i = 0; i < phase.object_weights.size(); ++i) {
+      if (phase.object_weights[i] == 0) continue;
+      if (!weights.empty()) weights += ' ';
+      weights +=
+          spec.objects[i].name + ':' + format_double(phase.object_weights[i]);
+    }
+    if (!weights.empty()) out << "weights = " << weights << '\n';
+  }
+  return out.str();
+}
+
+std::optional<AppSpec> load_app_file(const std::string& path,
+                                     std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open app config " + path;
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return from_config_text(text.str());
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = path + ": " + e.what();
+    return std::nullopt;
+  }
+}
+
+std::optional<AppSpec> load_app(const std::string& arg, std::string* error) {
+  if (auto bundled = find_app(arg)) return bundled;
+  std::ifstream probe(arg);
+  if (!probe) {
+    if (error != nullptr) {
+      std::string known;
+      for (const auto& a : all_apps()) {
+        if (!known.empty()) known += ", ";
+        known += a.name;
+      }
+      for (const auto& a : phase_shift_apps()) known += ", " + a.name;
+      *error = "unknown app or unreadable config file '" + arg +
+               "' (bundled apps: " + known + ")";
+    }
+    return std::nullopt;
+  }
+  probe.close();
+  return load_app_file(arg, error);
+}
+
+}  // namespace hmem::apps

@@ -4,44 +4,28 @@
 
 namespace hmem::apps {
 
-AccessGenerator::AccessGenerator(AccessPattern pattern,
-                                 std::uint64_t object_bytes,
-                                 std::uint64_t seed)
-    : pattern_(pattern),
-      lines_((object_bytes + memsim::kCacheLineBytes - 1) /
-             memsim::kCacheLineBytes),
-      rng_(seed) {
-  HMEM_ASSERT(lines_ > 0);
-  // Strided: a prime-ish stride larger than one page, co-prime with most
-  // object sizes so the walk covers the object without short cycles.
-  // Reduce the stride mod the object length up front: (p + 67) % L and
-  // (p + 67 % L) % L walk the same sequence, and a pre-reduced stride lets
-  // next_offset() wrap with a compare-and-subtract instead of a division.
-  stride_lines_ = pattern_ == AccessPattern::kStrided ? 67 % lines_ : 1;
-  if (pattern_ != AccessPattern::kRandom) {
-    // Start at a deterministic but seed-dependent phase so different runs
-    // (and different objects) are decorrelated.
-    position_ = rng_.below(lines_);
-  }
+namespace {
+
+std::uint64_t lines_for(std::uint64_t object_bytes) {
+  return (object_bytes + memsim::kCacheLineBytes - 1) /
+         memsim::kCacheLineBytes;
 }
 
-std::uint64_t AccessGenerator::next_offset() {
-  std::uint64_t line = 0;
-  switch (pattern_) {
-    case AccessPattern::kStream:
-      line = position_;
-      if (++position_ == lines_) position_ = 0;
-      break;
-    case AccessPattern::kStrided:
-      line = position_;
-      position_ += stride_lines_;  // pre-reduced: one wrap at most
-      if (position_ >= lines_) position_ -= lines_;
-      break;
-    case AccessPattern::kRandom:
-      line = rng_.below(lines_);
-      break;
-  }
-  return line * memsim::kCacheLineBytes;
+}  // namespace
+
+AccessGenerator::AccessGenerator(const ObjectSpec& object, std::uint64_t seed)
+    : pattern_(object.pattern),
+      gen_(make_workload_gen(object, lines_for(object.size_bytes), seed)) {}
+
+AccessGenerator::AccessGenerator(AccessPattern pattern,
+                                 std::uint64_t object_bytes,
+                                 std::uint64_t seed) {
+  ObjectSpec object;
+  object.name = "anon";
+  object.size_bytes = object_bytes;
+  object.pattern = pattern;
+  pattern_ = pattern;
+  gen_ = make_workload_gen(object, lines_for(object_bytes), seed);
 }
 
 }  // namespace hmem::apps

@@ -1,36 +1,38 @@
 // Deterministic per-object access-offset generators.
 //
-// Produces cache-line-aligned offsets within an object according to its
-// declared pattern. Stream position persists across iterations so that
-// cache-mode residency builds up realistically (the direct-mapped MCDRAM
-// cache sees the same blocks revisited run-long, which is what makes its
-// capacity/conflict behaviour emerge instead of being scripted).
+// Thin adapter from the pluggable workload_gen layer to the byte offsets
+// the engine consumes. Generator position persists across iterations so
+// that cache-mode residency builds up realistically (the direct-mapped
+// MCDRAM cache sees the same blocks revisited run-long, which is what makes
+// its capacity/conflict behaviour emerge instead of being scripted).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "apps/app.hpp"
-#include "common/prng.hpp"
+#include "apps/workload_gen.hpp"
 #include "memsim/address.hpp"
 
 namespace hmem::apps {
 
 class AccessGenerator {
  public:
+  /// Generator for an object spec: pattern plus its parameters.
+  AccessGenerator(const ObjectSpec& object, std::uint64_t seed);
+
+  /// Legacy shorthand: pattern with default parameters.
   AccessGenerator(AccessPattern pattern, std::uint64_t object_bytes,
                   std::uint64_t seed);
 
   /// Next line-aligned offset in [0, object_bytes).
-  std::uint64_t next_offset();
+  std::uint64_t next_offset() { return gen_->next_line() * memsim::kCacheLineBytes; }
 
   AccessPattern pattern() const { return pattern_; }
 
  private:
   AccessPattern pattern_;
-  std::uint64_t lines_;       ///< object size in cache lines
-  std::uint64_t position_ = 0;
-  std::uint64_t stride_lines_;
-  hmem::Xoshiro256 rng_;
+  std::unique_ptr<WorkloadGen> gen_;
 };
 
 }  // namespace hmem::apps

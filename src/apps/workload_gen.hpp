@@ -1,0 +1,144 @@
+// Pluggable access-pattern generators (the workload_gen layer).
+//
+// Each generator produces a deterministic stream of cache-line indices
+// within one object; AccessGenerator adapts the stream to byte offsets for
+// the engine. The design follows FlashX's workload.h: one tiny abstract
+// interface, one concrete class per pattern, state fully owned by the
+// generator so a (pattern, size, seed) triple replays bit-identically.
+//
+// The three legacy patterns (seq, random, stride) reproduce the original
+// AccessGenerator's RNG draw order exactly — existing traces, FOMs and
+// golden tests must not move when a bundled app is routed through this
+// layer. The newer patterns extend the scenario space:
+//
+//   random-permute  Fisher-Yates permutation of all lines, replayed in
+//                   order: uniform coverage with zero temporal locality,
+//                   the classic TLB/cache-antagonist sweep.
+//   zipf            bounded power-law over line indices (low lines hot),
+//                   sampled O(1) by inverse transform; alpha sets the skew.
+//   pointer-chase   a random single-cycle successor chain visiting every
+//                   line (Sattolo's algorithm): latency-bound dependent
+//                   loads, the worst case for prefetchers.
+//   bursty          a random jump followed by a short sequential burst —
+//                   page-local streaming with poor inter-page locality.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "common/prng.hpp"
+
+namespace hmem::apps {
+
+/// One access-pattern stream over `lines` cache lines.
+class WorkloadGen {
+ public:
+  virtual ~WorkloadGen() = default;
+
+  /// Next line index in [0, lines).
+  virtual std::uint64_t next_line() = 0;
+};
+
+/// Sequential walk; starts at a seed-dependent phase so distinct objects
+/// (and runs) are decorrelated, then wraps forever.
+class SeqWorkloadGen final : public WorkloadGen {
+ public:
+  SeqWorkloadGen(std::uint64_t lines, std::uint64_t seed);
+  std::uint64_t next_line() override;
+
+ private:
+  std::uint64_t lines_;
+  std::uint64_t position_;
+};
+
+/// Independent uniform draws.
+class RandomWorkloadGen final : public WorkloadGen {
+ public:
+  RandomWorkloadGen(std::uint64_t lines, std::uint64_t seed);
+  std::uint64_t next_line() override;
+
+ private:
+  std::uint64_t lines_;
+  hmem::Xoshiro256 rng_;
+};
+
+/// Fixed-stride walk (gather-like). The stride is pre-reduced mod the
+/// object length so the wrap is a compare-and-subtract; stride 0 keeps the
+/// historical default of 67 lines.
+class StrideWorkloadGen final : public WorkloadGen {
+ public:
+  StrideWorkloadGen(std::uint64_t lines, std::uint64_t seed,
+                    std::uint64_t stride_lines);
+  std::uint64_t next_line() override;
+
+ private:
+  std::uint64_t lines_;
+  std::uint64_t position_;
+  std::uint64_t stride_lines_;
+};
+
+/// Replays a fixed Fisher-Yates permutation of all lines: every line is
+/// visited exactly once per cycle, in an order with no spatial locality.
+class RandomPermuteWorkloadGen final : public WorkloadGen {
+ public:
+  RandomPermuteWorkloadGen(std::uint64_t lines, std::uint64_t seed);
+  std::uint64_t next_line() override;
+
+ private:
+  std::vector<std::uint32_t> table_;
+  std::uint64_t position_;
+};
+
+/// Bounded power-law over line indices: P(line = k) ~ (k+1)^-alpha via O(1)
+/// inverse-transform sampling, so low line numbers are hot and the tail is
+/// cold — the skew knob for "most traffic fits in the fast tier" scenarios.
+class ZipfWorkloadGen final : public WorkloadGen {
+ public:
+  ZipfWorkloadGen(std::uint64_t lines, std::uint64_t seed, double alpha);
+  std::uint64_t next_line() override;
+
+ private:
+  std::uint64_t lines_;
+  double alpha_;
+  double span_;  ///< precomputed (lines+1)^(1-alpha) - 1, or log(lines+1)
+  hmem::Xoshiro256 rng_;
+};
+
+/// Follows a random cyclic successor chain built with Sattolo's algorithm:
+/// a single cycle through every line, i.e. a shuffled linked list whose
+/// next load depends on the previous one.
+class PointerChaseWorkloadGen final : public WorkloadGen {
+ public:
+  PointerChaseWorkloadGen(std::uint64_t lines, std::uint64_t seed);
+  std::uint64_t next_line() override;
+
+ private:
+  std::vector<std::uint32_t> next_;
+  std::uint64_t current_;
+};
+
+/// Random jump, then `burst` sequential lines before the next jump.
+class BurstyWorkloadGen final : public WorkloadGen {
+ public:
+  BurstyWorkloadGen(std::uint64_t lines, std::uint64_t seed,
+                    std::uint64_t burst);
+  std::uint64_t next_line() override;
+
+ private:
+  std::uint64_t lines_;
+  std::uint64_t burst_;
+  std::uint64_t position_ = 0;
+  std::uint64_t remaining_ = 0;
+  hmem::Xoshiro256 rng_;
+};
+
+/// Builds the generator an ObjectSpec declares, sized to `lines` cache
+/// lines. Pattern parameters (zipf_alpha, stride_lines, burst_lines) come
+/// from the spec; the caller picks the seed.
+std::unique_ptr<WorkloadGen> make_workload_gen(const ObjectSpec& object,
+                                               std::uint64_t lines,
+                                               std::uint64_t seed);
+
+}  // namespace hmem::apps

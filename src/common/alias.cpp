@@ -54,4 +54,32 @@ AliasTable::AliasTable(const std::vector<double>& weights, int coin_bits) {
   }
 }
 
+double AliasTable::implied_probability(std::size_t slot) const {
+  HMEM_ASSERT(slot < slots_.size());
+  const std::uint64_t n = n_;
+  const std::uint64_t full_coin = 1ULL << coin_bits_;
+  // Column c is picked by exactly ceil((c+1)*2^32/n) - ceil(c*2^32/n) of
+  // the 2^32 column values (the multiply-shift is monotone), and its coin
+  // accepts `threshold` of the 2^coin_bits coin values. Products reach
+  // 2^64 (n = 1), so accumulate in long double: every intermediate is an
+  // integer <= 2^64, exactly representable with a 64-bit mantissa.
+  long double accepted = 0;
+  for (std::size_t c = 0; c < slots_.size(); ++c) {
+    const auto lo = static_cast<std::uint64_t>(
+        ((static_cast<unsigned long long>(c) << 32) + n - 1) / n);
+    const auto hi = static_cast<std::uint64_t>(
+        (((static_cast<unsigned long long>(c) + 1) << 32) + n - 1) / n);
+    const std::uint64_t count = hi - lo;
+    if (count == 0) continue;
+    std::uint64_t coins = 0;
+    if (c == slot) coins += slots_[c].threshold;
+    if (slots_[c].alias == slot) coins += full_coin - slots_[c].threshold;
+    accepted += static_cast<long double>(count) *
+                static_cast<long double>(coins);
+  }
+  const long double total = static_cast<long double>(1ULL << 32) *
+                            static_cast<long double>(full_coin);
+  return static_cast<double>(accepted / total);
+}
+
 }  // namespace hmem

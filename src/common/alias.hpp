@@ -49,6 +49,14 @@ class AliasTable {
   bool empty() const { return slots_.empty(); }
   int coin_bits() const { return coin_bits_; }
 
+  /// Exact probability that sample() returns `slot` over uniform 64-bit
+  /// draws, derived by counting the 32-bit column values mapping to each
+  /// column and the coin values its threshold accepts. This is the table's
+  /// *implemented* distribution — quantization included — so a test can
+  /// assert |implied_probability(i) - w[i]/total| <= n * 2^-coin_bits
+  /// without sampling noise (the fuzz harness's oracle).
+  double implied_probability(std::size_t slot) const;
+
  private:
   struct Slot {
     /// Accept-the-column threshold in [0, 2^coin_bits]; the top value means

@@ -322,8 +322,7 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
   std::vector<ObjectState> state(n_objects);
   for (std::size_t i = 0; i < n_objects; ++i) {
     state[i].generator = std::make_unique<apps::AccessGenerator>(
-        app.objects[i].pattern, app.objects[i].size_bytes,
-        options.seed ^ (0x51ed2700ULL + i * 0x9e3779b9ULL));
+        app.objects[i], options.seed ^ (0x51ed2700ULL + i * 0x9e3779b9ULL));
   }
 
   Xoshiro256 rng(options.seed ^ 0xace5500dULL);

@@ -30,6 +30,7 @@ constexpr std::size_t kChunkEvents = 4096;
 constexpr std::uint64_t kMaxChunkPayloadBytes = 1ULL << 24;  // 16 MiB
 constexpr std::uint64_t kMaxStringBytes = 1ULL << 20;        // 1 MiB
 constexpr std::uint64_t kMaxChunkEventCount = 1ULL << 20;
+constexpr std::uint64_t kMaxStackFrames = 1ULL << 10;
 
 // Chunk tags.
 constexpr char kStringChunk = 'T';
@@ -305,6 +306,9 @@ class BinaryTraceReader final : public TraceReader {
     const int dynamic = in_->get();
     if (dynamic != 0 && dynamic != 1) corrupt("bad site dynamic flag");
     const std::uint64_t nframes = read_varint();
+    // A corrupt varint must not turn into a giant reserve: the contract is
+    // std::runtime_error on malformed input, never bad_alloc/length_error.
+    if (nframes > kMaxStackFrames) corrupt("oversized call-stack");
     callstack::SymbolicCallStack stack;
     stack.frames.reserve(nframes);
     for (std::uint64_t f = 0; f < nframes; ++f) {

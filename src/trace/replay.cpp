@@ -1,0 +1,26 @@
+#include "trace/replay.hpp"
+
+#include <stdexcept>
+
+namespace hmem::trace {
+
+ReplayReader::ReplayReader(const std::vector<std::string>& paths) {
+  if (paths.empty()) throw std::runtime_error("no trace shards given");
+  std::vector<std::unique_ptr<TraceReader>> readers;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    auto in = std::make_unique<std::ifstream>(paths[i], std::ios::binary);
+    if (!*in) throw std::runtime_error("cannot open " + paths[i]);
+    try {
+      readers.push_back(std::make_unique<OffsetTraceReader>(
+          open_trace_reader(*in, sites_),
+          static_cast<Address>(i) * kRankAddressStride));
+    } catch (const std::exception& e) {
+      throw std::runtime_error(paths[i] + ": " + e.what());
+    }
+    files_.push_back(std::move(in));
+  }
+  shard_count_ = paths.size();
+  merged_ = std::make_unique<MergeTraceReader>(std::move(readers));
+}
+
+}  // namespace hmem::trace

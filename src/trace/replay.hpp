@@ -1,0 +1,47 @@
+// Replay front-end over recorded trace shards.
+//
+// A profiled run leaves one shard per rank on disk (text v1 or chunked
+// binary v2). ReplayReader owns everything needed to read such a recording
+// back as one ordered event stream: the open files, a per-shard format
+// reader (format sniffed independently per shard), per-rank address
+// rebasing by kRankAddressStride so live ranges never collide, a k-way
+// timestamp merge, and the shared SiteDb every shard's sites are
+// re-interned into. hmem_advise aggregates through it; the engine's
+// replay_run drives a simulation from it (hmem_run --replay).
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "callstack/sitedb.hpp"
+#include "trace/format.hpp"
+#include "trace/merge.hpp"
+
+namespace hmem::trace {
+
+class ReplayReader {
+ public:
+  /// Opens every shard (rank order = argument order). Throws
+  /// std::runtime_error naming the offending path when a shard cannot be
+  /// opened or its header does not sniff as a known trace format.
+  explicit ReplayReader(const std::vector<std::string>& paths);
+
+  /// The merged, time-ordered event stream (single pass; not rewindable).
+  TraceReader& reader() { return *merged_; }
+
+  /// Allocation sites of all shards, re-interned into one database.
+  callstack::SiteDb& sites() { return sites_; }
+  const callstack::SiteDb& sites() const { return sites_; }
+
+  std::size_t shard_count() const { return shard_count_; }
+
+ private:
+  callstack::SiteDb sites_;
+  std::vector<std::unique_ptr<std::ifstream>> files_;
+  std::unique_ptr<MergeTraceReader> merged_;
+  std::size_t shard_count_ = 0;
+};
+
+}  // namespace hmem::trace

@@ -1,0 +1,295 @@
+// Tests for the app-config DSL (apps/app_config.hpp): error paths with the
+// offending key named, canonical round-trips, and the golden guarantee that
+// the shipped configs/apps/*.ini are bit-identical to the C++ tables — in
+// text, in parsed spec, in profile aggregate and in a Figure-4 dFOM row.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/aggregator.hpp"
+#include "apps/app_config.hpp"
+#include "apps/workloads.hpp"
+#include "engine/experiment.hpp"
+#include "engine/pipeline.hpp"
+#include "trace/visitor.hpp"
+
+namespace hmem::apps {
+namespace {
+
+std::vector<AppSpec> bundled_apps() {
+  auto apps = all_apps();
+  for (auto& app : phase_shift_apps()) apps.push_back(std::move(app));
+  return apps;
+}
+
+std::string shipped_config_path(const std::string& name) {
+  return std::string(HMEM_REPO_DIR) + "/configs/apps/" + name + ".ini";
+}
+
+/// Minimal valid config the error-path tests mutate.
+constexpr const char* kValidConfig = R"(
+[app]
+name = demo
+
+[object hot]
+size = 1M
+pattern = zipf
+zipf_alpha = 1.1
+
+[object cold]
+size = 4M
+
+[phase main]
+access_share = 1
+weights = hot:0.7 cold:0.3
+)";
+
+/// The parse must throw std::runtime_error whose message contains every
+/// given needle (the offending section/key), per the DSL's error contract.
+void expect_error(const std::string& text,
+                  const std::vector<std::string>& needles) {
+  try {
+    from_config_text(text);
+    FAIL() << "config parsed but should have been rejected:\n" << text;
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("app config:"), std::string::npos) << what;
+    for (const auto& needle : needles) {
+      EXPECT_NE(what.find(needle), std::string::npos)
+          << "error message '" << what << "' does not name '" << needle << "'";
+    }
+  }
+}
+
+TEST(AppConfig, ParsesMinimalValidConfig) {
+  const AppSpec spec = from_config_text(kValidConfig);
+  EXPECT_EQ(spec.name, "demo");
+  ASSERT_EQ(spec.objects.size(), 2u);
+  EXPECT_EQ(spec.objects[0].pattern, AccessPattern::kZipf);
+  EXPECT_DOUBLE_EQ(spec.objects[0].zipf_alpha, 1.1);
+  ASSERT_EQ(spec.phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.phases[0].object_weights[0], 0.7);
+  EXPECT_EQ(validate(spec), "");
+}
+
+// --------------------------------------------------------- error paths ----
+// One test per malformed-INI path the tools surface as exit 2: hmem_run /
+// hmem_profile / hmem_advise print exactly these load_app_file errors, so
+// the contract tested here is the contract the CLI reports.
+
+TEST(AppConfigErrors, DuplicatePhaseSection) {
+  expect_error(std::string(kValidConfig) + "\n[phase main]\naccess_share = 1\n",
+               {"[phase main]", "declared twice"});
+}
+
+TEST(AppConfigErrors, DuplicateObjectSection) {
+  expect_error(std::string(kValidConfig) + "\n[object hot]\nsize = 2M\n",
+               {"[object hot]", "declared twice"});
+}
+
+TEST(AppConfigErrors, ZeroSizeObject) {
+  std::string text = kValidConfig;
+  const auto pos = text.find("size = 4M");
+  text.replace(pos, 9, "size = 0 ");
+  expect_error(text, {"[object cold]", "size must be a positive byte count"});
+}
+
+TEST(AppConfigErrors, MissingObjectSize) {
+  expect_error("[app]\nname = x\n[object a]\npattern = seq\n"
+               "[phase p]\naccess_share = 1\nweights = a:1\n",
+               {"[object a]", "size missing"});
+}
+
+TEST(AppConfigErrors, UnknownGeneratorKind) {
+  std::string text = kValidConfig;
+  const auto pos = text.find("pattern = zipf");
+  text.replace(pos, 14, "pattern = warp");
+  expect_error(text, {"[object hot]", "unknown pattern 'warp'"});
+}
+
+TEST(AppConfigErrors, MissingAppSection) {
+  expect_error("[object a]\nsize = 1M\n[phase p]\naccess_share = 1\n",
+               {"missing [app] section"});
+}
+
+TEST(AppConfigErrors, MissingAppName) {
+  expect_error("[app]\nfom_unit = z\n[object a]\nsize = 1M\n"
+               "[phase p]\naccess_share = 1\nweights = a:1\n",
+               {"[app] name missing"});
+}
+
+TEST(AppConfigErrors, WeightsReferenceUnknownObject) {
+  std::string text = kValidConfig;
+  const auto pos = text.find("weights = hot:0.7 cold:0.3");
+  text.replace(pos, 26, "weights = hot:0.7 warm:0.3");
+  expect_error(text, {"[phase main]", "unknown object 'warm'"});
+}
+
+TEST(AppConfigErrors, WeightsListObjectTwice) {
+  std::string text = kValidConfig;
+  const auto pos = text.find("weights = hot:0.7 cold:0.3");
+  text.replace(pos, 26, "weights = hot:0.7 hot:0.30");
+  expect_error(text, {"[phase main]", "'hot' twice"});
+}
+
+TEST(AppConfigErrors, MalformedWeightToken) {
+  std::string text = kValidConfig;
+  const auto pos = text.find("weights = hot:0.7 cold:0.3");
+  text.replace(pos, 26, "weights = hot:0.7 cold:x.3");
+  expect_error(text, {"[phase main]", "malformed weight"});
+}
+
+TEST(AppConfigErrors, WeightTokenWithoutColon) {
+  std::string text = kValidConfig;
+  const auto pos = text.find("weights = hot:0.7 cold:0.3");
+  text.replace(pos, 26, "weights = hot:0.7 cold    ");
+  expect_error(text, {"[phase main]", "must be object:weight"});
+}
+
+TEST(AppConfigErrors, UnknownTransientPhase) {
+  expect_error(std::string(kValidConfig) + "\n[object tmp]\nsize = 1M\n"
+                                           "transient_phase = solve\n",
+               {"[object tmp]", "unknown phase 'solve'"});
+}
+
+TEST(AppConfigErrors, UnnamedObjectSection) {
+  expect_error("[app]\nname = x\n[object]\nsize = 1M\n",
+               {"[object] section needs a name"});
+}
+
+TEST(AppConfigErrors, UnrecognisedSection) {
+  expect_error(std::string(kValidConfig) + "\n[objects typo]\nsize = 1M\n",
+               {"unrecognised section [objects typo]"});
+}
+
+TEST(AppConfigErrors, ValidationFailureIsWrapped) {
+  std::string text = kValidConfig;
+  const auto pos = text.find("access_share = 1");
+  text.replace(pos, 16, "access_share = .5");
+  expect_error(text, {});  // validate()'s message, wrapped as app config:
+}
+
+// ---------------------------------------------------------- round trips ---
+
+TEST(AppConfig, CanonicalTextRoundTripsEveryBundledApp) {
+  for (const auto& app : bundled_apps()) {
+    const std::string text = to_config_text(app);
+    const AppSpec reparsed = from_config_text(text);
+    EXPECT_TRUE(reparsed == app) << app.name << " config:\n" << text;
+  }
+}
+
+TEST(AppConfig, LoadAppResolvesBundledNamesAndReportsUnknown) {
+  std::string error;
+  const auto hpcg = load_app("hpcg", &error);
+  ASSERT_TRUE(hpcg.has_value());
+  EXPECT_TRUE(*hpcg == make_hpcg());
+  EXPECT_FALSE(load_app("no-such-app", &error).has_value());
+  EXPECT_NE(error.find("no-such-app"), std::string::npos);
+  EXPECT_NE(error.find("hpcg"), std::string::npos);  // lists bundled names
+}
+
+// ------------------------------------------------------------- goldens ----
+// The shipped configs/apps/*.ini are generated by `hmem_workload dump-all`;
+// these tests pin them to the C++ tables in the strongest available order:
+// byte-identical text, operator==-identical parsed spec, bit-identical
+// profile aggregate, and a bit-identical Figure-4 dFOM row sample.
+
+TEST(AppConfigGolden, ShippedConfigsAreByteIdenticalToGeneratedText) {
+  for (const auto& app : bundled_apps()) {
+    std::ifstream in(shipped_config_path(app.name));
+    ASSERT_TRUE(in) << "missing shipped config for " << app.name
+                    << " (regenerate with: hmem_workload dump-all configs/apps)";
+    std::ostringstream text;
+    text << in.rdbuf();
+    EXPECT_EQ(text.str(), to_config_text(app)) << app.name;
+  }
+}
+
+TEST(AppConfigGolden, ShippedConfigsParseToIdenticalSpecs) {
+  for (const auto& app : bundled_apps()) {
+    std::string error;
+    const auto loaded = load_app_file(shipped_config_path(app.name), &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    EXPECT_TRUE(*loaded == app) << app.name;
+  }
+}
+
+TEST(AppConfigGolden, ShippedConfigsProfileToBitIdenticalAggregates) {
+  // Profile both specs on the knl preset and compare the stage-2 aggregate
+  // field by field. The engine is deterministic, so any divergence means a
+  // config drifted from its table.
+  const auto aggregate_of = [](const AppSpec& app) {
+    callstack::SiteDb sites;
+    analysis::AggregateVisitor visitor(sites);
+    trace::VisitorSink sink(visitor);
+    engine::RunOptions opts;
+    opts.profile = true;
+    opts.sites = &sites;
+    opts.trace_sink = &sink;
+    (void)engine::run_app(app, opts);
+    return visitor.finish();
+  };
+  for (const auto& app : bundled_apps()) {
+    std::string error;
+    const auto loaded = load_app_file(shipped_config_path(app.name), &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    const auto expect = aggregate_of(app);
+    const auto got = aggregate_of(*loaded);
+    EXPECT_EQ(got.total_samples, expect.total_samples) << app.name;
+    EXPECT_EQ(got.total_weighted_misses, expect.total_weighted_misses)
+        << app.name;
+    EXPECT_EQ(got.unattributed_samples, expect.unattributed_samples)
+        << app.name;
+    ASSERT_EQ(got.objects.size(), expect.objects.size()) << app.name;
+    for (std::size_t i = 0; i < expect.objects.size(); ++i) {
+      EXPECT_EQ(got.objects[i].name, expect.objects[i].name) << app.name;
+      EXPECT_EQ(got.objects[i].max_size_bytes, expect.objects[i].max_size_bytes)
+          << app.name << "/" << expect.objects[i].name;
+      EXPECT_EQ(got.objects[i].llc_misses, expect.objects[i].llc_misses)
+          << app.name << "/" << expect.objects[i].name;
+      EXPECT_EQ(got.objects[i].is_dynamic, expect.objects[i].is_dynamic)
+          << app.name << "/" << expect.objects[i].name;
+    }
+    ASSERT_EQ(got.phases.size(), expect.phases.size()) << app.name;
+    for (std::size_t p = 0; p < expect.phases.size(); ++p) {
+      EXPECT_EQ(got.phases[p].name, expect.phases[p].name) << app.name;
+    }
+  }
+}
+
+TEST(AppConfigGolden, ShippedHpcgProducesBitIdenticalFig4Row) {
+  // One full Figure-4 row sample on knl: same baselines, same cell FOMs,
+  // same dFOM/MByte, from the table spec and from the shipped INI.
+  std::string error;
+  const auto loaded = load_app_file(shipped_config_path("hpcg"), &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+
+  const std::vector<std::uint64_t> budgets = {64ULL << 20, 256ULL << 20};
+  const std::vector<engine::StrategyConfig> strategies = {
+      engine::paper_strategies().front()};
+  const auto row_of = [&](const AppSpec& app) {
+    engine::Fig4Runner runner(app, engine::PipelineOptions{});
+    return runner.run(budgets, strategies);
+  };
+  const auto expect = row_of(make_hpcg());
+  const auto got = row_of(*loaded);
+
+  EXPECT_EQ(got.ddr.fom, expect.ddr.fom);
+  EXPECT_EQ(got.numactl.fom, expect.numactl.fom);
+  EXPECT_EQ(got.autohbw.fom, expect.autohbw.fom);
+  EXPECT_EQ(got.cache.fom, expect.cache.fom);
+  ASSERT_EQ(got.cells.size(), expect.cells.size());
+  for (std::size_t i = 0; i < expect.cells.size(); ++i) {
+    EXPECT_EQ(got.cells[i].fom, expect.cells[i].fom) << i;
+    EXPECT_EQ(got.cells[i].hwm_bytes, expect.cells[i].hwm_bytes) << i;
+    EXPECT_EQ(got.cells[i].dfom_per_mb, expect.cells[i].dfom_per_mb) << i;
+  }
+}
+
+}  // namespace
+}  // namespace hmem::apps

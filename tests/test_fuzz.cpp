@@ -1,0 +1,410 @@
+// Seeded deterministic property/fuzz harness. Three properties:
+//
+//   1. Random INI app configs through parse -> validate -> canonical
+//      round-trip: every input either yields a valid spec or throws a clean
+//      std::runtime_error naming the problem ("app config: ...") — never a
+//      crash, assert, or foreign exception type.
+//   2. Random byte corruption (flips, truncation, insertion, deletion) of a
+//      recorded binary v2 shard: the reader either drains the stream or
+//      throws std::runtime_error — never UB (the CI job runs this under
+//      ASan+UBSan), unbounded allocation, or a non-contract exception.
+//   3. Generator parameter sweeps: every (pattern, size, seed, params)
+//      triple stays in range, replays bit-identically, and covers
+//      permutation/cycle patterns exactly; the alias-table sampler's
+//      *implemented* distribution (implied_probability) matches the
+//      cumulative-weights interpreter it replaced within the documented
+//      quantization bound.
+//
+// Every property runs HMEM_FUZZ_ITERS iterations (default 400; CI sets 500
+// per property for >= 1000 total), seeded per iteration — a failure report
+// names the iteration, and re-running reproduces it exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <iterator>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/app_config.hpp"
+#include "apps/workload_gen.hpp"
+#include "common/alias.hpp"
+#include "common/prng.hpp"
+#include "engine/execution.hpp"
+#include "trace/format.hpp"
+
+namespace hmem {
+namespace {
+
+int fuzz_iters() {
+  if (const char* env = std::getenv("HMEM_FUZZ_ITERS")) {
+    const int value = std::atoi(env);
+    if (value > 0) return value;
+  }
+  return 400;
+}
+
+// ---------------------------------------------- 1. random app configs ----
+
+/// A config that is valid by construction: random geometry, patterns and
+/// parameters, but every cross-reference resolves and every validate()
+/// invariant holds.
+std::string valid_config(Xoshiro256& rng) {
+  std::ostringstream out;
+  out << "[app]\nname = fuzz" << rng.below(4) << "\n";
+  if (rng.below(2) != 0) out << "iterations = " << 1 + rng.below(40) << "\n";
+  if (rng.below(2) != 0) out << "ranks = " << 1 + rng.below(8) << "\n";
+  if (rng.below(3) == 0)
+    out << "access_scale = " << 1 + rng.below(400) << "\n";
+  const std::uint64_t n_objects = 1 + rng.below(3);
+  const std::uint64_t n_phases = 1 + rng.below(2);
+  for (std::uint64_t o = 0; o < n_objects; ++o) {
+    out << "\n[object obj" << o << "]\n";
+    out << "size = " << (1 + rng.below(64)) * 4096 << "\n";
+    const char* kPatterns[] = {"seq",  "random",        "stride",
+                               "zipf", "random-permute", "pointer-chase",
+                               "bursty"};
+    const char* pattern = kPatterns[rng.below(std::size(kPatterns))];
+    out << "pattern = " << pattern << "\n";
+    if (std::string(pattern) == "zipf")
+      out << "zipf_alpha = 0." << 1 + rng.below(9) << rng.below(10) << "\n";
+    if (rng.below(4) == 0) out << "stride_lines = " << rng.below(150) << "\n";
+    if (rng.below(4) == 0) out << "burst_lines = " << 1 + rng.below(96) << "\n";
+    if (rng.below(6) == 0) out << "instances = " << 1 + rng.below(4) << "\n";
+    switch (rng.below(8)) {
+      case 0: out << "static = true\n"; break;
+      case 1: out << "churn = true\n"; break;
+      case 2: out << "transient_phase = p0\n"; break;  // p0 always exists
+      default: break;
+    }
+  }
+  for (std::uint64_t p = 0; p < n_phases; ++p) {
+    out << "\n[phase p" << p << "]\n";
+    out << "access_share = " << (n_phases == 1 ? "1" : "0.5") << "\n";
+    out << "stack_weight = 0." << rng.below(5) << "\n";
+    out << "weights =";
+    for (std::uint64_t o = 0; o < n_objects; ++o) {
+      out << " obj" << o << ":0." << 1 + rng.below(9);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+/// Injects one random defect into a valid config: the reject paths a user
+/// typo hits (duplicate sections, broken references, zero sizes, garbage
+/// patterns) rather than wholesale noise.
+std::string inject_defect(Xoshiro256& rng, std::string text) {
+  switch (rng.below(7)) {
+    case 0:
+      return text + "\n[object obj0]\nsize = 4096\n";       // duplicate
+    case 1:
+      return text + "\n[phase p0]\naccess_share = 1\n";     // duplicate
+    case 2:
+      return text + "\n[phase extra]\naccess_share = 1\n";  // shares > 1
+    case 3: {
+      const auto pos = text.find("size = ");
+      if (pos != std::string::npos) text.replace(pos, 9, "size = 0\n");
+      return text;
+    }
+    case 4: {
+      const auto pos = text.find("pattern = ");
+      if (pos != std::string::npos) text.replace(pos + 10, 3, "zzz");
+      return text;
+    }
+    case 5:
+      return text + "\n[object ghostless]\nsize = 4096\n"
+                    "transient_phase = ghost\n";            // bad reference
+    default:
+      return text + "\n[mystery section]\nkey = 1\n";       // unknown kind
+  }
+}
+
+/// Assembles a config from hostile random fragments: well-formed material
+/// with seeded defects (zero sizes, bogus patterns, duplicate sections,
+/// malformed weights, stray sections) mixed freely.
+std::string chaotic_config(Xoshiro256& rng) {
+  const auto pick = [&](const std::vector<std::string>& options) {
+    return options[rng.below(options.size())];
+  };
+  std::ostringstream out;
+  if (rng.below(16) != 0) {
+    out << "[app]\n";
+    if (rng.below(16) != 0) out << "name = fuzz" << rng.below(3) << "\n";
+    if (rng.below(2) != 0)
+      out << "iterations = " << pick({"1", "10", "0", "-3", "junk"}) << "\n";
+    if (rng.below(3) == 0)
+      out << "access_scale = " << pick({"1", "250", "0.5", "nan"}) << "\n";
+    if (rng.below(4) == 0) out << "ranks = " << rng.below(70) << "\n";
+  }
+  const std::uint64_t n_objects = rng.below(4);
+  for (std::uint64_t o = 0; o < n_objects; ++o) {
+    // A repeated index produces a duplicate [object] header.
+    out << "\n[object obj" << rng.below(3) << "]\n";
+    if (rng.below(16) != 0)
+      out << "size = "
+          << pick({"4096", "1M", "64K", "0", "-1", "1E", "blob", "2G"})
+          << "\n";
+    if (rng.below(2) != 0)
+      out << "pattern = "
+          << pick({"seq", "random", "stride", "random-permute", "zipf",
+                   "pointer-chase", "bursty", "warp", ""})
+          << "\n";
+    if (rng.below(4) == 0)
+      out << "zipf_alpha = " << pick({"0.8", "1", "2.5", "0", "-1", "inf"})
+          << "\n";
+    if (rng.below(4) == 0)
+      out << "stride_lines = " << rng.below(200) << "\n";
+    if (rng.below(4) == 0)
+      out << "burst_lines = " << rng.below(3) * 33 << "\n";
+    if (rng.below(6) == 0) out << "static = true\n";
+    if (rng.below(6) == 0) out << "churn = true\n";
+    if (rng.below(6) == 0)
+      out << "transient_phase = " << pick({"main", "solve", "nope", "1"})
+          << "\n";
+  }
+  const std::uint64_t n_phases = rng.below(3);
+  for (std::uint64_t p = 0; p < n_phases; ++p) {
+    out << "\n[phase phase" << rng.below(2) << "]\n";
+    out << "access_share = "
+        << pick({"1", "0.5", "0", "-0.25", "x"}) << "\n";
+    if (rng.below(2) != 0) {
+      out << "weights =";
+      const std::uint64_t n_weights = rng.below(4);
+      for (std::uint64_t w = 0; w < n_weights; ++w) {
+        out << ' '
+            << pick({"obj0:1", "obj1:0.5", "obj2:0.1", "ghost:1", "obj0:x",
+                     "loner", ":3", "obj1:"});
+      }
+      out << "\n";
+    }
+    if (rng.below(4) == 0) out << "stack_weight = 0.2\n";
+  }
+  if (rng.below(8) == 0) out << "\n[mystery]\nkey = value\n";
+  if (rng.below(12) == 0) out << "\nstray = outside\n";
+  return out.str();
+}
+
+TEST(Fuzz, RandomConfigsParseCleanlyOrThrowCleanly) {
+  const int iters = fuzz_iters();
+  int accepted = 0;
+  for (int i = 0; i < iters; ++i) {
+    Xoshiro256 rng(0xC0FF33ULL + static_cast<std::uint64_t>(i));
+    // Three populations: valid-by-construction (accept path), valid with one
+    // injected defect (targeted reject paths), and fully chaotic (parser
+    // robustness). The chaotic pool alone almost never satisfies the full
+    // validity conjunction, which would starve the round-trip property.
+    std::string text;
+    switch (rng.below(3)) {
+      case 0: text = valid_config(rng); break;
+      case 1: text = inject_defect(rng, valid_config(rng)); break;
+      default: text = chaotic_config(rng); break;
+    }
+    try {
+      const apps::AppSpec spec = apps::from_config_text(text);
+      // Accepted: must be valid and survive a canonical round-trip.
+      EXPECT_EQ(apps::validate(spec), "") << "iteration " << i;
+      const apps::AppSpec again =
+          apps::from_config_text(apps::to_config_text(spec));
+      EXPECT_TRUE(again == spec) << "iteration " << i << " config:\n" << text;
+      ++accepted;
+    } catch (const std::runtime_error& e) {
+      // Rejected: the contract is a clean app-config/parse error. Anything
+      // else (assert, bad_alloc, segfault) escapes and fails the test.
+      EXPECT_NE(std::string(e.what()).find("config"), std::string::npos)
+          << "iteration " << i << ": " << e.what();
+    }
+  }
+  // The generator is tuned to exercise both paths; guard against drifting
+  // into all-reject (which would silently gut the round-trip property).
+  EXPECT_GT(accepted, iters / 20);
+}
+
+// ---------------------------------------------- 2. shard corruption ------
+
+/// One small, real recording shared by every corruption iteration.
+const std::string& reference_shard() {
+  static const std::string shard = [] {
+    apps::AppSpec app;
+    app.name = "fuzz-src";
+    app.fom_unit = "it/s";
+    app.ranks = 1;
+    app.threads_per_rank = 2;
+    app.iterations = 3;
+    app.accesses_per_iteration = 4000;
+    app.access_scale = 2.0;
+    app.objects = {
+        apps::ObjectSpec{.name = "a", .size_bytes = 64ULL << 10},
+        apps::ObjectSpec{.name = "b",
+                         .size_bytes = 256ULL << 10,
+                         .pattern = apps::AccessPattern::kRandom},
+    };
+    apps::PhaseSpec phase;
+    phase.name = "main";
+    phase.object_weights = {0.5, 0.5};
+    app.phases = {phase};
+
+    std::ostringstream out(std::ios::binary);
+    callstack::SiteDb sites;
+    const auto writer =
+        trace::make_trace_writer(out, sites, trace::TraceFormat::kBinary);
+    engine::RunOptions opts;
+    opts.profile = true;
+    opts.sampler.period = 5;
+    opts.sites = &sites;
+    opts.trace_sink = writer.get();
+    (void)engine::run_app(app, opts);
+    writer->finish();
+    return out.str();
+  }();
+  return shard;
+}
+
+TEST(Fuzz, CorruptedShardsNeverEscapeTheReaderContract) {
+  const std::string& reference = reference_shard();
+  ASSERT_GT(reference.size(), 64u);
+  const int iters = fuzz_iters();
+  int survived = 0, rejected = 0;
+  for (int i = 0; i < iters; ++i) {
+    Xoshiro256 rng(0xBADC0DEULL + static_cast<std::uint64_t>(i));
+    std::string shard = reference;
+    switch (rng.below(4)) {
+      case 0:  // flip 1-8 bytes anywhere (header, tables, events)
+        for (std::uint64_t f = rng.below(8) + 1; f > 0; --f) {
+          shard[rng.below(shard.size())] ^=
+              static_cast<char>(rng.below(255) + 1);
+        }
+        break;
+      case 1:  // truncate mid-stream
+        shard.resize(rng.below(shard.size()));
+        break;
+      case 2:  // insert a random byte (shifts every later field)
+        shard.insert(shard.begin() + static_cast<std::ptrdiff_t>(
+                                         rng.below(shard.size())),
+                     static_cast<char>(rng.below(256)));
+        break;
+      default:  // delete a byte
+        shard.erase(rng.below(shard.size()), 1);
+        break;
+    }
+    try {
+      std::istringstream in(shard, std::ios::binary);
+      callstack::SiteDb sites;
+      const auto reader = trace::open_trace_reader(in, sites);
+      trace::Event event;
+      std::size_t events = 0;
+      while (reader->next(event)) ++events;
+      ++survived;  // corruption landed in a don't-care byte — also fine
+    } catch (const std::runtime_error&) {
+      ++rejected;  // the contract: malformed input throws, never UB
+    }
+  }
+  // Random single-byte damage to a delta-coded stream must usually be
+  // detected; all-survive would mean the checks are not running at all.
+  EXPECT_GT(rejected, 0) << "no corruption was ever detected across "
+                         << iters << " iterations";
+  (void)survived;
+}
+
+// ------------------------------- 3. generator sweeps + alias oracle ------
+
+TEST(Fuzz, GeneratorSweepsStayInRangeAndReplayExactly) {
+  const int iters = fuzz_iters();
+  for (int i = 0; i < iters; ++i) {
+    Xoshiro256 rng(0x5EEDULL + static_cast<std::uint64_t>(i));
+    apps::ObjectSpec object;
+    object.name = "fuzzed";
+    const std::uint64_t lines = rng.below(5000) + 1;
+    object.size_bytes = lines * 64 - rng.below(64);  // exercise rounding
+    constexpr apps::AccessPattern kPatterns[] = {
+        apps::AccessPattern::kStream,        apps::AccessPattern::kRandom,
+        apps::AccessPattern::kStrided,       apps::AccessPattern::kRandomPermute,
+        apps::AccessPattern::kZipf,          apps::AccessPattern::kPointerChase,
+        apps::AccessPattern::kBursty};
+    object.pattern = kPatterns[rng.below(std::size(kPatterns))];
+    object.zipf_alpha = 0.05 + static_cast<double>(rng.below(300)) / 100.0;
+    object.stride_lines = rng.below(200);
+    object.burst_lines = rng.below(128) + 1;
+    const std::uint64_t seed = rng.next();
+
+    const auto gen = apps::make_workload_gen(object, lines, seed);
+    const auto replay = apps::make_workload_gen(object, lines, seed);
+    const std::uint64_t draws = std::min<std::uint64_t>(4 * lines, 512);
+    std::vector<std::uint64_t> stream;
+    stream.reserve(draws);
+    for (std::uint64_t d = 0; d < draws; ++d) {
+      const std::uint64_t line = gen->next_line();
+      ASSERT_LT(line, lines) << "iteration " << i;
+      ASSERT_EQ(line, replay->next_line())
+          << "iteration " << i << ": same (pattern,size,seed) diverged";
+      stream.push_back(line);
+    }
+
+    // Table-backed patterns visit every line exactly once per cycle.
+    if ((object.pattern == apps::AccessPattern::kRandomPermute ||
+         object.pattern == apps::AccessPattern::kPointerChase) &&
+        draws >= lines) {
+      std::vector<int> visits(lines, 0);
+      for (std::uint64_t d = 0; d < lines; ++d) ++visits[stream[d]];
+      for (std::uint64_t l = 0; l < lines; ++l) {
+        ASSERT_EQ(visits[l], 1) << "iteration " << i << " line " << l;
+      }
+    }
+  }
+}
+
+TEST(Fuzz, AliasTableMatchesCumulativeInterpreterWithinQuantization) {
+  const int iters = fuzz_iters();
+  for (int i = 0; i < iters; ++i) {
+    Xoshiro256 rng(0xA11A5ULL + static_cast<std::uint64_t>(i));
+    const std::size_t n = rng.below(64) + 1;
+    std::vector<double> weights(n);
+    double total = 0;
+    for (auto& w : weights) {
+      // Mix of zero, small and large weights; at least one positive below.
+      const std::uint64_t kind = rng.below(4);
+      w = kind == 0 ? 0.0
+                    : static_cast<double>(rng.below(1000) + 1) *
+                          (kind == 3 ? 1e-6 : 1.0);
+      total += w;
+    }
+    if (total == 0) {
+      weights[rng.below(n)] = 1.0;
+      total = 1.0;
+    }
+    constexpr int kCoinBits[] = {8, 16, 21, 32};
+    const int coin_bits = kCoinBits[rng.below(std::size(kCoinBits))];
+    const AliasTable table(weights, coin_bits);
+
+    // The cumulative-weights interpreter the alias table replaced assigns
+    // slot i probability w[i]/total exactly. The table quantizes each
+    // column's coin threshold to 2^-coin_bits and a slot collects error
+    // from every column aliasing to it, so the bound scales with n (plus
+    // the 2^-32 column-pick granularity).
+    const double bound = static_cast<double>(n + 1) *
+                             std::ldexp(1.0, -coin_bits) +
+                         static_cast<double>(n) * std::ldexp(1.0, -32) +
+                         1e-9;
+    double implied_total = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      const double implied = table.implied_probability(s);
+      implied_total += implied;
+      const double reference = weights[s] / total;
+      EXPECT_NEAR(implied, reference, bound)
+          << "iteration " << i << " slot " << s << " of " << n << " (coin "
+          << coin_bits << ")";
+      if (weights[s] == 0) {
+        EXPECT_EQ(implied, 0.0)
+            << "iteration " << i << ": zero-weight slot is reachable";
+      }
+    }
+    EXPECT_NEAR(implied_total, 1.0, 1e-9) << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hmem

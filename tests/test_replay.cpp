@@ -1,0 +1,203 @@
+// Tests for trace replay (trace/replay.hpp + engine/replay.hpp): the
+// round-trip guarantee — profile at period 1, replay the shard, get the
+// source run's tier traffic and miss counts back exactly — plus multi-shard
+// per-rank means, cross-condition replays and the clean rejection paths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.hpp"
+#include "analysis/aggregator.hpp"
+#include "apps/app.hpp"
+#include "engine/pipeline.hpp"
+#include "engine/replay.hpp"
+#include "trace/format.hpp"
+#include "trace/replay.hpp"
+
+namespace hmem::engine {
+namespace {
+
+/// Small two-object app with an *integral* access scale: at sampling period
+/// 1 every simulated miss becomes one sample of integral weight, so replayed
+/// traffic (sum of weights x 64 B) must equal the source run's
+/// scale-corrected traffic bit for bit.
+apps::AppSpec replay_app() {
+  apps::AppSpec app;
+  app.name = "replay-mini";
+  app.fom_unit = "it/s";
+  app.ranks = 1;
+  app.threads_per_rank = 4;
+  app.iterations = 8;
+  app.accesses_per_iteration = 20000;
+  app.access_scale = 4.0;
+  app.objects = {
+      apps::ObjectSpec{.name = "hot", .size_bytes = 1ULL << 20},
+      apps::ObjectSpec{.name = "cold",
+                       .size_bytes = 8ULL << 20,
+                       .pattern = apps::AccessPattern::kRandom},
+  };
+  apps::PhaseSpec phase;
+  phase.name = "main";
+  phase.object_weights = {0.6, 0.4};
+  phase.stack_weight = 0.1;
+  app.phases = {phase};
+  return app;
+}
+
+struct Recording {
+  RunResult run;
+  std::string shard;  ///< serialized binary (format v2) trace
+};
+
+Recording profile(const apps::AppSpec& app, std::uint64_t seed = 42) {
+  std::ostringstream out(std::ios::binary);
+  callstack::SiteDb sites;
+  const auto writer =
+      trace::make_trace_writer(out, sites, trace::TraceFormat::kBinary);
+  RunOptions opts;
+  opts.profile = true;
+  opts.sampler.period = 1;  // every miss sampled: lossless recording
+  opts.seed = seed;
+  opts.sites = &sites;
+  opts.trace_sink = writer.get();
+  Recording rec;
+  rec.run = run_app(app, opts);
+  writer->finish();
+  rec.shard = out.str();
+  return rec;
+}
+
+RunResult replay_string(const std::string& shard, const ReplayOptions& opts) {
+  std::istringstream in(shard, std::ios::binary);
+  callstack::SiteDb sites;
+  const auto reader = trace::open_trace_reader(in, sites);
+  return replay_run(*reader, sites, opts);
+}
+
+TEST(Replay, DdrRoundTripReproducesTrafficExactly) {
+  const auto app = replay_app();
+  const Recording rec = profile(app);
+  ReplayOptions opts;  // kDdr, ranks = shards = 1
+  const RunResult replayed = replay_string(rec.shard, opts);
+
+  ASSERT_EQ(replayed.tier_traffic.size(), rec.run.tier_traffic.size());
+  for (std::size_t t = 0; t < rec.run.tier_traffic.size(); ++t) {
+    EXPECT_EQ(replayed.tier_traffic[t].name, rec.run.tier_traffic[t].name);
+    EXPECT_EQ(replayed.tier_traffic[t].bytes, rec.run.tier_traffic[t].bytes)
+        << rec.run.tier_traffic[t].name;
+  }
+  EXPECT_EQ(replayed.llc_misses, rec.run.llc_misses);
+  EXPECT_EQ(replayed.alloc_calls, rec.run.alloc_calls);
+  // Everything lands on the slowest tier under ddr.
+  EXPECT_EQ(replayed.fast_bytes(), 0u);
+  EXPECT_GT(replayed.slow_bytes(), 0u);
+  EXPECT_EQ(replayed.fom, 0.0);  // a recording carries no work model
+  EXPECT_EQ(replayed.fom_unit, "n/a");
+}
+
+TEST(Replay, NumactlConservesTotalTrafficAndFillsFastTier) {
+  const auto app = replay_app();
+  const Recording rec = profile(app);
+  ReplayOptions ddr;
+  ReplayOptions numactl;
+  numactl.condition = Condition::kNumactl;
+  const RunResult as_ddr = replay_string(rec.shard, ddr);
+  const RunResult as_numactl = replay_string(rec.shard, numactl);
+
+  // Same recorded accesses, different hosting: totals are conserved, and
+  // the 9 MiB footprint fits MCDRAM so object traffic moves to the fast
+  // tier (only unattributed stack samples stay on DDR).
+  EXPECT_EQ(as_numactl.dram_bytes(), as_ddr.dram_bytes());
+  EXPECT_GT(as_numactl.fast_bytes(), 0u);
+  EXPECT_LT(as_numactl.slow_bytes(), as_ddr.slow_bytes());
+  EXPECT_GT(as_numactl.fast_hwm_bytes, 0u);
+}
+
+TEST(Replay, FrameworkReplayHonoursAdvisedPlacement) {
+  const auto app = replay_app();
+  const Recording rec = profile(app);
+
+  // Stage 2 + 3 from the same recording: aggregate, then advise with a
+  // budget that fits the hot object but not the cold one.
+  advisor::Placement placement;
+  {
+    std::istringstream in(rec.shard, std::ios::binary);
+    callstack::SiteDb sites;
+    const auto reader = trace::open_trace_reader(in, sites);
+    const auto report = analysis::aggregate_stream(*reader, sites);
+    const auto spec = machine_memory_spec(
+        memsim::MachineConfig::knl7250(memsim::MemMode::kFlat), 2ULL << 20,
+        app.ranks);
+    placement = advisor::HmemAdvisor(spec, advisor::Options{})
+                    .advise(report.objects);
+  }
+
+  ReplayOptions opts;
+  opts.condition = Condition::kFramework;
+  opts.placement = &placement;
+  const RunResult replayed = replay_string(rec.shard, opts);
+  EXPECT_GT(replayed.fast_bytes(), 0u);
+  EXPECT_GT(replayed.slow_bytes(), 0u);
+  ReplayOptions ddr;
+  EXPECT_EQ(replayed.dram_bytes(), replay_string(rec.shard, ddr).dram_bytes());
+}
+
+TEST(Replay, MultiShardReplayReportsPerRankMeans) {
+  const auto app = replay_app();
+  const Recording r0 = profile(app, 42);
+  const Recording r1 = profile(app, 42 + kRankSeedStride);
+
+  const std::string dir = testing::TempDir();
+  const std::string p0 = dir + "/replay_shard.rank0";
+  const std::string p1 = dir + "/replay_shard.rank1";
+  for (const auto& [path, shard] :
+       {std::pair{p0, r0.shard}, std::pair{p1, r1.shard}}) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.write(shard.data(),
+                          static_cast<std::streamsize>(shard.size())));
+  }
+
+  trace::ReplayReader recording({p0, p1});
+  EXPECT_EQ(recording.shard_count(), 2u);
+  ReplayOptions opts;
+  opts.ranks = 2;
+  opts.shards = 2;
+  const RunResult replayed =
+      replay_run(recording.reader(), recording.sites(), opts);
+
+  EXPECT_EQ(replayed.llc_misses,
+            (r0.run.llc_misses + r1.run.llc_misses) / 2);
+  EXPECT_EQ(replayed.slow_bytes(),
+            (r0.run.slow_bytes() + r1.run.slow_bytes()) / 2);
+  EXPECT_EQ(replayed.fast_bytes(), 0u);
+}
+
+TEST(Replay, ReaderRejectsMissingAndEmptyInputs) {
+  EXPECT_THROW(trace::ReplayReader({}), std::runtime_error);
+  EXPECT_THROW(trace::ReplayReader({"/nonexistent/shard.rank0"}),
+               std::runtime_error);
+}
+
+TEST(Replay, RejectsCacheAndDynamicConditions) {
+  const Recording rec = profile(replay_app());
+  for (const Condition c : {Condition::kCacheMode, Condition::kDynamic}) {
+    ReplayOptions opts;
+    opts.condition = c;
+    EXPECT_THROW(replay_string(rec.shard, opts), std::runtime_error);
+  }
+}
+
+TEST(Replay, FrameworkWithoutPlacementThrows) {
+  const Recording rec = profile(replay_app());
+  ReplayOptions opts;
+  opts.condition = Condition::kFramework;
+  EXPECT_THROW(replay_string(rec.shard, opts), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hmem::engine

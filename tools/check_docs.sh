@@ -34,7 +34,7 @@ done
 # The tools test argv with string literals ("--machine", "--per-phase",
 # ...); every such literal must be mentioned in docs/TOOLS.md.
 flags=$(grep -ohE '"--[a-z-]+"' tools/hmem_profile.cpp tools/hmem_advise.cpp \
-          tools/hmem_run.cpp | tr -d '"' | sort -u)
+          tools/hmem_run.cpp tools/hmem_workload.cpp | tr -d '"' | sort -u)
 for flag in $flags; do
   if ! grep -q -- "$flag" docs/TOOLS.md; then
     echo "UNDOCUMENTED FLAG: $flag (from tools/hmem_*.cpp) missing in docs/TOOLS.md"

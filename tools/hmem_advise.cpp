@@ -43,7 +43,7 @@
 #include "common/units.hpp"
 #include "cli.hpp"
 #include "engine/pipeline.hpp"
-#include "trace/merge.hpp"
+#include "trace/replay.hpp"
 
 int main(int argc, char** argv) {
   using namespace hmem;
@@ -128,35 +128,21 @@ int main(int argc, char** argv) {
     }
   }
 
-  // One shared SiteDb: every shard's sites are re-interned into it, so the
-  // merged stream aggregates per allocation site across all ranks. Each
-  // shard is rebased into its own address-space slice (ranks reuse the same
-  // simulated physical layout) so live ranges never collide.
-  callstack::SiteDb sites;
-  std::vector<std::unique_ptr<std::ifstream>> files;
-  std::vector<std::unique_ptr<trace::TraceReader>> readers;
-  for (std::size_t i = 0; i < positional.size(); ++i) {
-    const std::string& path = positional[i];
-    auto in = std::make_unique<std::ifstream>(path, std::ios::binary);
-    if (!*in) {
-      std::fprintf(stderr, "cannot open %s\n", path.c_str());
-      return 1;
-    }
-    try {
-      readers.push_back(std::make_unique<trace::OffsetTraceReader>(
-          trace::open_trace_reader(*in, sites),
-          static_cast<trace::Address>(i) * trace::kRankAddressStride));
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
-      return 1;
-    }
-    files.push_back(std::move(in));
-  }
-
+  // ReplayReader owns the whole multi-shard front: one shared SiteDb every
+  // shard's sites are re-interned into, per-shard address rebasing (ranks
+  // reuse the same simulated physical layout) and the k-way timestamp
+  // merge. hmem_run --replay reads recordings through the same front.
   analysis::AggregateResult report;
+  std::optional<trace::ReplayReader> recording;
   try {
-    trace::MergeTraceReader merged(std::move(readers));
-    report = analysis::aggregate_stream(merged, sites);
+    recording.emplace(positional);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  try {
+    report = analysis::aggregate_stream(recording->reader(),
+                                        recording->sites());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "trace parse error: %s\n", e.what());
     return 1;

@@ -16,8 +16,11 @@
 //                       [--format text|binary] [--ranks N] [--jobs J]
 //                       [--machine preset|config.ini]
 //                       [--period P] [--min-alloc B]
+//                       [--app-config app.ini]
 //     app              hpcg | lulesh | bt | minife | cgpop | snap |
-//                      maxw-dgtd | gtc-p | churn | transient
+//                      maxw-dgtd | gtc-p | churn | transient — or the path
+//                      of an app config file (INI workload DSL); with
+//                      --app-config the app argument is dropped entirely
 //     trace-out        output trace path (suffix .rank<k> when --ranks > 1)
 //     --format f       trace encoding (default text)
 //     --ranks N        simulated ranks -> N shards (default: app default)
@@ -35,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/app_config.hpp"
 #include "apps/workloads.hpp"
 #include "common/parallel.hpp"
 #include "engine/execution.hpp"
@@ -50,6 +54,9 @@ namespace {
                "          [--format text|binary] [--ranks N] [--jobs J]\n"
                "          [--machine preset|config.ini] [--period P] "
                "[--min-alloc B]\n"
+               "          [--app-config app.ini]\n"
+               "  app: a bundled app name or an app config file; with\n"
+               "  --app-config the <app> argument is dropped\n"
                "  machine presets: %s\n",
                argv0, hmem::tools::machine_preset_list().c_str());
   std::exit(2);
@@ -68,6 +75,7 @@ int main(int argc, char** argv) {
       memsim::MachineConfig::knl7250(memsim::MemMode::kFlat);
   std::optional<std::uint64_t> period;     // 0 is a valid value for both:
   std::optional<std::uint64_t> min_alloc;  // "every miss" / "every alloc"
+  std::optional<std::string> app_config;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--format") == 0) {
       const auto f = trace::parse_trace_format(
@@ -100,6 +108,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--min-alloc") == 0) {
       min_alloc = std::strtoull(
           tools::cli_value(argc, argv, i, "--min-alloc"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--app-config") == 0) {
+      app_config = tools::cli_value(argc, argv, i, "--app-config");
     } else if (tools::cli_is_flag(argv[i])) {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return 2;
@@ -107,26 +117,24 @@ int main(int argc, char** argv) {
       positional.emplace_back(argv[i]);
     }
   }
-  if (positional.size() < 2 || positional.size() > 4) usage(argv[0]);
+  // With --app-config the <app> positional disappears; trace-out shifts
+  // into its slot.
+  const std::size_t skip = app_config ? 0 : 1;
+  if (positional.size() < skip + 1 || positional.size() > skip + 3)
+    usage(argv[0]);
   // Positional period/min-alloc keep the original CLI working; an explicit
   // flag wins over a positional given on the same command line.
-  if (positional.size() > 2 && !period)
-    period = std::strtoull(positional[2].c_str(), nullptr, 10);
-  if (positional.size() > 3 && !min_alloc)
-    min_alloc = std::strtoull(positional[3].c_str(), nullptr, 10);
+  if (positional.size() > skip + 1 && !period)
+    period = std::strtoull(positional[skip + 1].c_str(), nullptr, 10);
+  if (positional.size() > skip + 2 && !min_alloc)
+    min_alloc = std::strtoull(positional[skip + 2].c_str(), nullptr, 10);
+  const std::string trace_out = positional[skip];
 
-  auto app = apps::find_app(positional[0]);
+  std::string app_error;
+  auto app = app_config ? apps::load_app_file(*app_config, &app_error)
+                        : apps::load_app(positional[0], &app_error);
   if (!app) {
-    std::string known;
-    for (const auto& a : apps::all_apps()) {
-      if (!known.empty()) known += ", ";
-      known += a.name;
-    }
-    for (const auto& a : apps::phase_shift_apps()) {
-      known += ", " + a.name;
-    }
-    std::fprintf(stderr, "unknown app %s (expected one of: %s)\n",
-                 positional[0].c_str(), known.c_str());
+    std::fprintf(stderr, "%s\n", app_error.c_str());
     return 2;
   }
   if (ranks > 0) app->ranks = ranks;
@@ -150,8 +158,8 @@ int main(int argc, char** argv) {
                [&](std::size_t r) {
     if (abort_remaining.load(std::memory_order_relaxed)) return;
     const std::string path =
-        shard_count == 1 ? positional[1]
-                         : positional[1] + ".rank" + std::to_string(r);
+        shard_count == 1 ? trace_out
+                         : trace_out + ".rank" + std::to_string(r);
     std::ofstream out(path, std::ios::binary);
     if (!out) {
       errors[r] = "cannot open " + path + " for writing";

@@ -11,8 +11,19 @@
 // independent simulation, so the reports are identical to serial runs and
 // printed in the order given.
 //
+// Instead of a synthetic app, --replay drives the run from recorded trace
+// shards (hmem_profile output): each recorded allocation is re-routed
+// through the chosen condition's policy and each sample charges its weight
+// to whichever tier now hosts the address. Replaying a shard under its
+// source condition reproduces that run's tier traffic exactly (profile
+// with --period 1); other conditions answer "where would this recorded
+// traffic have been served?". Cache and dynamic cannot be replayed.
+//
 //   usage: hmem_run <app> [--condition c[,c...]] [--placement report.txt]
 //                   [--machine preset|config.ini] [--ranks N] [--jobs J]
+//                   [--app-config app.ini] [--replay shard ...]
+//     app         bundled app name or an app config file; replaced by
+//                 --app-config (explicit file) or --replay (no app at all)
 //     condition   ddr | numactl | autohbw | cache | dynamic (default ddr;
 //                 dynamic needs a --placement schedule)
 //     placement   hmem_advise output: a placement report (framework
@@ -21,8 +32,12 @@
 //                 a machine config file                (default knl)
 //     ranks       override the app's simulated rank count (scaling studies:
 //                 per-rank LLC, capacity and bandwidth shares shrink as N
-//                 grows, exactly as in the profiled multi-rank pipeline)
+//                 grows, exactly as in the profiled multi-rank pipeline);
+//                 with --replay, the rank count the shards represent
+//                 (default: the number of shards)
 //     jobs        run conditions concurrently (default 1)
+//     replay      recorded trace shard(s); pass every .rank<k> shard of a
+//                 multi-rank profile
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -32,11 +47,14 @@
 
 #include "advisor/placement_report.hpp"
 #include "advisor/schedule_report.hpp"
+#include "apps/app_config.hpp"
 #include "apps/workloads.hpp"
 #include "common/parallel.hpp"
 #include "common/strings.hpp"
 #include "common/units.hpp"
 #include "engine/execution.hpp"
+#include "engine/replay.hpp"
+#include "trace/replay.hpp"
 #include "cli.hpp"
 
 namespace {
@@ -102,36 +120,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <app> [--condition ddr|numactl|autohbw|cache"
                  "|dynamic[,...]] [--placement report.txt] "
-                 "[--machine preset|config.ini] [--ranks N] [--jobs J]\n"
+                 "[--machine preset|config.ini] [--ranks N] [--jobs J] "
+                 "[--app-config app.ini] [--replay shard ...]\n"
                  "  machine presets: %s\n",
                  argv[0], tools::machine_preset_list().c_str());
     return 2;
   }
-  auto app = apps::find_app(argv[1]);
-  if (!app) {
-    std::string known;
-    for (const auto& a : apps::all_apps()) {
-      if (!known.empty()) known += ", ";
-      known += a.name;
-    }
-    for (const auto& a : apps::phase_shift_apps()) {
-      known += ", " + a.name;
-    }
-    std::fprintf(stderr, "unknown app %s (expected one of: %s)\n", argv[1],
-                 known.c_str());
-    return 2;
-  }
 
+  std::vector<std::string> positional;
+  std::vector<std::string> replay_shards;
+  std::optional<std::string> app_config;
   std::vector<engine::Condition> conditions;
   advisor::Placement placement;
   advisor::PlacementSchedule schedule;
   bool use_placement = false;
   bool use_schedule = false;
   bool dynamic_requested = false;
+  int ranks = 0;
   int jobs = 1;
   memsim::MachineConfig node =
       memsim::MachineConfig::knl7250(memsim::MemMode::kFlat);
-  for (int i = 2; i < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--condition") == 0) {
       const std::string list = tools::cli_value(argc, argv, i, "--condition");
       for (const std::string& c : split(list, ',')) {
@@ -178,21 +187,27 @@ int main(int argc, char** argv) {
       if (!machine) return 2;
       node = *machine;
     } else if (std::strcmp(argv[i], "--ranks") == 0) {
-      const int ranks = std::atoi(tools::cli_value(argc, argv, i, "--ranks"));
+      ranks = std::atoi(tools::cli_value(argc, argv, i, "--ranks"));
       if (ranks < 1) {
         std::fprintf(stderr, "--ranks must be >= 1\n");
         return 2;
       }
-      app->ranks = ranks;
     } else if (std::strcmp(argv[i], "--jobs") == 0) {
       jobs = std::atoi(tools::cli_value(argc, argv, i, "--jobs"));
       if (jobs < 1) {
         std::fprintf(stderr, "--jobs must be >= 1\n");
         return 2;
       }
-    } else {
+    } else if (std::strcmp(argv[i], "--app-config") == 0) {
+      app_config = tools::cli_value(argc, argv, i, "--app-config");
+    } else if (std::strcmp(argv[i], "--replay") == 0) {
+      replay_shards.emplace_back(
+          tools::cli_value(argc, argv, i, "--replay"));
+    } else if (tools::cli_is_flag(argv[i])) {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return 2;
+    } else {
+      positional.emplace_back(argv[i]);
     }
   }
   if (dynamic_requested && !use_schedule) {
@@ -219,6 +234,63 @@ int main(int argc, char** argv) {
                              ? engine::Condition::kCacheMode
                              : engine::Condition::kDdr);
   }
+
+  // ---- Replay mode ------------------------------------------------------
+  if (!replay_shards.empty()) {
+    if (app_config || !positional.empty()) {
+      std::fprintf(stderr, "--replay replaces the app argument\n");
+      return 2;
+    }
+    for (const engine::Condition c : conditions) {
+      if (c == engine::Condition::kCacheMode ||
+          c == engine::Condition::kDynamic) {
+        std::fprintf(stderr,
+                     "--replay cannot run the %s condition (it needs the "
+                     "live object stream, not recorded samples)\n",
+                     engine::condition_name(c));
+        return 2;
+      }
+    }
+    // Serial: the shard readers are single-pass, so each condition
+    // re-opens the recording.
+    for (std::size_t c = 0; c < conditions.size(); ++c) {
+      engine::ReplayOptions opts;
+      opts.condition = conditions[c];
+      opts.node = node;
+      opts.shards = static_cast<int>(replay_shards.size());
+      opts.ranks = ranks > 0 ? ranks : opts.shards;
+      if (conditions[c] == engine::Condition::kFramework) {
+        opts.placement = &placement;
+      }
+      try {
+        trace::ReplayReader recording(replay_shards);
+        const engine::RunResult result = engine::replay_run(
+            recording.reader(), recording.sites(), opts);
+        if (c > 0) std::printf("\n");
+        std::printf("%s", report_text(result).c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "replay: %s\n", e.what());
+        return 1;
+      }
+    }
+    return 0;
+  }
+
+  // ---- App mode ---------------------------------------------------------
+  if (positional.size() > 1 ||
+      (positional.empty() && !app_config)) {
+    std::fprintf(stderr, "expected exactly one app (name, config file, "
+                         "--app-config or --replay)\n");
+    return 2;
+  }
+  std::string app_error;
+  auto app = app_config ? apps::load_app_file(*app_config, &app_error)
+                        : apps::load_app(positional[0], &app_error);
+  if (!app) {
+    std::fprintf(stderr, "%s\n", app_error.c_str());
+    return 2;
+  }
+  if (ranks > 0) app->ranks = ranks;
 
   std::vector<std::string> reports(conditions.size());
   parallel_for(jobs, conditions.size(), [&](std::size_t c) {

@@ -1,0 +1,105 @@
+// hmem_workload — the app-config DSL's companion tool.
+//
+// The bundled workloads ship both as C++ tables (apps/workloads.cpp) and as
+// INI configs (configs/apps/*.ini); this tool converts between the two and
+// validates hand-written configs, so the shipped files are generated — not
+// hand-copied — and a config error is caught before a long profile run.
+//
+//   usage: hmem_workload <command> [args]
+//     list               bundled app names, one per line
+//     dump <app>         canonical INI of an app (bundled name or config
+//                        file — dumping a file canonicalises it) to stdout
+//     check <app.ini>    parse + validate a config; prints a one-line
+//                        summary, exits 2 with the offending key on error
+//     dump-all <dir>     write <dir>/<name>.ini for every bundled app
+//                        (regenerates configs/apps/)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/app_config.hpp"
+#include "apps/workloads.hpp"
+#include "common/units.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s list | dump <app> | check <app.ini> | "
+               "dump-all <dir>\n",
+               argv0);
+  std::exit(2);
+}
+
+std::vector<hmem::apps::AppSpec> bundled() {
+  auto apps = hmem::apps::all_apps();
+  for (auto& app : hmem::apps::phase_shift_apps()) {
+    apps.push_back(std::move(app));
+  }
+  return apps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hmem;
+  if (argc < 2) usage(argv[0]);
+  const std::string command = argv[1];
+
+  if (command == "list") {
+    if (argc != 2) usage(argv[0]);
+    for (const auto& app : bundled()) std::printf("%s\n", app.name.c_str());
+    return 0;
+  }
+
+  if (command == "dump") {
+    if (argc != 3) usage(argv[0]);
+    std::string error;
+    const auto app = apps::load_app(argv[2], &error);
+    if (!app) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    std::fputs(apps::to_config_text(*app).c_str(), stdout);
+    return 0;
+  }
+
+  if (command == "check") {
+    if (argc != 3) usage(argv[0]);
+    std::string error;
+    const auto app = apps::load_app_file(argv[2], &error);
+    if (!app) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    std::printf("%s: ok — app '%s', %zu object(s), %zu phase(s), %s/rank\n",
+                argv[2], app->name.c_str(), app->objects.size(),
+                app->phases.size(),
+                format_bytes(app->total_footprint()).c_str());
+    return 0;
+  }
+
+  if (command == "dump-all") {
+    if (argc != 3) usage(argv[0]);
+    const std::string dir = argv[2];
+    for (const auto& app : bundled()) {
+      const std::string path = dir + "/" + app.name + ".ini";
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+        return 1;
+      }
+      out << apps::to_config_text(app);
+      if (!out) {
+        std::fprintf(stderr, "write error on %s\n", path.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
+    return 0;
+  }
+
+  usage(argv[0]);
+}
