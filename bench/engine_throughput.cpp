@@ -1,12 +1,16 @@
 // Engine throughput: simulated accesses/second (serial hot loop) and
 // multi-rank scaling of the parallel execution engine.
 //
-// Two measurements, both on the bundled HPCG signature:
-//  * serial: one run_app per rep, best-of; reports simulated accesses per
-//    wall-clock second — the figure the inner-loop work (alias sampling,
-//    hoisted weight tables, shift-based LLC indexing) moves. Pass the
-//    accesses/sec of an older build via --baseline-aps to get the speedup
-//    recorded alongside.
+// Three measurements, all on the bundled HPCG signature:
+//  * kernels: every available access kernel (interp, bytecode, native) is
+//    first checked bit-identical to the interpreter on a short run, then
+//    timed serially best-of-reps. --check-ordering fails the bench when a
+//    compiled kernel times slower than the interpreter it replaces — the
+//    regression guard CI's Release smoke runs.
+//  * serial: the selected kernel's (--kernel; default native, degrading
+//    down the fallback ladder) accesses per wall-clock second, compared
+//    against --baseline-aps (default: the PR-3 interpreter figure) for the
+//    recorded speedup.
 //  * scaling: N independent per-rank runs (the shape of the sharded
 //    profiling stage) executed through the work-queue pool at increasing
 //    --jobs, reporting speedup and parallel efficiency vs. jobs=1. The
@@ -17,8 +21,8 @@
 // so CI can track the trajectory; --smoke shrinks the workload for CI.
 //
 //   usage: bench_engine_throughput [--smoke] [--reps R] [--ranks N]
-//            [--jobs J] [--scale K] [--baseline-aps X] [--machine preset]
-//            [--out file]
+//            [--jobs J] [--scale K] [--kernel k] [--check-ordering]
+//            [--baseline-aps X] [--machine preset] [--out file]
 //
 // The machine preset name is recorded in the JSON so perf trajectories are
 // comparable across machines (a number measured on ddr-cxl must not be
@@ -35,12 +39,15 @@
 #include "bench_common.hpp"
 #include "common/parallel.hpp"
 #include "engine/execution.hpp"
+#include "engine/kernel/kernel.hpp"
+#include "engine/kernel/native.hpp"
 #include "engine/pipeline.hpp"
 #include "memsim/machine.hpp"
 
 namespace {
 
 using namespace hmem;
+using engine::kernel::KernelKind;
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -61,12 +68,21 @@ std::uint64_t accesses_per_run(const apps::AppSpec& app) {
 }
 
 engine::RunResult rank_run(const apps::AppSpec& app,
-                           const memsim::MachineConfig& node, int rank) {
+                           const memsim::MachineConfig& node, int rank,
+                           KernelKind kernel) {
   engine::RunOptions opts;
   opts.condition = engine::Condition::kDdr;
   opts.node = node;
+  opts.kernel = kernel;
   opts.seed = 42 + static_cast<std::uint64_t>(rank) * engine::kRankSeedStride;
   return engine::run_app(app, opts);
+}
+
+bool same_result(const engine::RunResult& a, const engine::RunResult& b) {
+  return a.fom == b.fom && a.time_s == b.time_s &&
+         a.llc_misses == b.llc_misses && a.dram_bytes() == b.dram_bytes() &&
+         a.fast_hwm_bytes == b.fast_hwm_bytes &&
+         a.slow_bytes() == b.slow_bytes();
 }
 
 }  // namespace
@@ -76,7 +92,13 @@ int main(int argc, char** argv) {
   int ranks = 8;
   int max_jobs = 4;
   int scale = 4;  // iteration multiplier for a stable serial measurement
-  double baseline_aps = 0;
+  bool check_ordering = false;
+  // PR-3's recorded interpreter figure on this container class; override
+  // with --baseline-aps when comparing against a different anchor.
+  double baseline_aps = 13990213;
+  // Headline kernel: the fastest one, degrading down the fallback ladder
+  // when native is unavailable on the build/host.
+  KernelKind requested = KernelKind::kNative;
   memsim::MachineConfig node =
       memsim::MachineConfig::knl7250(memsim::MemMode::kFlat);
   const char* out_path = "BENCH_engine.json";
@@ -86,6 +108,8 @@ int main(int argc, char** argv) {
       ranks = 4;
       max_jobs = 2;
       scale = 1;
+    } else if (std::strcmp(argv[i], "--check-ordering") == 0) {
+      check_ordering = true;
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       reps = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--ranks") == 0 && i + 1 < argc) {
@@ -94,6 +118,14 @@ int main(int argc, char** argv) {
       max_jobs = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
       scale = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc) {
+      const auto k = engine::kernel::parse_kernel(argv[++i]);
+      if (!k) {
+        std::fprintf(stderr, "--kernel: expected one of %s\n",
+                     engine::kernel::kernel_list().c_str());
+        return 2;
+      }
+      requested = *k;
     } else if (std::strcmp(argv[i], "--baseline-aps") == 0 && i + 1 < argc) {
       baseline_aps = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--machine") == 0 && i + 1 < argc) {
@@ -103,8 +135,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--reps R] [--ranks N] [--jobs J] "
-                   "[--scale K] [--baseline-aps X] [--machine preset] "
-                   "[--out f]\n",
+                   "[--scale K] [--kernel k] [--check-ordering] "
+                   "[--baseline-aps X] [--machine preset] [--out f]\n",
                    argv[0]);
       return 2;
     }
@@ -118,32 +150,90 @@ int main(int argc, char** argv) {
   app.iterations *= static_cast<std::uint64_t>(std::max(1, scale));
   const std::uint64_t accesses = accesses_per_run(app);
 
-  // ---- Serial accesses/second -------------------------------------------
-  double best_serial = 1e300;
-  for (int rep = 0; rep < reps; ++rep) {
-    const auto t0 = std::chrono::steady_clock::now();
-    const auto run = rank_run(app, node, 0);
-    best_serial = std::min(best_serial, seconds_since(t0));
-    if (run.fom <= 0) {
-      std::fprintf(stderr, "serial run produced no result\n");
+  const bool native = engine::kernel::native_available();
+  const KernelKind selected =
+      engine::kernel::resolve_kernel(requested, /*cache_mode=*/false,
+                                     /*profiled=*/false);
+  std::vector<KernelKind> kernels = {KernelKind::kInterp,
+                                     KernelKind::kBytecode};
+  if (native) kernels.push_back(KernelKind::kNative);
+
+  // ---- Bit-identity precheck --------------------------------------------
+  // Every kernel must reproduce the interpreter exactly before its timing
+  // means anything; a short run catches divergence cheaply.
+  apps::AppSpec short_app = app;
+  short_app.iterations =
+      std::max<std::uint64_t>(1, app.iterations / (4 * std::max(1, scale)));
+  const engine::RunResult oracle =
+      rank_run(short_app, node, 0, KernelKind::kInterp);
+  for (const KernelKind k : kernels) {
+    if (k == KernelKind::kInterp) continue;
+    const engine::RunResult got = rank_run(short_app, node, 0, k);
+    if (!same_result(oracle, got)) {
+      std::fprintf(stderr,
+                   "kernel %s diverges from the interpreter "
+                   "(fom %.17g vs %.17g, misses %llu vs %llu)\n",
+                   engine::kernel::kernel_name(k), got.fom, oracle.fom,
+                   static_cast<unsigned long long>(got.llc_misses),
+                   static_cast<unsigned long long>(oracle.llc_misses));
       return 1;
     }
   }
-  const double serial_aps = static_cast<double>(accesses) / best_serial;
+
+  // ---- Per-kernel serial accesses/second --------------------------------
   std::printf("engine_throughput: %s, %llu simulated accesses/run, "
               "best of %d reps\n",
               app.name.c_str(),
               static_cast<unsigned long long>(accesses), reps);
-  std::printf("  serial: %.0f accesses/sec (%.3f s/run)\n", serial_aps,
-              best_serial);
+  double kernel_aps[3] = {0, 0, 0};  // interp, bytecode, native
+  for (const KernelKind k : kernels) {
+    double best = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto run = rank_run(app, node, 0, k);
+      best = std::min(best, seconds_since(t0));
+      if (run.fom <= 0) {
+        std::fprintf(stderr, "serial run produced no result\n");
+        return 1;
+      }
+    }
+    const double aps = static_cast<double>(accesses) / best;
+    kernel_aps[static_cast<int>(k) - 1] = aps;
+    std::printf("  %-8s: %.0f accesses/sec (%.3f s/run)%s\n",
+                engine::kernel::kernel_name(k), aps, best,
+                k == selected ? "  <- selected" : "");
+  }
+  if (!native) std::printf("  native  : unavailable on this build/host\n");
+  const double interp_aps = kernel_aps[0];
+  const double bytecode_aps = kernel_aps[1];
+  const double native_aps = kernel_aps[2];
+  if (check_ordering) {
+    // A compiled kernel slower than the interpreter it replaces is a
+    // regression regardless of absolute throughput.
+    if (bytecode_aps < interp_aps) {
+      std::fprintf(stderr, "ordering violation: bytecode (%.0f) slower "
+                           "than interp (%.0f)\n", bytecode_aps, interp_aps);
+      return 1;
+    }
+    if (native && native_aps < interp_aps) {
+      std::fprintf(stderr, "ordering violation: native (%.0f) slower "
+                           "than interp (%.0f)\n", native_aps, interp_aps);
+      return 1;
+    }
+  }
+
+  const double serial_aps = kernel_aps[static_cast<int>(selected) - 1];
   if (baseline_aps > 0) {
-    std::printf("  vs baseline %.0f: %.2fx\n", baseline_aps,
+    std::printf("  selected %s vs baseline %.0f: %.2fx\n",
+                engine::kernel::kernel_name(selected), baseline_aps,
                 serial_aps / baseline_aps);
   }
 
   // ---- Multi-rank scaling -----------------------------------------------
   // The reference: every rank's result at jobs=1. Parallel runs must
   // reproduce these bit-for-bit before their timing is worth anything.
+  // The scaling section runs the selected kernel — the configuration the
+  // sharded profiling stage would actually use.
   std::vector<engine::RunResult> reference(
       static_cast<std::size_t>(ranks));
   std::vector<double> job_seconds;
@@ -155,7 +245,8 @@ int main(int argc, char** argv) {
       const auto t0 = std::chrono::steady_clock::now();
       parallel_for(jobs, static_cast<std::size_t>(ranks),
                    [&](std::size_t r) {
-                     results[r] = rank_run(app, node, static_cast<int>(r));
+                     results[r] = rank_run(app, node, static_cast<int>(r),
+                                           selected);
                    });
       best = std::min(best, seconds_since(t0));
     }
@@ -197,14 +288,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s\n", out_path);
     return 1;
   }
-  char buffer[1024];
+  char buffer[1536];
   std::snprintf(buffer, sizeof(buffer),
                 "{\n"
                 "  \"bench\": \"engine_throughput\",\n"
                 "  \"app\": \"%s\",\n"
                 "  \"machine\": \"%s\",\n"
+                "  \"kernel\": \"%s\",\n"
                 "  \"accesses_per_run\": %llu,\n"
                 "  \"reps\": %d,\n"
+                "  \"interp_accesses_per_sec\": %.0f,\n"
+                "  \"bytecode_accesses_per_sec\": %.0f,\n"
+                "  \"native_accesses_per_sec\": %.0f,\n"
                 "  \"serial_accesses_per_sec\": %.0f,\n"
                 "  \"baseline_accesses_per_sec\": %.0f,\n"
                 "  \"serial_speedup_vs_baseline\": %.3f,\n"
@@ -216,8 +311,9 @@ int main(int argc, char** argv) {
                 "  \"parallel_bit_identical\": true\n"
                 "}\n",
                 app.name.c_str(), node.name.c_str(),
-                static_cast<unsigned long long>(accesses), reps, serial_aps,
-                baseline_aps,
+                engine::kernel::kernel_name(selected),
+                static_cast<unsigned long long>(accesses), reps, interp_aps,
+                bytecode_aps, native_aps, serial_aps, baseline_aps,
                 baseline_aps > 0 ? serial_aps / baseline_aps : 0.0,
                 ranks, job_counts.back(), hardware_jobs(), final_speedup,
                 final_efficiency);

@@ -48,6 +48,17 @@ class AliasTable {
   std::size_t size() const { return slots_.size(); }
   bool empty() const { return slots_.empty(); }
   int coin_bits() const { return coin_bits_; }
+  std::uint64_t coin_mask() const { return coin_mask_; }
+
+  /// Baked per-column constants for kernel compilers that flatten the table
+  /// into their own instruction stream (engine/kernel): the accept-the-
+  /// column threshold and the alias column of slot `col`.
+  std::uint64_t slot_threshold(std::size_t col) const {
+    return slots_[col].threshold;
+  }
+  std::uint32_t slot_alias(std::size_t col) const {
+    return slots_[col].alias;
+  }
 
   /// Exact probability that sample() returns `slot` over uniform 64-bit
   /// draws, derived by counting the 32-bit column values mapping to each

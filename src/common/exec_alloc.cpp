@@ -1,0 +1,70 @@
+#include "common/exec_alloc.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define HMEM_EXEC_ALLOC_POSIX 1
+#endif
+
+namespace hmem {
+
+#ifdef HMEM_EXEC_ALLOC_POSIX
+
+namespace {
+
+std::size_t round_to_pages(std::size_t n) {
+  const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return (n + page - 1) / page * page;
+}
+
+}  // namespace
+
+ExecutableAllocator::~ExecutableAllocator() {
+  for (const Region& region : regions_) {
+    if (region.base != nullptr) ::munmap(region.base, region.size);
+  }
+}
+
+bool ExecutableAllocator::supported() { return true; }
+
+void* ExecutableAllocator::allocate(std::size_t n) {
+  if (n == 0) return nullptr;
+  const std::size_t size = round_to_pages(n);
+  void* base = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) return nullptr;
+  regions_.push_back(Region{base, size});
+  return base;
+}
+
+bool ExecutableAllocator::seal(void* p) {
+  for (const Region& region : regions_) {
+    if (region.base == p) {
+      return ::mprotect(region.base, region.size, PROT_READ | PROT_EXEC) == 0;
+    }
+  }
+  return false;
+}
+
+void ExecutableAllocator::release(void* p) {
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].base == p) {
+      ::munmap(regions_[i].base, regions_[i].size);
+      regions_.erase(regions_.begin() +
+                     static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+#else  // !HMEM_EXEC_ALLOC_POSIX
+
+ExecutableAllocator::~ExecutableAllocator() = default;
+bool ExecutableAllocator::supported() { return false; }
+void* ExecutableAllocator::allocate(std::size_t) { return nullptr; }
+bool ExecutableAllocator::seal(void*) { return false; }
+void ExecutableAllocator::release(void*) {}
+
+#endif
+
+}  // namespace hmem

@@ -1,0 +1,55 @@
+// W^X executable-memory allocator for the native access kernel.
+//
+// Pages are handed out writable (never executable), the generated code is
+// copied in, and seal() flips the whole region to read+execute — the region
+// is never writable and executable at the same time, so the allocator works
+// under strict W^X kernels and keeps the JIT surface small. Each region is
+// page-granular and owned by exactly one compiled program; release()/the
+// destructor unmap it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hmem {
+
+class ExecutableAllocator {
+ public:
+  ExecutableAllocator() = default;
+  ~ExecutableAllocator();
+
+  ExecutableAllocator(const ExecutableAllocator&) = delete;
+  ExecutableAllocator& operator=(const ExecutableAllocator&) = delete;
+
+  /// True when this platform can map anonymous memory and re-protect it to
+  /// read+execute at all (POSIX mmap/mprotect). A true here does not
+  /// guarantee seal() succeeds — hardened kernels may refuse PROT_EXEC at
+  /// runtime, which is exactly the failure the kernel ladder falls back on.
+  static bool supported();
+
+  /// Maps a fresh anonymous read+write region of at least n bytes (rounded
+  /// up to whole pages). Returns nullptr on failure or n == 0.
+  void* allocate(std::size_t n);
+
+  /// Flips the region holding p (as returned by allocate) from read+write
+  /// to read+execute. Returns false if the re-protection is refused; the
+  /// region stays valid (and writable) so the caller can release() it.
+  bool seal(void* p);
+
+  /// Unmaps the region holding p. No-op for pointers this allocator does
+  /// not own.
+  void release(void* p);
+
+  std::size_t region_count() const { return regions_.size(); }
+
+ private:
+  struct Region {
+    void* base = nullptr;
+    std::size_t size = 0;
+  };
+
+  std::vector<Region> regions_;
+};
+
+}  // namespace hmem

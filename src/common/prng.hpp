@@ -82,6 +82,17 @@ class Xoshiro256 {
     return static_cast<double>(next() >> 11) * 0x1.0p-53;
   }
 
+  /// Raw state access for compiled kernels that inline the generator and
+  /// must leave the stream exactly where an interpreted run would (the
+  /// native access kernel keeps the state in registers for a phase burst
+  /// and writes it back afterwards).
+  void save_state(std::uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+  void restore_state(const std::uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -13,6 +13,8 @@
 #include "common/alias.hpp"
 #include "common/assert.hpp"
 #include "common/prng.hpp"
+#include "engine/kernel/ir.hpp"
+#include "engine/kernel/native.hpp"
 #include "profiler/profiler.hpp"
 #include "runtime/policy.hpp"
 
@@ -39,10 +41,21 @@ struct ObjectState {
   std::unique_ptr<apps::AccessGenerator> generator;
 };
 
-struct MissRecord {
-  std::uint64_t order;  ///< access index within the phase
-  Address addr;
-  bool is_write;
+// LLC-miss records share the kernel layer's type so a compiled-kernel burst
+// can append to the same buffer the interpreter fills.
+using MissRecord = kernel::MissRecord;
+
+/// Compiled form of one phase plus the epochs it was compiled against. The
+/// program bakes live-instance addresses, so it is stale the moment the
+/// live set changes (live_epoch) OR a dynamic-schedule migration moves an
+/// instance without any alloc/free (addr_epoch — the case live_epoch alone
+/// cannot see).
+struct PhaseKernel {
+  kernel::Program program;
+  kernel::NativeKernel native;
+  bool use_native = false;
+  std::uint64_t live_epoch = ~0ULL;
+  std::uint64_t addr_epoch = ~0ULL;
 };
 
 // ---- Per-access randomness ------------------------------------------------
@@ -335,6 +348,10 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
   // dead. The per-phase sampling tables are valid for one epoch — steady
   // iterations (no churn, no transients) never rebuild them.
   std::uint64_t live_epoch = 0;
+  // Address epoch: bumped when a migration moves a live instance without
+  // touching the live set (dynamic-condition phase transitions). Compiled
+  // kernels bake instance addresses, so they key on BOTH epochs.
+  std::uint64_t addr_epoch = 0;
 
   auto do_alloc = [&](std::size_t i) {
     const ObjectSpec& obj = app.objects[i];
@@ -504,6 +521,7 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
           alloc_ns += out.cost_ns;
           os.instances[j] = out.addr;
           os.tiers[j] = out.tier;
+          ++addr_epoch;
         }
       }
     }
@@ -535,6 +553,19 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
     miss_records.reserve(max_accesses);
   }
   std::vector<PhaseTable> tables(app.phases.size());
+
+  // ---- Kernel selection ---------------------------------------------------
+  // The interpreter loop below is the oracle; the compiled kernels
+  // (engine/kernel) execute the identical per-access semantics from a
+  // flattened program and are bit-identical on every result field. The
+  // request resolves through the fallback ladder (cache mode -> interp,
+  // profiled native -> bytecode, no native support -> bytecode).
+  const kernel::KernelKind kern = kernel::resolve_kernel(
+      options.kernel, cache_mode, options.profile);
+  const bool use_kernel = kern != kernel::KernelKind::kInterp;
+  std::vector<std::unique_ptr<PhaseKernel>> kprograms;
+  if (use_kernel) kprograms.resize(app.phases.size());
+
   const std::uint64_t miss_count_per_sim =
       std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::llround(scale)));
   // Hoisted per-phase scratch (re-zeroed each phase, never reallocated).
@@ -569,6 +600,43 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
         rebuild_phase_table(table, phase, state, live_epoch);
       }
 
+      // Compiled-kernel program for this phase, regenerated exactly when
+      // the live-set or address epoch moves (steady phases reuse it).
+      if (use_kernel) {
+        if (!kprograms[p]) kprograms[p] = std::make_unique<PhaseKernel>();
+        PhaseKernel& kp = *kprograms[p];
+        if (kp.live_epoch != live_epoch || kp.addr_epoch != addr_epoch) {
+          std::vector<kernel::SlotTarget> targets;
+          targets.reserve(table.target.size());
+          for (const std::size_t obj : table.target) {
+            kernel::SlotTarget t;
+            if (obj == SIZE_MAX) {
+              t.is_stack = true;
+              t.stack_base = stack_region.addr;
+              t.stack_lines = app.stack_bytes / memsim::kCacheLineBytes;
+            } else {
+              t.instances = &state[obj].instances;
+              t.gen = state[obj].generator.get();
+              t.size_bytes = app.objects[obj].size_bytes;
+            }
+            targets.push_back(t);
+          }
+          kp.program =
+              kernel::compile_program(table.alias, table.write_threshold,
+                                      kWriteCoinShift, targets, machine);
+          kp.program.live_epoch = live_epoch;
+          kp.program.addr_epoch = addr_epoch;
+          kp.live_epoch = live_epoch;
+          kp.addr_epoch = addr_epoch;
+          kp.use_native = false;
+          if (kern == kernel::KernelKind::kNative) {
+            const memsim::Cache::Tables llc = machine.llc().tables();
+            kp.use_native = kp.native.compile(kp.program, llc.ways,
+                                              llc.line_shift, llc.set_mask);
+          }
+        }
+      }
+
       const auto n_accesses = static_cast<std::uint64_t>(std::llround(
           static_cast<double>(app.accesses_per_iteration) *
           phase.access_share));
@@ -576,59 +644,89 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
       double phase_latency_ns = 0;
       miss_records.clear();
 
-      for (std::uint64_t k = 0; k < n_accesses; ++k) {
-        // One structured draw per access: target column + alias coin +
-        // write coin (field layout documented at kAliasCoinBits above).
-        const std::uint64_t draw = rng.next();
-        const std::size_t idx = table.target[table.alias.sample(draw)];
-        const bool is_write =
-            (draw >> kWriteCoinShift) < table.write_threshold;
-
-        Address addr = 0;
-        if (idx == SIZE_MAX) {
-          const std::uint64_t lines =
-              app.stack_bytes / memsim::kCacheLineBytes;
-          addr = stack_region.addr + rng.below(lines) *
-                                         memsim::kCacheLineBytes;
+      if (use_kernel) {
+        // Compiled path: hand the burst to the kernel. The frame aliases
+        // the live LLC way state (the kernel mutates tags/LRU in place,
+        // exactly as Cache::access would) and the phase accumulators.
+        PhaseKernel& kp = *kprograms[p];
+        const memsim::Cache::Tables llc = machine.llc().tables();
+        kernel::Frame frame;
+        frame.tags = llc.tags;
+        frame.lru = llc.lru;
+        frame.ways = llc.ways;
+        frame.line_shift = llc.line_shift;
+        frame.set_mask = llc.set_mask;
+        frame.tick = *llc.tick;
+        frame.n_accesses = n_accesses;
+        frame.tier_sim = phase_tier_sim.data();
+        if (kp.use_native) {
+          rng.save_state(frame.rng_state);
+          kp.native.run(frame);
+          rng.restore_state(frame.rng_state);
         } else {
-          const ObjectState& os = state[idx];
-          const Address base =
-              os.instances.size() == 1
-                  ? os.instances[0]
-                  : os.instances[rng.below(os.instances.size())];
-          std::uint64_t offset = os.generator->next_offset();
-          if (offset >= app.objects[idx].size_bytes) offset = 0;
-          addr = base + offset;
+          kernel::run_bytecode(kp.program, frame, rng,
+                               prof ? &miss_records : nullptr);
         }
-        const memsim::AccessResult res = machine.access(addr, is_write);
-        double latency_ns = res.latency_ns;
-        memsim::TierIndex serve_tier = res.tier;
-        std::uint64_t serve_bytes = res.tier_bytes;
-        std::uint64_t fill_bytes = 0;
-        if (!res.llc_hit && cache_mode) {
-          // Analytic memory-side cache decision (see CacheModeModel). The
-          // flat-mode routing above served the backing tier; rewrite it.
-          const std::size_t mc_target = idx == SIZE_MAX ? n_objects : idx;
-          if (rng.uniform() < mc_model->hit_probability(mc_target)) {
-            latency_ns = options.node.tiers[cache_front].latency_ns +
-                         options.node.mem_cache_tag_ns;
-            serve_tier = cache_front;
-            serve_bytes = memsim::kCacheLineBytes;
+        *llc.tick = frame.tick;
+        phase_latency_ns = frame.latency_ns;
+        total_misses_sim += frame.misses;
+      } else {
+        // Interpreter (oracle) path: semantics mirrored insn-for-insn by
+        // the compiled kernels above.
+        for (std::uint64_t k = 0; k < n_accesses; ++k) {
+          // One structured draw per access: target column + alias coin +
+          // write coin (field layout documented at kAliasCoinBits above).
+          const std::uint64_t draw = rng.next();
+          const std::size_t idx = table.target[table.alias.sample(draw)];
+          const bool is_write =
+              (draw >> kWriteCoinShift) < table.write_threshold;
+
+          Address addr = 0;
+          if (idx == SIZE_MAX) {
+            const std::uint64_t lines =
+                app.stack_bytes / memsim::kCacheLineBytes;
+            addr = stack_region.addr + rng.below(lines) *
+                                           memsim::kCacheLineBytes;
           } else {
-            mc_model->on_miss(mc_target);
-            latency_ns = options.node.tiers[cache_backing].latency_ns +
-                         options.node.mem_cache_tag_ns;
-            serve_tier = cache_backing;
-            serve_bytes = memsim::kCacheLineBytes;
-            fill_bytes = memsim::kCacheLineBytes;  // memory-side fill
+            const ObjectState& os = state[idx];
+            const Address base =
+                os.instances.size() == 1
+                    ? os.instances[0]
+                    : os.instances[rng.below(os.instances.size())];
+            std::uint64_t offset = os.generator->next_offset();
+            if (offset >= app.objects[idx].size_bytes) offset = 0;
+            addr = base + offset;
           }
-        }
-        phase_latency_ns += latency_ns;
-        phase_tier_sim[serve_tier] += serve_bytes;
-        if (fill_bytes != 0) phase_tier_sim[cache_front] += fill_bytes;
-        if (!res.llc_hit) {
-          ++total_misses_sim;
-          if (prof) miss_records.push_back({k, addr, is_write});
+          const memsim::AccessResult res = machine.access(addr, is_write);
+          double latency_ns = res.latency_ns;
+          memsim::TierIndex serve_tier = res.tier;
+          std::uint64_t serve_bytes = res.tier_bytes;
+          std::uint64_t fill_bytes = 0;
+          if (!res.llc_hit && cache_mode) {
+            // Analytic memory-side cache decision (see CacheModeModel). The
+            // flat-mode routing above served the backing tier; rewrite it.
+            const std::size_t mc_target = idx == SIZE_MAX ? n_objects : idx;
+            if (rng.uniform() < mc_model->hit_probability(mc_target)) {
+              latency_ns = options.node.tiers[cache_front].latency_ns +
+                           options.node.mem_cache_tag_ns;
+              serve_tier = cache_front;
+              serve_bytes = memsim::kCacheLineBytes;
+            } else {
+              mc_model->on_miss(mc_target);
+              latency_ns = options.node.tiers[cache_backing].latency_ns +
+                           options.node.mem_cache_tag_ns;
+              serve_tier = cache_backing;
+              serve_bytes = memsim::kCacheLineBytes;
+              fill_bytes = memsim::kCacheLineBytes;  // memory-side fill
+            }
+          }
+          phase_latency_ns += latency_ns;
+          phase_tier_sim[serve_tier] += serve_bytes;
+          if (fill_bytes != 0) phase_tier_sim[cache_front] += fill_bytes;
+          if (!res.llc_hit) {
+            ++total_misses_sim;
+            if (prof) miss_records.push_back({k, addr, is_write});
+          }
         }
       }
 

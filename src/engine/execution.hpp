@@ -26,6 +26,7 @@
 #include "advisor/placement_report.hpp"
 #include "apps/app.hpp"
 #include "callstack/sitedb.hpp"
+#include "engine/kernel/kernel.hpp"
 #include "memsim/machine.hpp"
 #include "pebs/sampler.hpp"
 #include "runtime/auto_hbwmalloc.hpp"
@@ -89,6 +90,12 @@ struct RunOptions {
   double tier_mix_penalty = 0.3;
   /// autohbw size threshold (paper: 1 MiB).
   std::uint64_t autohbw_threshold = 1ULL << 20;
+  /// Which access-loop backend executes the inner simulation loop. All
+  /// kernels are bit-identical on every RunResult field; the request is
+  /// resolved through the fallback ladder in engine/kernel/kernel.hpp
+  /// (cache mode -> interp, profiled native -> bytecode, missing native
+  /// support -> bytecode). kAuto consults HMEM_KERNEL, then bytecode.
+  kernel::KernelKind kernel = kernel::KernelKind::kAuto;
 };
 
 /// Real (scale-corrected) DRAM traffic one tier carried during a run.

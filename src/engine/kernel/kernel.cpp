@@ -1,0 +1,55 @@
+#include "engine/kernel/kernel.hpp"
+
+#include <cstdlib>
+
+#include "engine/kernel/native.hpp"
+
+namespace hmem::engine::kernel {
+
+const char* kernel_name(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kAuto:
+      return "auto";
+    case KernelKind::kInterp:
+      return "interp";
+    case KernelKind::kBytecode:
+      return "bytecode";
+    case KernelKind::kNative:
+      return "native";
+  }
+  return "?";
+}
+
+std::optional<KernelKind> parse_kernel(const std::string& name) {
+  if (name == "auto") return KernelKind::kAuto;
+  if (name == "interp") return KernelKind::kInterp;
+  if (name == "bytecode") return KernelKind::kBytecode;
+  if (name == "native") return KernelKind::kNative;
+  return std::nullopt;
+}
+
+std::string kernel_list() { return "interp, bytecode, native, auto"; }
+
+KernelKind resolve_kernel(KernelKind requested, bool cache_mode,
+                          bool profiled) {
+  KernelKind kind = requested;
+  if (kind == KernelKind::kAuto) {
+    kind = KernelKind::kBytecode;
+    if (const char* env = std::getenv("HMEM_KERNEL")) {
+      // An unknown value keeps the default: the env var is a convenience
+      // override, and a typo should not abort an otherwise valid run.
+      const auto parsed = parse_kernel(env);
+      if (parsed.has_value() && *parsed != KernelKind::kAuto) kind = *parsed;
+    }
+  }
+  if (kind == KernelKind::kInterp) return kind;
+  // The analytic cache-mode model interleaves rng.uniform() draws with the
+  // access stream; only the interpreter implements it.
+  if (cache_mode) return KernelKind::kInterp;
+  if (kind == KernelKind::kNative && (profiled || !native_available())) {
+    kind = KernelKind::kBytecode;
+  }
+  return kind;
+}
+
+}  // namespace hmem::engine::kernel

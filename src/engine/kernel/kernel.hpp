@@ -1,0 +1,42 @@
+// Kernel selection for the execution engine's access loop.
+//
+// Three backends execute the per-access simulation, all bit-identical on
+// every RunResult field (the differential tests assert it):
+//   * interp   — the original loop in engine/execution.cpp; the oracle.
+//   * bytecode — the portable compiled IR (engine/kernel/ir.hpp).
+//   * native   — the x86-64 emitter (engine/kernel/native.hpp), optional.
+// Selection resolves through a fallback ladder, never an error: an explicit
+// `native` request on a machine without the backend silently runs bytecode;
+// the cache-mode condition always runs the interpreter (its analytic
+// memory-side-cache model draws from the main RNG mid-access, which the
+// compiled kernels deliberately do not model); profiled runs cap at
+// bytecode (miss-record collection). `auto` consults the HMEM_KERNEL
+// environment variable, then defaults to bytecode.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace hmem::engine::kernel {
+
+enum class KernelKind {
+  kAuto,      ///< HMEM_KERNEL env var, else bytecode
+  kInterp,    ///< original interpreter loop (the oracle)
+  kBytecode,  ///< compiled IR through the portable VM
+  kNative,    ///< compiled IR through the x86-64 emitter
+};
+
+const char* kernel_name(KernelKind kind);
+
+/// Parses "auto" / "interp" / "bytecode" / "native"; nullopt otherwise.
+std::optional<KernelKind> parse_kernel(const std::string& name);
+
+/// Comma-joined kernel names for --help texts.
+std::string kernel_list();
+
+/// Applies the fallback ladder: requested -> what actually runs. Never
+/// fails; unsatisfiable requests degrade (native -> bytecode -> interp).
+KernelKind resolve_kernel(KernelKind requested, bool cache_mode,
+                          bool profiled);
+
+}  // namespace hmem::engine::kernel

@@ -1,0 +1,568 @@
+#include "engine/kernel/native.hpp"
+
+#include <cstddef>
+#include <cstring>
+
+#include "apps/generator.hpp"
+#include "memsim/cache.hpp"
+
+#if defined(HMEM_NATIVE_KERNEL) && defined(__x86_64__) && \
+    (defined(__unix__) || defined(__APPLE__))
+#define HMEM_NATIVE_X64 1
+#endif
+
+namespace hmem::engine::kernel {
+
+// Out-of-line target for the emitted code's per-object offset draws. The
+// generator's stream is independent of the main RNG, so crossing a C call
+// boundary here cannot perturb bit-identity.
+extern "C" std::uint64_t hmem_kernel_gen_next(void* gen) {
+  return static_cast<apps::AccessGenerator*>(gen)->next_offset();
+}
+
+#ifndef HMEM_NATIVE_X64
+
+bool native_available() { return false; }
+bool NativeKernel::compile(const Program&, std::uint32_t, std::uint32_t,
+                           std::uint64_t) {
+  return false;
+}
+void NativeKernel::run(Frame&) const {}
+
+#else  // HMEM_NATIVE_X64
+
+namespace {
+
+// The emitted code addresses the Frame by fixed displacements off rbx;
+// these mirror the struct layout and are locked down here.
+static_assert(offsetof(Frame, rng_state) == 0);
+static_assert(offsetof(Frame, tick) == 32);
+static_assert(offsetof(Frame, latency_ns) == 40);
+static_assert(offsetof(Frame, misses) == 48);
+static_assert(offsetof(Frame, n_accesses) == 56);
+static_assert(offsetof(Frame, tier_sim) == 64);
+static_assert(offsetof(Frame, scratch) == 72);
+static_assert(offsetof(Frame, tags) == 80);
+static_assert(offsetof(Frame, lru) == 88);
+static_assert(sizeof(memsim::Address) == 8);
+static_assert(offsetof(InstanceSlot, base) == 0);
+static_assert(offsetof(InstanceSlot, latency_ns) == 8);
+static_assert(offsetof(InstanceSlot, tier) == 16);
+
+// Register numbers (SysV). Persistent state sits in callee-saved registers:
+// rbx = Frame*, rbp = access counter, r12..r15 = xoshiro s0..s3. Everything
+// else is per-access scratch.
+constexpr int kRax = 0, kRcx = 1, kRdx = 2, kRbx = 3;
+constexpr int kRbp = 5, kRsi = 6, kRdi = 7;
+constexpr int kR8 = 8, kR9 = 9, kR10 = 10, kR11 = 11;
+constexpr int kR12 = 12, kR13 = 13, kR14 = 14, kR15 = 15;
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+/// Minimal x86-64 emitter: exactly the encodings the kernel needs, with
+/// rel32 label fixups. Memory operands never use rsp/r12/r13/rbp as a base
+/// (the modrm special cases), which the code below respects by
+/// construction.
+class Asm {
+ public:
+  std::vector<std::uint8_t> buf;
+
+  struct Label {
+    std::ptrdiff_t target = -1;
+    std::vector<std::size_t> fixups;  ///< positions of pending rel32 slots
+  };
+
+  std::size_t pos() const { return buf.size(); }
+  void byte(std::uint8_t b) { buf.push_back(b); }
+  void imm32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void imm64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void bind(Label& l) {
+    l.target = static_cast<std::ptrdiff_t>(pos());
+    for (const std::size_t at : l.fixups) {
+      const std::uint32_t rel =
+          static_cast<std::uint32_t>(l.target - static_cast<std::ptrdiff_t>(at + 4));
+      for (int i = 0; i < 4; ++i) {
+        buf[at + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(rel >> (8 * i));
+      }
+    }
+    l.fixups.clear();
+  }
+
+  void rel32(Label& l) {
+    if (l.target >= 0) {
+      imm32(static_cast<std::uint32_t>(l.target -
+                                       static_cast<std::ptrdiff_t>(pos() + 4)));
+    } else {
+      l.fixups.push_back(pos());
+      imm32(0);
+    }
+  }
+
+  // ---- encoding helpers ----
+  void rex(bool w, int reg, int index, int rm) {
+    const std::uint8_t r = static_cast<std::uint8_t>(
+        0x40 | (w ? 8 : 0) | ((reg >> 3) << 2) | ((index >> 3) << 1) |
+        (rm >> 3));
+    if (r != 0x40 || w) byte(r);
+  }
+  void rex_opt(int reg, int index, int rm) {
+    // 32-bit op: REX only when a high register is involved.
+    const std::uint8_t r = static_cast<std::uint8_t>(
+        0x40 | ((reg >> 3) << 2) | ((index >> 3) << 1) | (rm >> 3));
+    if (r != 0x40) byte(r);
+  }
+  void modrm(int mod, int reg, int rm) {
+    byte(static_cast<std::uint8_t>((mod << 6) | ((reg & 7) << 3) | (rm & 7)));
+  }
+  void mem(int reg, int base, int disp) {
+    // base is never rsp/r12 (SIB escape) or, with disp 0, rbp/r13.
+    if (disp == 0 && (base & 7) != 5) {
+      modrm(0, reg, base);
+    } else if (disp >= -128 && disp <= 127) {
+      modrm(1, reg, base);
+      byte(static_cast<std::uint8_t>(disp));
+    } else {
+      modrm(2, reg, base);
+      imm32(static_cast<std::uint32_t>(disp));
+    }
+  }
+  void sib_mem(int reg, int base, int index, int scale_log) {
+    // [base + index*scale], disp 0; base never rbp/r13.
+    modrm(0, reg, 4);
+    byte(static_cast<std::uint8_t>((scale_log << 6) | ((index & 7) << 3) |
+                                   (base & 7)));
+  }
+
+  // ---- instructions ----
+  void push_r(int r) { rex_opt(0, 0, r); byte(0x50 + (r & 7)); }
+  void pop_r(int r) { rex_opt(0, 0, r); byte(0x58 + (r & 7)); }
+  void mov_rr(int dst, int src) { rex(true, src, 0, dst); byte(0x89); modrm(3, src, dst); }
+  void mov_ri64(int r, std::uint64_t v) { rex(true, 0, 0, r); byte(0xB8 + (r & 7)); imm64(v); }
+  void mov_ri32(int r, std::uint32_t v) { rex_opt(0, 0, r); byte(0xB8 + (r & 7)); imm32(v); }
+  void mov_r_mem(int dst, int base, int disp) { rex(true, dst, 0, base); byte(0x8B); mem(dst, base, disp); }
+  void mov_mem_r(int base, int disp, int src) { rex(true, src, 0, base); byte(0x89); mem(src, base, disp); }
+  void mov_r_sib(int dst, int base, int index, int scale_log) {
+    rex(true, dst, index, base); byte(0x8B); sib_mem(dst, base, index, scale_log);
+  }
+  void mov32_r_sib(int dst, int base, int index, int scale_log) {
+    rex_opt(dst, index, base); byte(0x8B); sib_mem(dst, base, index, scale_log);
+  }
+  void mov_sib_r(int base, int index, int scale_log, int src) {
+    rex(true, src, index, base); byte(0x89); sib_mem(src, base, index, scale_log);
+  }
+  void mov32_rr(int dst, int src) { rex_opt(src, 0, dst); byte(0x89); modrm(3, src, dst); }
+  void lea_sib(int dst, int base, int index, int scale_log) {
+    rex(true, dst, index, base); byte(0x8D); sib_mem(dst, base, index, scale_log);
+  }
+  void lea_mem(int dst, int base, int disp) { rex(true, dst, 0, base); byte(0x8D); mem(dst, base, disp); }
+  void lea_r13x5(int dst) {
+    // lea dst, [r13 + r13*4]: rbp-class base forces a disp8 of zero.
+    rex(true, dst, kR13, kR13);
+    byte(0x8D);
+    modrm(1, dst, 4);
+    byte(static_cast<std::uint8_t>((2 << 6) | ((kR13 & 7) << 3) | (kR13 & 7)));
+    byte(0);
+  }
+  void add_rr(int dst, int src) { rex(true, src, 0, dst); byte(0x01); modrm(3, src, dst); }
+  void and_rr(int dst, int src) { rex(true, src, 0, dst); byte(0x21); modrm(3, src, dst); }
+  void xor_rr(int dst, int src) { rex(true, src, 0, dst); byte(0x31); modrm(3, src, dst); }
+  void xor32_rr(int dst, int src) { rex_opt(src, 0, dst); byte(0x31); modrm(3, src, dst); }
+  void cmp_rr(int a, int b) { rex(true, a, 0, b); byte(0x3B); modrm(3, a, b); }  // flags(a - b)
+  void cmp_r_mem(int a, int base, int disp) { rex(true, a, 0, base); byte(0x3B); mem(a, base, disp); }
+  void cmp_mem_r(int base, int disp, int r) { rex(true, r, 0, base); byte(0x39); mem(r, base, disp); }
+  void shl_ri(int r, int n) { rex(true, 0, 0, r); byte(0xC1); modrm(3, 4, r); byte(static_cast<std::uint8_t>(n)); }
+  void shr_ri(int r, int n) { rex(true, 0, 0, r); byte(0xC1); modrm(3, 5, r); byte(static_cast<std::uint8_t>(n)); }
+  void rol_ri(int r, int n) { rex(true, 0, 0, r); byte(0xC1); modrm(3, 0, r); byte(static_cast<std::uint8_t>(n)); }
+  void imul_rri(int dst, int src, std::uint32_t v) {
+    rex(true, dst, 0, src); byte(0x69); modrm(3, dst, src); imm32(v);
+  }
+  void mul_r(int r) { rex(true, 0, 0, r); byte(0xF7); modrm(3, 4, r); }
+  void cmovb_rr(int dst, int src) { rex(true, dst, 0, src); byte(0x0F); byte(0x42); modrm(3, dst, src); }
+  void cmovae_rr(int dst, int src) { rex(true, dst, 0, src); byte(0x0F); byte(0x43); modrm(3, dst, src); }
+  void inc_r(int r) { rex(true, 0, 0, r); byte(0xFF); modrm(3, 0, r); }
+  void inc_mem(int base, int disp) { rex(true, 0, 0, base); byte(0xFF); mem(0, base, disp); }
+  void add_sib_imm8(int base, int index, std::uint8_t v) {
+    rex(true, 0, index, base); byte(0x83); sib_mem(0, base, index, 3); byte(v);
+  }
+  void sub_rsp8() { byte(0x48); byte(0x83); byte(0xEC); byte(0x08); }
+  void add_rsp8() { byte(0x48); byte(0x83); byte(0xC4); byte(0x08); }
+  void call_r(int r) { rex_opt(0, 0, r); byte(0xFF); modrm(3, 2, r); }
+  void call_label(Label& l) { byte(0xE8); rel32(l); }
+  void jmp_label(Label& l) { byte(0xE9); rel32(l); }
+  void jb_label(Label& l) { byte(0x0F); byte(0x82); rel32(l); }
+  void jae_label(Label& l) { byte(0x0F); byte(0x83); rel32(l); }
+  void jmp_sib(int base, int index) { rex_opt(4, index, base); byte(0xFF); sib_mem(4, base, index, 3); }
+  void ret() { byte(0xC3); }
+  void cmp_mem0(int base, int disp) {
+    rex(true, 0, 0, base); byte(0x83); mem(7, base, disp); byte(0);
+  }
+  void je_label(Label& l) { byte(0x0F); byte(0x84); rel32(l); }
+  /// jne over a stub of unknown length: returns the rel8 patch position.
+  std::size_t jne_short() { byte(0x75); byte(0); return pos() - 1; }
+  void patch_short(std::size_t at) {
+    buf[at] = static_cast<std::uint8_t>(pos() - (at + 1));
+  }
+  // SSE2 scalar double ops (xmm0..xmm7, low bases only — no REX needed).
+  void movsd_x_mem(int x, int base, int disp) { byte(0xF2); byte(0x0F); byte(0x10); mem(x, base, disp); }
+  void movsd_mem_x(int base, int disp, int x) { byte(0xF2); byte(0x0F); byte(0x11); mem(x, base, disp); }
+  void addsd(int x, int x2) { byte(0xF2); byte(0x0F); byte(0x58); modrm(3, x, x2); }
+  void movq_x_r(int x, int r) {
+    byte(0x66); rex(true, x, 0, r); byte(0x0F); byte(0x6E); modrm(3, x, r);
+  }
+};
+
+}  // namespace
+
+bool NativeKernel::compile(const Program& p, std::uint32_t ways,
+                           std::uint32_t line_shift, std::uint64_t set_mask) {
+  if (!ExecutableAllocator::supported()) return false;
+  if (entry_ != nullptr) {
+    alloc_.release(entry_);
+    entry_ = nullptr;
+  }
+  const std::uint64_t n_cols = p.threshold.size();
+  if (n_cols == 0 || n_cols > 0x7FFFFFFFULL) return false;
+  if (ways == 0 || ways > 0x7FFFFFFFU) return false;
+
+  jump_table_.assign(p.slot_count(), 0);
+  std::vector<std::size_t> block_offset(p.slot_count(), 0);
+
+  Asm a;
+  Asm::Label loop, serve, hit, next, done, rng_next;
+
+  // ---- prologue: 6 pushes + sub 8 leaves rsp 16-aligned at call sites.
+  a.push_r(kRbx);
+  a.push_r(kRbp);
+  a.push_r(kR12);
+  a.push_r(kR13);
+  a.push_r(kR14);
+  a.push_r(kR15);
+  a.sub_rsp8();
+  a.mov_rr(kRbx, kRdi);  // frame
+  a.mov_r_mem(kR12, kRbx, 0);
+  a.mov_r_mem(kR13, kRbx, 8);
+  a.mov_r_mem(kR14, kRbx, 16);
+  a.mov_r_mem(kR15, kRbx, 24);
+  a.xor32_rr(kRbp, kRbp);  // k = 0
+  a.cmp_mem0(kRbx, 56);    // n_accesses == 0?
+  a.je_label(done);
+
+  // ---- per-access prelude: draw, alias sample, dispatch.
+  a.bind(loop);
+  a.call_label(rng_next);  // rax = draw (clobbers rdi)
+  a.mov32_rr(kRcx, kRax);  // zero-extended low 32 bits
+  a.imul_rri(kRcx, kRcx, static_cast<std::uint32_t>(n_cols));
+  a.shr_ri(kRcx, 32);      // column
+  a.mov_rr(kRdx, kRax);
+  a.shr_ri(kRdx, 32);
+  a.mov_ri64(kRdi, p.coin_mask);
+  a.and_rr(kRdx, kRdi);    // coin
+  a.mov_ri64(kRsi, reinterpret_cast<std::uint64_t>(p.threshold.data()));
+  a.mov_r_sib(kRdi, kRsi, kRcx, 3);   // thr[col]
+  a.mov_ri64(kRsi, reinterpret_cast<std::uint64_t>(p.alias.data()));
+  a.mov32_r_sib(kR8, kRsi, kRcx, 2);  // alias[col], zero-extended
+  a.cmp_rr(kRdx, kRdi);               // coin - thr
+  a.cmovae_rr(kRcx, kR8);             // slot = coin < thr ? col : alias
+  a.mov_ri64(kRsi, reinterpret_cast<std::uint64_t>(jump_table_.data()));
+  a.jmp_sib(kRsi, kRcx);
+
+  // Inline Lemire below(bound) with the rejection threshold precomputed;
+  // result in rdx. rng_next preserves rcx/rsi, so the loop re-multiplies
+  // without reloading the constants.
+  const auto emit_below = [&](std::uint64_t bound) {
+    Asm::Label ok, retry;
+    a.call_label(rng_next);
+    a.mov_ri64(kRcx, bound);
+    a.mul_r(kRcx);           // rdx:rax = draw * bound
+    a.cmp_rr(kRax, kRcx);
+    a.jae_label(ok);
+    a.mov_ri64(kRsi, (0 - bound) % bound);
+    a.bind(retry);
+    a.cmp_rr(kRax, kRsi);
+    a.jae_label(ok);
+    a.call_label(rng_next);
+    a.mul_r(kRcx);
+    a.jmp_label(retry);
+    a.bind(ok);
+  };
+  // Call the AccessGenerator shim; returns the raw offset in rax, which is
+  // then clamped to [0, size) exactly as the interpreter does.
+  const auto emit_gen_offset = [&](apps::AccessGenerator* gen,
+                                   std::uint64_t size) {
+    a.mov_ri64(kRdi, reinterpret_cast<std::uint64_t>(gen));
+    a.mov_ri64(kRax, reinterpret_cast<std::uint64_t>(&hmem_kernel_gen_next));
+    a.call_r(kRax);
+    a.mov_ri64(kRcx, size);
+    a.xor32_rr(kRdx, kRdx);
+    a.cmp_rr(kRax, kRcx);
+    a.cmovae_rr(kRax, kRdx);
+  };
+  const auto emit_serve_const = [&](std::uint32_t tier, double latency) {
+    a.mov_ri32(kR11, tier);
+    a.mov_ri64(kRax, bits_of(latency));
+    a.movq_x_r(1, kRax);  // xmm1 = miss latency
+    a.jmp_label(serve);
+  };
+
+  // ---- per-slot blocks. Contract with .serve: r10 = addr, r11 = serving
+  // tier, xmm1 = miss latency.
+  for (std::size_t s = 0; s < p.slot_count(); ++s) {
+    block_offset[s] = a.pos();
+    const Insn* in = &p.code[p.block_start[s]];
+    switch (in->op) {
+      case Op::kStackAddr: {
+        emit_below(in->imm1);
+        a.shl_ri(kRdx, 6);  // * kCacheLineBytes
+        a.mov_ri64(kR10, in->imm0);
+        a.add_rr(kR10, kRdx);
+        const Insn& sv = p.code[p.block_start[s] + 1];
+        emit_serve_const(sv.a, sv.f);
+        break;
+      }
+      case Op::kFixedAddr: {
+        const Insn& gen = p.code[p.block_start[s] + 1];
+        emit_gen_offset(p.gens[gen.a], gen.imm0);
+        a.mov_ri64(kR10, in->imm0);
+        a.add_rr(kR10, kRax);
+        const Insn& sv = p.code[p.block_start[s] + 2];
+        emit_serve_const(sv.a, sv.f);
+        break;
+      }
+      case Op::kPickAddr: {
+        emit_below(in->a);
+        a.shl_ri(kRdx, 5);  // InstanceSlot stride
+        a.mov_ri64(kRax,
+                   reinterpret_cast<std::uint64_t>(p.instances.data() +
+                                                   in->imm0));
+        a.add_rr(kRax, kRdx);
+        a.mov_mem_r(kRbx, 72, kRax);  // spill rec* across the C call
+        const Insn& gen = p.code[p.block_start[s] + 1];
+        emit_gen_offset(p.gens[gen.a], gen.imm0);
+        a.mov_r_mem(kRsi, kRbx, 72);
+        a.mov_r_mem(kR10, kRsi, 0);   // rec.base
+        a.add_rr(kR10, kRax);
+        a.mov_r_mem(kR11, kRsi, 16);  // rec.tier
+        a.movsd_x_mem(1, kRsi, 8);    // rec.latency_ns
+        a.jmp_label(serve);
+        break;
+      }
+      default:
+        return false;  // verify_program rejects these shapes already
+    }
+  }
+
+  // ---- shared LLC probe: the exact Cache::access sequence with geometry
+  // baked in and the hit scan unrolled.
+  a.bind(serve);
+  a.inc_mem(kRbx, 32);  // ++tick
+  a.mov_rr(kRax, kR10);
+  a.shr_ri(kRax, static_cast<int>(line_shift));  // tag
+  a.mov_rr(kRcx, kRax);
+  a.mov_ri64(kRdi, set_mask);
+  a.and_rr(kRcx, kRdi);
+  a.imul_rri(kRcx, kRcx, ways);
+  a.mov_r_mem(kRsi, kRbx, 80);  // tags
+  a.lea_sib(kRsi, kRsi, kRcx, 3);
+  a.mov_r_mem(kRdx, kRbx, 88);  // lru
+  a.lea_sib(kRdx, kRdx, kRcx, 3);
+  for (std::uint32_t w = 0; w < ways; ++w) {
+    a.cmp_mem_r(kRsi, static_cast<int>(w) * 8, kRax);
+    const std::size_t skip = a.jne_short();
+    a.lea_mem(kRcx, kRdx, static_cast<int>(w) * 8);  // &lru[way]
+    a.jmp_label(hit);
+    a.patch_short(skip);
+  }
+  // Miss: first-minimal-stamp victim via cmov (matches the interpreter's
+  // branch-free argmin), then install and account.
+  a.mov_r_mem(kRcx, kRdx, 0);  // best
+  a.xor32_rr(kR8, kR8);        // victim
+  for (std::uint32_t w = 1; w < ways; ++w) {
+    a.mov_r_mem(kR9, kRdx, static_cast<int>(w) * 8);
+    a.mov_ri32(kRdi, w);
+    a.cmp_rr(kR9, kRcx);
+    a.cmovb_rr(kRcx, kR9);
+    a.cmovb_rr(kR8, kRdi);
+  }
+  a.mov_r_mem(kR9, kRbx, 32);       // tick
+  a.mov_sib_r(kRsi, kR8, 3, kRax);  // tags[victim] = tag
+  a.mov_sib_r(kRdx, kR8, 3, kR9);   // lru[victim] = tick
+  a.movsd_x_mem(0, kRbx, 40);
+  a.addsd(0, 1);                    // latency += miss latency
+  a.movsd_mem_x(kRbx, 40, 0);
+  a.mov_r_mem(kRcx, kRbx, 64);      // tier_sim
+  a.add_sib_imm8(kRcx, kR11, 64);   // [tier] += kCacheLineBytes
+  a.inc_mem(kRbx, 48);              // ++misses
+  a.jmp_label(next);
+
+  a.bind(hit);  // rcx = &lru[way]
+  a.mov_r_mem(kR9, kRbx, 32);
+  a.mov_mem_r(kRcx, 0, kR9);  // lru[way] = tick
+  a.movsd_x_mem(0, kRbx, 40);
+  a.mov_ri64(kRax, bits_of(p.llc_latency_ns));
+  a.movq_x_r(1, kRax);
+  a.addsd(0, 1);
+  a.movsd_mem_x(kRbx, 40, 0);
+
+  a.bind(next);
+  a.inc_r(kRbp);
+  a.cmp_r_mem(kRbp, kRbx, 56);
+  a.jb_label(loop);
+
+  a.bind(done);
+  a.mov_mem_r(kRbx, 0, kR12);
+  a.mov_mem_r(kRbx, 8, kR13);
+  a.mov_mem_r(kRbx, 16, kR14);
+  a.mov_mem_r(kRbx, 24, kR15);
+  a.add_rsp8();
+  a.pop_r(kR15);
+  a.pop_r(kR14);
+  a.pop_r(kR13);
+  a.pop_r(kR12);
+  a.pop_r(kRbp);
+  a.pop_r(kRbx);
+  a.ret();
+
+  // ---- xoshiro256** step: draw in rax, state advanced in r12..r15.
+  // Clobbers rax and rdi only — below()'s constants survive in rcx/rsi.
+  a.bind(rng_next);
+  a.lea_r13x5(kRax);   // s1 * 5
+  a.rol_ri(kRax, 7);
+  a.lea_sib(kRax, kRax, kRax, 3);  // * 9
+  a.mov_rr(kRdi, kR13);
+  a.shl_ri(kRdi, 17);  // t
+  a.xor_rr(kR14, kR12);
+  a.xor_rr(kR15, kR13);
+  a.xor_rr(kR13, kR14);
+  a.xor_rr(kR12, kR15);
+  a.xor_rr(kR14, kRdi);
+  a.rol_ri(kR15, 45);
+  a.ret();
+
+  // ---- map, resolve the dispatch table, seal W^X.
+  void* base = alloc_.allocate(a.buf.size());
+  if (base == nullptr) return false;
+  std::memcpy(base, a.buf.data(), a.buf.size());
+  for (std::size_t s = 0; s < block_offset.size(); ++s) {
+    jump_table_[s] = reinterpret_cast<std::uint64_t>(base) + block_offset[s];
+  }
+  if (!alloc_.seal(base)) {
+    alloc_.release(base);
+    return false;
+  }
+  entry_ = base;
+  return true;
+}
+
+void NativeKernel::run(Frame& frame) const {
+  HMEM_ASSERT(entry_ != nullptr);
+  reinterpret_cast<void (*)(Frame*)>(entry_)(&frame);
+}
+
+namespace {
+
+/// One-time emit-and-execute check: a small synthetic program run through
+/// both backends from identical state must agree on every output bit. A
+/// failure (broken mmap policy, emitter regression on an exotic toolchain)
+/// downgrades the process to the bytecode VM.
+bool native_self_test() {
+  Program p;
+  p.threshold = {1, 2};  // col 0 diverts half its coins to col 1
+  p.alias = {1, 0};
+  p.coin_mask = 1;
+  p.write_threshold = 0;
+  p.write_shift = 63;
+  p.block_start = {0, 2};
+  Insn stack0;
+  stack0.op = Op::kStackAddr;
+  stack0.imm0 = 1ULL << 20;
+  stack0.imm1 = 96;  // non-power-of-two: exercises the rejection path
+  Insn serve0;
+  serve0.op = Op::kServeFixed;
+  serve0.a = 0;
+  serve0.f = 130.0;
+  Insn stack1;
+  stack1.op = Op::kStackAddr;
+  stack1.imm0 = 1ULL << 21;
+  stack1.imm1 = 64;
+  Insn serve1;
+  serve1.op = Op::kServeFixed;
+  serve1.a = 1;
+  serve1.f = 155.0;
+  p.code = {stack0, serve0, stack1, serve1};
+  p.llc_latency_ns = 10.0;
+  p.n_tiers = 2;
+  if (!verify_program(p).empty()) return false;
+
+  constexpr std::uint32_t kWays = 4;
+  constexpr std::uint64_t kSets = 8;
+  const auto run = [&](bool native, double* latency, std::uint64_t* misses,
+                       std::uint64_t* tick, std::uint64_t rng_out[4],
+                       std::vector<memsim::Address>* tags,
+                       std::vector<std::uint64_t>* lru,
+                       std::uint64_t tier_sim[2]) {
+    tags->assign(kSets * kWays, memsim::Cache::kInvalidTag);
+    lru->assign(kSets * kWays, 0);
+    tier_sim[0] = tier_sim[1] = 0;
+    Frame f;
+    f.tags = tags->data();
+    f.lru = lru->data();
+    f.ways = kWays;
+    f.line_shift = 6;
+    f.set_mask = kSets - 1;
+    f.n_accesses = 512;
+    f.tier_sim = tier_sim;
+    Xoshiro256 rng(0x5e1f7e57ULL);
+    if (native) {
+      NativeKernel kern;
+      if (!kern.compile(p, kWays, 6, kSets - 1)) return false;
+      rng.save_state(f.rng_state);
+      kern.run(f);
+      for (int i = 0; i < 4; ++i) rng_out[i] = f.rng_state[i];
+    } else {
+      run_bytecode(p, f, rng, nullptr);
+      rng.save_state(rng_out);
+    }
+    *latency = f.latency_ns;
+    *misses = f.misses;
+    *tick = f.tick;
+    return true;
+  };
+
+  double lat_b = 0, lat_n = 0;
+  std::uint64_t miss_b = 0, miss_n = 0, tick_b = 0, tick_n = 0;
+  std::uint64_t rng_b[4], rng_n[4], sim_b[2], sim_n[2];
+  std::vector<memsim::Address> tags_b, tags_n;
+  std::vector<std::uint64_t> lru_b, lru_n;
+  if (!run(false, &lat_b, &miss_b, &tick_b, rng_b, &tags_b, &lru_b, sim_b)) {
+    return false;
+  }
+  if (!run(true, &lat_n, &miss_n, &tick_n, rng_n, &tags_n, &lru_n, sim_n)) {
+    return false;
+  }
+  return bits_of(lat_b) == bits_of(lat_n) && miss_b == miss_n &&
+         tick_b == tick_n && std::memcmp(rng_b, rng_n, sizeof(rng_b)) == 0 &&
+         tags_b == tags_n && lru_b == lru_n && sim_b[0] == sim_n[0] &&
+         sim_b[1] == sim_n[1];
+}
+
+}  // namespace
+
+bool native_available() {
+  static const bool ok =
+      ExecutableAllocator::supported() && native_self_test();
+  return ok;
+}
+
+#endif  // HMEM_NATIVE_X64
+
+}  // namespace hmem::engine::kernel

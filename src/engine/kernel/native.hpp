@@ -1,0 +1,68 @@
+// Optional x86-64 native backend for the access kernel.
+//
+// Emits the same program the bytecode VM executes (engine/kernel/ir.hpp)
+// as a straight-line System V x86-64 function: the xoshiro256** generator
+// lives in callee-saved registers for the whole burst, the alias table and
+// every per-slot constant (addresses, tiers, miss latencies, Lemire
+// rejection thresholds) are baked as immediates, the LLC probe is an
+// unrolled tag scan against geometry baked at compile time, and per-object
+// offset generators are reached through one extern "C" shim (their streams
+// are independent, so a C call is bit-identity-safe). Code is placed in W^X
+// pages through common/exec_alloc.hpp: mapped writable, sealed read-execute
+// before the first call.
+//
+// The backend is compiled in only on x86-64 POSIX builds with the
+// HMEM_NATIVE_KERNEL CMake option on; everywhere else native_available()
+// returns false and compile() fails, which the kernel resolver turns into
+// a silent fallback to the bytecode VM. Availability includes a one-time
+// emit-and-execute self-test differenced against run_bytecode, so a
+// mis-assembling toolchain or a hardened-kernel mmap policy degrades to
+// the portable path instead of corrupting results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/exec_alloc.hpp"
+#include "engine/kernel/ir.hpp"
+
+namespace hmem::engine::kernel {
+
+/// True when the native backend can be used at all: compiled in, executable
+/// pages available, and the one-time self-test against the bytecode VM
+/// passed. Evaluated once per process.
+bool native_available();
+
+class NativeKernel {
+ public:
+  NativeKernel() = default;
+  NativeKernel(const NativeKernel&) = delete;
+  NativeKernel& operator=(const NativeKernel&) = delete;
+
+  /// Emits machine code for `program` against the given LLC geometry (the
+  /// constants from memsim::Cache::tables()). The program must have passed
+  /// verify_program and must stay alive and unmodified for the lifetime of
+  /// the emitted code — its table buffers are baked in by address. Returns
+  /// false (kernel left empty) when the backend is unavailable or a
+  /// constant does not fit the emitted encoding; the caller falls back to
+  /// the bytecode VM.
+  bool compile(const Program& program, std::uint32_t ways,
+               std::uint32_t line_shift, std::uint64_t set_mask);
+
+  bool ok() const { return entry_ != nullptr; }
+
+  /// Executes one burst. frame.rng_state carries the xoshiro256** state in
+  /// and out; tick / latency_ns / misses / tier_sim accumulate exactly as
+  /// run_bytecode would. Only unprofiled bursts: the resolver never routes
+  /// a profiled run here (miss records stay a bytecode/interpreter job).
+  void run(Frame& frame) const;
+
+ private:
+  ExecutableAllocator alloc_;
+  void* entry_ = nullptr;
+  /// Per-slot entry addresses, indexed by the alias sample; the dispatch
+  /// `jmp [table + slot*8]` bakes this vector's address.
+  std::vector<std::uint64_t> jump_table_;
+};
+
+}  // namespace hmem::engine::kernel

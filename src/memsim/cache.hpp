@@ -55,6 +55,26 @@ class Cache {
 
   std::uint64_t num_sets() const { return sets_; }
 
+  /// Raw way-state view for compiled access kernels (engine/kernel): the
+  /// set/tag shift+mask constants and the tag/LRU arrays, so a kernel can
+  /// bake the index math and mutate the cache in place. A kernel driving
+  /// the cache through this view must replicate access() exactly (tick
+  /// increment, hit stamp, first-minimal-stamp victim) — the differential
+  /// tests assert it does. Hit/miss counters are interpreter-maintained
+  /// only; kernels leave stats() untouched.
+  struct Tables {
+    Address* tags = nullptr;      ///< sets * ways, row-major by set
+    std::uint64_t* lru = nullptr; ///< last-touch stamps, 0 = invalid
+    std::uint64_t* tick = nullptr;
+    std::uint32_t ways = 0;
+    std::uint32_t line_shift = 0;
+    std::uint64_t set_mask = 0;
+  };
+  Tables tables() {
+    return Tables{tags_.data(), lru_.data(), &tick_,
+                  config_.ways, line_shift_, set_mask_};
+  }
+
   /// Line-address tag of addr: the line index, addr >> log2(line_bytes).
   Address tag_of(Address addr) const { return addr >> line_shift_; }
   /// Set index of addr (line_bytes and sets_ are powers of two, so this is

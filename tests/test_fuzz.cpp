@@ -14,6 +14,12 @@
 //      *implemented* distribution (implied_probability) matches the
 //      cumulative-weights interpreter it replaced within the documented
 //      quantization bound.
+//   4. Kernel IR defect injection: random single-field mutations of valid
+//      compiled-access programs either fail verify_program with a message
+//      or still execute safely through the bytecode VM — the verifier is
+//      the only bounds check the executors have, so a mutation that slips
+//      past it into UB is exactly what this property (under the CI
+//      ASan+UBSan job) exists to catch.
 //
 // Every property runs HMEM_FUZZ_ITERS iterations (default 400; CI sets 500
 // per property for >= 1000 total), seeded per iteration — a failure report
@@ -25,16 +31,19 @@
 #include <cstdint>
 #include <cstdlib>
 #include <iterator>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "apps/app_config.hpp"
+#include "apps/generator.hpp"
 #include "apps/workload_gen.hpp"
 #include "common/alias.hpp"
 #include "common/prng.hpp"
 #include "engine/execution.hpp"
+#include "engine/kernel/ir.hpp"
 #include "trace/format.hpp"
 
 namespace hmem {
@@ -404,6 +413,225 @@ TEST(Fuzz, AliasTableMatchesCumulativeInterpreterWithinQuantization) {
     }
     EXPECT_NEAR(implied_total, 1.0, 1e-9) << "iteration " << i;
   }
+}
+
+// ------------------------------------ 4. kernel IR defect injection ------
+
+/// A random valid kernel program plus the generators keeping its gens
+/// pointers alive. Thresholds/aliases need not form a true distribution —
+/// the property is structural safety, not statistics.
+struct FuzzKernelProgram {
+  engine::kernel::Program p;
+  std::vector<std::unique_ptr<apps::AccessGenerator>> owned_gens;
+
+  void add_gen(const apps::ObjectSpec& spec, std::uint64_t seed) {
+    owned_gens.push_back(std::make_unique<apps::AccessGenerator>(spec, seed));
+    p.gens.push_back(owned_gens.back().get());
+  }
+};
+
+FuzzKernelProgram random_kernel_program(Xoshiro256& rng) {
+  using engine::kernel::Insn;
+  using engine::kernel::InstanceSlot;
+  using engine::kernel::Op;
+  FuzzKernelProgram out;
+  engine::kernel::Program& p = out.p;
+  const std::size_t n = rng.below(6) + 1;
+  constexpr int kCoinBits[] = {1, 8, 16, 21};
+  p.coin_mask = (1ULL << kCoinBits[rng.below(std::size(kCoinBits))]) - 1;
+  p.write_shift = 40 + rng.below(24);  // [40, 64)
+  p.write_threshold = rng.below((1ULL << (64 - p.write_shift)) + 1);
+  p.n_tiers = static_cast<std::uint32_t>(rng.below(3) + 1);
+  p.llc_latency_ns = 5.0 + static_cast<double>(rng.below(20));
+  for (std::size_t s = 0; s < n; ++s) {
+    p.threshold.push_back(rng.below(p.coin_mask + 2));
+    p.alias.push_back(static_cast<std::uint32_t>(rng.below(n)));
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    p.block_start.push_back(static_cast<std::uint32_t>(p.code.size()));
+    const std::uint64_t tier = rng.below(p.n_tiers);
+    const double latency = 80.0 + static_cast<double>(rng.below(200));
+    switch (rng.below(3)) {
+      case 0: {  // stack block
+        Insn stack;
+        stack.op = Op::kStackAddr;
+        stack.imm0 = (rng.below(1024) + 1) << 12;
+        stack.imm1 = rng.below(256) + 1;
+        Insn serve;
+        serve.op = Op::kServeFixed;
+        serve.a = static_cast<std::uint32_t>(tier);
+        serve.f = latency;
+        p.code.push_back(stack);
+        p.code.push_back(serve);
+        break;
+      }
+      case 1: {  // single-instance object block
+        apps::ObjectSpec spec;
+        spec.name = "fuzz";
+        spec.size_bytes = (rng.below(512) + 1) * 64;
+        Insn fixed;
+        fixed.op = Op::kFixedAddr;
+        fixed.imm0 = (rng.below(4096) + 1) << 12;
+        Insn gen;
+        gen.op = Op::kAddGenOffset;
+        gen.a = static_cast<std::uint32_t>(p.gens.size());
+        gen.imm0 = spec.size_bytes;
+        Insn serve;
+        serve.op = Op::kServeFixed;
+        serve.a = static_cast<std::uint32_t>(tier);
+        serve.f = latency;
+        out.add_gen(spec, rng.next());
+        p.code.push_back(fixed);
+        p.code.push_back(gen);
+        p.code.push_back(serve);
+        break;
+      }
+      default: {  // multi-instance pick block
+        apps::ObjectSpec spec;
+        spec.name = "fuzz";
+        spec.size_bytes = (rng.below(512) + 1) * 64;
+        const std::uint64_t count = rng.below(4) + 2;
+        Insn pick;
+        pick.op = Op::kPickAddr;
+        pick.imm0 = p.instances.size();
+        pick.a = static_cast<std::uint32_t>(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          InstanceSlot slot;
+          slot.base = (rng.below(4096) + 1) << 12;
+          slot.latency_ns = latency;
+          slot.tier = rng.below(p.n_tiers);
+          p.instances.push_back(slot);
+        }
+        Insn gen;
+        gen.op = Op::kAddGenOffset;
+        gen.a = static_cast<std::uint32_t>(p.gens.size());
+        gen.imm0 = spec.size_bytes;
+        Insn serve;
+        serve.op = Op::kServePicked;
+        out.add_gen(spec, rng.next());
+        p.code.push_back(pick);
+        p.code.push_back(gen);
+        p.code.push_back(serve);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+/// One random single-point mutation: indices, masks, shifts, op codes and
+/// immediates each get hit, with values biased toward boundaries.
+void mutate_kernel_program(Xoshiro256& rng, engine::kernel::Program& p) {
+  const auto wild = [&]() -> std::uint64_t {
+    switch (rng.below(4)) {
+      case 0: return 0;
+      case 1: return rng.below(8);
+      case 2: return rng.below(1ULL << 32);
+      default: return rng.next();
+    }
+  };
+  switch (rng.below(12)) {
+    case 0:
+      p.threshold[rng.below(p.threshold.size())] = wild();
+      break;
+    case 1:
+      p.alias[rng.below(p.alias.size())] =
+          static_cast<std::uint32_t>(wild());
+      break;
+    case 2:
+      p.coin_mask = wild();
+      break;
+    case 3:
+      p.write_threshold = wild();
+      break;
+    case 4:
+      p.write_shift = wild();
+      break;
+    case 5:
+      p.n_tiers = static_cast<std::uint32_t>(wild());
+      break;
+    case 6:
+      p.block_start[rng.below(p.block_start.size())] =
+          static_cast<std::uint32_t>(wild());
+      break;
+    case 7:
+      // An earlier mutation in the same round may have emptied `code`.
+      if (!p.code.empty()) {
+        p.code[rng.below(p.code.size())].op =
+            static_cast<engine::kernel::Op>(rng.below(8));
+      }
+      break;
+    case 8:
+      if (!p.code.empty()) {
+        engine::kernel::Insn& in = p.code[rng.below(p.code.size())];
+        switch (rng.below(3)) {
+          case 0: in.a = static_cast<std::uint32_t>(wild()); break;
+          case 1: in.imm0 = wild(); break;
+          default: in.imm1 = wild(); break;
+        }
+      }
+      break;
+    case 9:
+      if (!p.instances.empty()) {
+        p.instances[rng.below(p.instances.size())].tier = wild();
+      }
+      break;
+    case 10:
+      if (!p.gens.empty()) p.gens[rng.below(p.gens.size())] = nullptr;
+      break;
+    default:
+      p.code.resize(rng.below(p.code.size() + 1));
+      break;
+  }
+}
+
+TEST(Fuzz, MutatedKernelProgramsAreRejectedOrRunSafely) {
+  using engine::kernel::Frame;
+  const int iters = fuzz_iters();
+  int rejected = 0, executed = 0;
+  for (int i = 0; i < iters; ++i) {
+    Xoshiro256 rng(0x12E4ULL + static_cast<std::uint64_t>(i));
+    FuzzKernelProgram fuzz = random_kernel_program(rng);
+    ASSERT_EQ(engine::kernel::verify_program(fuzz.p), "")
+        << "iteration " << i << ": generator produced an invalid program";
+    for (std::uint64_t m = rng.below(3) + 1; m > 0; --m) {
+      mutate_kernel_program(rng, fuzz.p);
+    }
+    const std::string problem = engine::kernel::verify_program(fuzz.p);
+    if (!problem.empty()) {
+      ++rejected;  // the contract: a message, never a crash
+      continue;
+    }
+    // The verifier accepted the mutant, so executing it must be safe: the
+    // VM runs with no per-access bounds checks, trusting exactly what the
+    // verifier established. ASan/UBSan (the CI fuzz job) police this.
+    // (A frame needs one accumulator per tier, so an absurdly inflated
+    // n_tiers — valid but unexecutable within test memory — is skipped.)
+    if (fuzz.p.n_tiers > 4096) continue;
+    const std::uint64_t sets = 1ULL << rng.below(5);
+    const std::uint64_t ways = rng.below(4) + 1;
+    std::vector<memsim::Address> tags(sets * ways, ~0ULL);
+    std::vector<std::uint64_t> lru(sets * ways, 0);
+    std::vector<std::uint64_t> tier_sim(fuzz.p.n_tiers, 0);
+    Frame frame;
+    frame.n_accesses = 128;
+    frame.tier_sim = tier_sim.data();
+    frame.tags = tags.data();
+    frame.lru = lru.data();
+    frame.ways = ways;
+    frame.line_shift = 6;
+    frame.set_mask = sets - 1;
+    Xoshiro256 access_rng(0xACCE55ULL + static_cast<std::uint64_t>(i));
+    std::vector<engine::kernel::MissRecord> records;
+    engine::kernel::run_bytecode(fuzz.p, frame, access_rng,
+                                 rng.below(2) != 0 ? &records : nullptr);
+    EXPECT_EQ(frame.tick, 128u) << "iteration " << i;
+    EXPECT_LE(frame.misses, 128u) << "iteration " << i;
+    ++executed;
+  }
+  // Both arms must stay populated or the property degenerates.
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(executed, 0);
 }
 
 }  // namespace

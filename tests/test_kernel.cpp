@@ -1,0 +1,502 @@
+// The compiled access kernels (engine/kernel/): selection ladder, IR
+// verifier, W^X executable allocator, and — the load-bearing property —
+// differential bit-identity of every backend against the interpreter
+// oracle across the bundled workloads, machine presets and placement
+// conditions. The kernels exist purely as a faster execution strategy for
+// the same semantics; any observable divergence is a bug here, never a
+// tolerance.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/generator.hpp"
+#include "apps/workloads.hpp"
+#include "common/exec_alloc.hpp"
+#include "engine/execution.hpp"
+#include "engine/kernel/ir.hpp"
+#include "engine/kernel/kernel.hpp"
+#include "engine/kernel/native.hpp"
+#include "engine/pipeline.hpp"
+#include "memsim/machine.hpp"
+
+namespace hmem {
+namespace {
+
+using engine::kernel::KernelKind;
+
+// ---- selection ladder ------------------------------------------------------
+
+TEST(KernelSelect, ParseAndNameRoundTrip) {
+  for (const char* name : {"auto", "interp", "bytecode", "native"}) {
+    const auto kind = engine::kernel::parse_kernel(name);
+    ASSERT_TRUE(kind.has_value()) << name;
+    EXPECT_STREQ(engine::kernel::kernel_name(*kind), name);
+  }
+  EXPECT_FALSE(engine::kernel::parse_kernel("jit").has_value());
+  EXPECT_FALSE(engine::kernel::parse_kernel("").has_value());
+  EXPECT_FALSE(engine::kernel::parse_kernel("Native").has_value());
+  EXPECT_NE(engine::kernel::kernel_list().find("bytecode"),
+            std::string::npos);
+}
+
+TEST(KernelSelect, LadderNeverFailsAndNeverReturnsAuto) {
+  unsetenv("HMEM_KERNEL");
+  // auto defaults to bytecode; interp is always honoured.
+  EXPECT_EQ(engine::kernel::resolve_kernel(KernelKind::kAuto, false, false),
+            KernelKind::kBytecode);
+  EXPECT_EQ(engine::kernel::resolve_kernel(KernelKind::kInterp, false, false),
+            KernelKind::kInterp);
+  // Cache mode runs the interpreter regardless of the request.
+  for (const KernelKind k : {KernelKind::kAuto, KernelKind::kInterp,
+                             KernelKind::kBytecode, KernelKind::kNative}) {
+    EXPECT_EQ(engine::kernel::resolve_kernel(k, true, false),
+              KernelKind::kInterp);
+  }
+  // Profiled runs cap at bytecode (miss-record collection).
+  EXPECT_EQ(engine::kernel::resolve_kernel(KernelKind::kNative, false, true),
+            KernelKind::kBytecode);
+  // An explicit native request degrades to bytecode when the backend is
+  // compiled out or the host refuses executable pages — never an error.
+  const KernelKind native =
+      engine::kernel::resolve_kernel(KernelKind::kNative, false, false);
+  if (engine::kernel::native_available()) {
+    EXPECT_EQ(native, KernelKind::kNative);
+  } else {
+    EXPECT_EQ(native, KernelKind::kBytecode);
+  }
+}
+
+TEST(KernelSelect, EnvVarSteersAutoOnly) {
+  setenv("HMEM_KERNEL", "interp", 1);
+  EXPECT_EQ(engine::kernel::resolve_kernel(KernelKind::kAuto, false, false),
+            KernelKind::kInterp);
+  // Explicit requests ignore the env var.
+  EXPECT_EQ(
+      engine::kernel::resolve_kernel(KernelKind::kBytecode, false, false),
+      KernelKind::kBytecode);
+  // A typo'd value keeps the default instead of aborting the run.
+  setenv("HMEM_KERNEL", "turbo", 1);
+  EXPECT_EQ(engine::kernel::resolve_kernel(KernelKind::kAuto, false, false),
+            KernelKind::kBytecode);
+  // "auto" in the env cannot recurse.
+  setenv("HMEM_KERNEL", "auto", 1);
+  EXPECT_EQ(engine::kernel::resolve_kernel(KernelKind::kAuto, false, false),
+            KernelKind::kBytecode);
+  unsetenv("HMEM_KERNEL");
+}
+
+// ---- IR verifier -----------------------------------------------------------
+
+/// A minimal valid two-slot program (two stack blocks), no machine needed.
+engine::kernel::Program valid_program() {
+  using engine::kernel::Insn;
+  using engine::kernel::Op;
+  engine::kernel::Program p;
+  p.threshold = {1, 2};
+  p.alias = {1, 0};
+  p.coin_mask = 1;
+  p.write_threshold = 512;
+  p.write_shift = 53;
+  p.n_tiers = 2;
+  p.llc_latency_ns = 10.0;
+  Insn stack0;
+  stack0.op = Op::kStackAddr;
+  stack0.imm0 = 1ULL << 16;
+  stack0.imm1 = 96;
+  Insn serve0;
+  serve0.op = Op::kServeFixed;
+  serve0.a = 0;
+  serve0.f = 130.0;
+  Insn stack1 = stack0;
+  stack1.imm0 = 1ULL << 30;
+  stack1.imm1 = 64;
+  Insn serve1 = serve0;
+  serve1.a = 1;
+  serve1.f = 155.0;
+  p.code = {stack0, serve0, stack1, serve1};
+  p.block_start = {0, 2};
+  return p;
+}
+
+TEST(KernelVerifier, AcceptsTheValidProgram) {
+  EXPECT_EQ(engine::kernel::verify_program(valid_program()), "");
+}
+
+TEST(KernelVerifier, RejectsEveryStructuralDefect) {
+  using engine::kernel::Op;
+  using engine::kernel::Program;
+  const Program good = valid_program();
+  const auto reject = [](Program p, const char* what) {
+    const std::string problem = engine::kernel::verify_program(p);
+    EXPECT_FALSE(problem.empty()) << "defect not caught: " << what;
+  };
+  reject(Program{}, "empty program");
+  {
+    Program p = good;
+    p.alias.pop_back();
+    reject(p, "threshold/alias size mismatch");
+  }
+  {
+    Program p = good;
+    p.block_start.pop_back();
+    reject(p, "missing block");
+  }
+  {
+    Program p = good;
+    p.coin_mask = 2;  // not a low-bit mask
+    reject(p, "bad coin mask");
+  }
+  {
+    Program p = good;
+    p.write_shift = 64;
+    reject(p, "write shift out of range");
+  }
+  {
+    Program p = good;
+    p.write_threshold = 1ULL << 12;  // > 2^(64-53)
+    reject(p, "write threshold above coin range");
+  }
+  {
+    Program p = good;
+    p.n_tiers = 0;
+    reject(p, "no tiers");
+  }
+  {
+    Program p = good;
+    p.threshold[0] = 3;  // > coin_mask + 1
+    reject(p, "threshold above coin range");
+  }
+  {
+    Program p = good;
+    p.alias[1] = 9;
+    reject(p, "alias column out of range");
+  }
+  {
+    Program p = good;
+    p.block_start[1] = 99;
+    reject(p, "block start out of range");
+  }
+  {
+    Program p = good;
+    p.block_start[1] = 3;  // starts at a serve op
+    reject(p, "block starts mid-block");
+  }
+  {
+    Program p = good;
+    p.code[0].imm1 = 0;
+    reject(p, "stack with zero lines");
+  }
+  {
+    Program p = good;
+    p.code[1].op = Op::kServePicked;
+    reject(p, "stack block must end in serve_fixed");
+  }
+  {
+    Program p = good;
+    p.code[1].a = 7;
+    reject(p, "serve tier out of range");
+  }
+  {
+    Program p = good;
+    p.code.resize(3);  // truncates slot 1's serve
+    reject(p, "truncated block");
+  }
+}
+
+TEST(KernelVerifier, RejectsObjectBlockDefects) {
+  using engine::kernel::Insn;
+  using engine::kernel::InstanceSlot;
+  using engine::kernel::Op;
+  using engine::kernel::Program;
+  apps::ObjectSpec spec;
+  spec.name = "obj";
+  spec.size_bytes = 64 * 64;
+  apps::AccessGenerator gen(spec, 7);
+
+  Program p = valid_program();
+  // Replace slot 1 with a pick block over a two-instance pool.
+  InstanceSlot a;
+  a.base = 1ULL << 20;
+  a.latency_ns = 130.0;
+  a.tier = 0;
+  InstanceSlot b = a;
+  b.base = 1ULL << 21;
+  b.tier = 1;
+  p.instances = {a, b};
+  p.gens = {&gen};
+  Insn pick;
+  pick.op = Op::kPickAddr;
+  pick.imm0 = 0;
+  pick.a = 2;
+  Insn off;
+  off.op = Op::kAddGenOffset;
+  off.a = 0;
+  off.imm0 = spec.size_bytes;
+  Insn serve;
+  serve.op = Op::kServePicked;
+  p.code.resize(2);
+  p.code.push_back(pick);
+  p.code.push_back(off);
+  p.code.push_back(serve);
+  ASSERT_EQ(engine::kernel::verify_program(p), "");
+
+  const auto reject = [](Program bad, const char* what) {
+    EXPECT_FALSE(engine::kernel::verify_program(bad).empty())
+        << "defect not caught: " << what;
+  };
+  {
+    Program q = p;
+    q.code[2].a = 0;
+    reject(q, "pick with zero instances");
+  }
+  {
+    Program q = p;
+    q.code[2].imm0 = 1;  // 1 + 2 > pool of 2
+    reject(q, "instance range out of pool");
+  }
+  {
+    Program q = p;
+    q.instances[1].tier = 5;
+    reject(q, "instance tier out of range");
+  }
+  {
+    Program q = p;
+    q.code[3].a = 3;
+    reject(q, "generator out of range");
+  }
+  {
+    Program q = p;
+    q.code[3].imm0 = 0;
+    reject(q, "zero-size offset clamp");
+  }
+  {
+    Program q = p;
+    q.gens[0] = nullptr;
+    reject(q, "null generator");
+  }
+  {
+    Program q = p;
+    q.code[4].op = Op::kServeFixed;
+    reject(q, "pick block must end in serve_picked");
+  }
+}
+
+// ---- executable allocator --------------------------------------------------
+
+TEST(ExecAlloc, AllocateSealExecuteRelease) {
+  if (!ExecutableAllocator::supported()) {
+    GTEST_SKIP() << "no executable mappings on this platform";
+  }
+  ExecutableAllocator alloc;
+  EXPECT_EQ(alloc.allocate(0), nullptr);
+  void* p = alloc.allocate(64);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(alloc.region_count(), 1u);
+#if defined(__x86_64__)
+  // mov eax, 42; ret
+  const unsigned char code[] = {0xB8, 0x2A, 0x00, 0x00, 0x00, 0xC3};
+  std::memcpy(p, code, sizeof(code));
+  if (alloc.seal(p)) {
+    const auto fn = reinterpret_cast<int (*)()>(p);
+    EXPECT_EQ(fn(), 42);
+  }
+#else
+  // Sealing must still flip protections without corrupting the region.
+  std::memset(p, 0, 64);
+  (void)alloc.seal(p);
+#endif
+  alloc.release(p);
+  EXPECT_EQ(alloc.region_count(), 0u);
+  // Foreign pointers are ignored, not unmapped.
+  int local = 0;
+  alloc.release(&local);
+}
+
+TEST(ExecAlloc, RegionsAreIndependent) {
+  if (!ExecutableAllocator::supported()) {
+    GTEST_SKIP() << "no executable mappings on this platform";
+  }
+  ExecutableAllocator alloc;
+  void* a = alloc.allocate(4096);
+  void* b = alloc.allocate(1);  // rounds up to a whole page
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(alloc.region_count(), 2u);
+  alloc.release(a);
+  EXPECT_EQ(alloc.region_count(), 1u);
+  std::memset(b, 0xCC, 1);  // b stays writable until sealed
+  // The destructor unmaps b.
+}
+
+// ---- differential bit-identity ---------------------------------------------
+
+void expect_same_run(const engine::RunResult& oracle,
+                     const engine::RunResult& got, const std::string& label) {
+  EXPECT_EQ(got.fom, oracle.fom) << label;
+  EXPECT_EQ(got.time_s, oracle.time_s) << label;
+  EXPECT_EQ(got.llc_misses, oracle.llc_misses) << label;
+  EXPECT_EQ(got.fast_hwm_bytes, oracle.fast_hwm_bytes) << label;
+  EXPECT_EQ(got.total_hwm_bytes, oracle.total_hwm_bytes) << label;
+  EXPECT_EQ(got.achieved_bw_gbs, oracle.achieved_bw_gbs) << label;
+  EXPECT_EQ(got.migration_bytes, oracle.migration_bytes) << label;
+  EXPECT_EQ(got.migration_count, oracle.migration_count) << label;
+  EXPECT_EQ(got.migration_cost_s, oracle.migration_cost_s) << label;
+  EXPECT_EQ(got.alloc_calls, oracle.alloc_calls) << label;
+  ASSERT_EQ(got.tier_traffic.size(), oracle.tier_traffic.size()) << label;
+  for (std::size_t t = 0; t < oracle.tier_traffic.size(); ++t) {
+    EXPECT_EQ(got.tier_traffic[t].name, oracle.tier_traffic[t].name) << label;
+    EXPECT_EQ(got.tier_traffic[t].bytes, oracle.tier_traffic[t].bytes)
+        << label << " tier " << t;
+    EXPECT_EQ(got.tier_traffic[t].migration_bytes,
+              oracle.tier_traffic[t].migration_bytes)
+        << label << " tier " << t;
+  }
+}
+
+/// Kernels actually distinct on this build: interp and bytecode always,
+/// native only where available (elsewhere it resolves to bytecode, which
+/// the ladder test covers).
+std::vector<KernelKind> compiled_kernels() {
+  std::vector<KernelKind> kernels = {KernelKind::kBytecode};
+  if (engine::kernel::native_available()) {
+    kernels.push_back(KernelKind::kNative);
+  }
+  return kernels;
+}
+
+/// Shrinks a bundled app so the full differential matrix stays fast while
+/// still crossing several phase boundaries (epoch-driven recompiles).
+apps::AppSpec shrink(apps::AppSpec app) {
+  app.iterations = std::min<std::uint64_t>(app.iterations, 2);
+  app.accesses_per_iteration =
+      std::min<std::uint64_t>(app.accesses_per_iteration, 30000);
+  return app;
+}
+
+std::vector<apps::AppSpec> differential_apps() {
+  std::vector<apps::AppSpec> specs = apps::all_apps();
+  for (apps::AppSpec& app : apps::phase_shift_apps()) {
+    specs.push_back(app);
+  }
+  for (apps::AppSpec& app : specs) app = shrink(app);
+  return specs;
+}
+
+TEST(KernelDifferential, BaselineConditionsOnKnl) {
+  const memsim::MachineConfig node =
+      memsim::MachineConfig::knl7250(memsim::MemMode::kFlat);
+  for (const apps::AppSpec& app : differential_apps()) {
+    for (const engine::Condition condition :
+         {engine::Condition::kDdr, engine::Condition::kNumactl,
+          engine::Condition::kAutoHbw}) {
+      engine::RunOptions opts;
+      opts.condition = condition;
+      opts.node = node;
+      opts.kernel = KernelKind::kInterp;
+      const engine::RunResult oracle = engine::run_app(app, opts);
+      for (const KernelKind k : compiled_kernels()) {
+        opts.kernel = k;
+        expect_same_run(oracle, engine::run_app(app, opts),
+                        app.name + "/" +
+                            engine::condition_name(condition) + "/" +
+                            engine::kernel::kernel_name(k));
+      }
+    }
+  }
+}
+
+TEST(KernelDifferential, FrameworkAndDynamicAcrossAllPresets) {
+  const std::pair<const char*, memsim::MachineConfig> presets[] = {
+      {"knl", memsim::MachineConfig::knl7250(memsim::MemMode::kFlat)},
+      {"spr-hbm", memsim::MachineConfig::spr_hbm(memsim::MemMode::kFlat)},
+      {"ddr-cxl", memsim::MachineConfig::ddr_cxl(memsim::MemMode::kFlat)},
+      {"hbm-ddr-pmem",
+       memsim::MachineConfig::hbm_ddr_pmem(memsim::MemMode::kFlat)},
+  };
+  for (const apps::AppSpec& app : differential_apps()) {
+    for (const auto& [preset_name, node] : presets) {
+      // One pipeline per (app, preset) produces the placement and the
+      // per-phase schedule both conditions consume.
+      engine::PipelineOptions popts;
+      popts.node = node;
+      popts.per_phase = true;
+      popts.sampler.period = 197;  // shrunk runs still need samples
+      const engine::PipelineResult pipe = engine::run_pipeline(app, popts);
+
+      for (const engine::Condition condition :
+           {engine::Condition::kFramework, engine::Condition::kDynamic}) {
+        engine::RunOptions opts;
+        opts.condition = condition;
+        opts.node = node;
+        if (condition == engine::Condition::kFramework) {
+          opts.placement = &pipe.placement;
+        } else {
+          opts.schedule = &pipe.schedule;
+        }
+        opts.kernel = KernelKind::kInterp;
+        const engine::RunResult oracle = engine::run_app(app, opts);
+        for (const KernelKind k : compiled_kernels()) {
+          opts.kernel = k;
+          expect_same_run(oracle, engine::run_app(app, opts),
+                          app.name + "/" + preset_name + "/" +
+                              engine::condition_name(condition) + "/" +
+                              engine::kernel::kernel_name(k));
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDifferential, ProfiledRunsMatchTheOracle) {
+  const memsim::MachineConfig node =
+      memsim::MachineConfig::knl7250(memsim::MemMode::kFlat);
+  for (const char* name : {"hpcg", "churn"}) {
+    const apps::AppSpec app = shrink(apps::app_by_name(name));
+    engine::RunOptions opts;
+    opts.condition = engine::Condition::kNumactl;
+    opts.node = node;
+    opts.profile = true;
+    opts.sampler.period = 53;
+    opts.kernel = KernelKind::kInterp;
+    const engine::RunResult oracle = engine::run_app(app, opts);
+    // Native resolves to bytecode when profiled; request it anyway so the
+    // fallback is what actually executes.
+    for (const KernelKind k : {KernelKind::kBytecode, KernelKind::kNative}) {
+      opts.kernel = k;
+      const engine::RunResult got = engine::run_app(app, opts);
+      const std::string label =
+          std::string(name) + "/profiled/" + engine::kernel::kernel_name(k);
+      expect_same_run(oracle, got, label);
+      EXPECT_EQ(got.samples, oracle.samples) << label;
+      EXPECT_EQ(got.monitoring_overhead, oracle.monitoring_overhead) << label;
+      ASSERT_NE(got.trace, nullptr) << label;
+      ASSERT_NE(oracle.trace, nullptr) << label;
+      EXPECT_EQ(got.trace->size(), oracle.trace->size()) << label;
+    }
+    EXPECT_GT(oracle.samples, 0u) << name;
+  }
+}
+
+TEST(KernelDifferential, CacheModeIsKernelInvariant) {
+  const apps::AppSpec app = shrink(apps::make_hpcg());
+  engine::RunOptions opts;
+  opts.condition = engine::Condition::kCacheMode;
+  opts.node = memsim::MachineConfig::knl7250(memsim::MemMode::kCache);
+  opts.kernel = KernelKind::kInterp;
+  const engine::RunResult oracle = engine::run_app(app, opts);
+  // The ladder forces the interpreter for the analytic cache model, so any
+  // requested kernel must reproduce it exactly.
+  for (const KernelKind k : {KernelKind::kBytecode, KernelKind::kNative}) {
+    opts.kernel = k;
+    expect_same_run(oracle, engine::run_app(app, opts),
+                    std::string("cache-mode/") +
+                        engine::kernel::kernel_name(k));
+  }
+}
+
+}  // namespace
+}  // namespace hmem

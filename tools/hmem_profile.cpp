@@ -16,7 +16,7 @@
 //                       [--format text|binary] [--ranks N] [--jobs J]
 //                       [--machine preset|config.ini]
 //                       [--period P] [--min-alloc B]
-//                       [--app-config app.ini]
+//                       [--kernel k] [--app-config app.ini]
 //     app              hpcg | lulesh | bt | minife | cgpop | snap |
 //                      maxw-dgtd | gtc-p | churn | transient — or the path
 //                      of an app config file (INI workload DSL); with
@@ -27,6 +27,10 @@
 //     --jobs J         profile up to J ranks concurrently (default 1)
 //     --machine m      machine preset (knl, spr-hbm, ddr-cxl,
 //                      hbm-ddr-pmem) or a machine config file (default knl)
+//     --kernel k       access-loop backend: interp | bytecode | native |
+//                      auto (default auto = HMEM_KERNEL, then bytecode);
+//                      traces are bit-identical across kernels, and a
+//                      profiled native request falls back to bytecode
 //     period           PEBS sampling period (default 37589)
 //     min-alloc-bytes  allocation monitoring threshold (default 4096)
 #include <atomic>
@@ -54,7 +58,8 @@ namespace {
                "          [--format text|binary] [--ranks N] [--jobs J]\n"
                "          [--machine preset|config.ini] [--period P] "
                "[--min-alloc B]\n"
-               "          [--app-config app.ini]\n"
+               "          [--kernel interp|bytecode|native|auto] "
+               "[--app-config app.ini]\n"
                "  app: a bundled app name or an app config file; with\n"
                "  --app-config the <app> argument is dropped\n"
                "  machine presets: %s\n",
@@ -76,6 +81,7 @@ int main(int argc, char** argv) {
   std::optional<std::uint64_t> period;     // 0 is a valid value for both:
   std::optional<std::uint64_t> min_alloc;  // "every miss" / "every alloc"
   std::optional<std::string> app_config;
+  engine::kernel::KernelKind kern = engine::kernel::KernelKind::kAuto;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--format") == 0) {
       const auto f = trace::parse_trace_format(
@@ -108,6 +114,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--min-alloc") == 0) {
       min_alloc = std::strtoull(
           tools::cli_value(argc, argv, i, "--min-alloc"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--kernel") == 0) {
+      const auto k = engine::kernel::parse_kernel(
+          tools::cli_value(argc, argv, i, "--kernel"));
+      if (!k) {
+        std::fprintf(stderr, "--kernel: expected one of %s\n",
+                     engine::kernel::kernel_list().c_str());
+        return 2;
+      }
+      kern = *k;
     } else if (std::strcmp(argv[i], "--app-config") == 0) {
       app_config = tools::cli_value(argc, argv, i, "--app-config");
     } else if (tools::cli_is_flag(argv[i])) {
@@ -143,6 +158,7 @@ int main(int argc, char** argv) {
   engine::RunOptions base;
   base.profile = true;
   base.node = node;
+  base.kernel = kern;
   if (period) base.sampler.period = *period;
   if (min_alloc) base.min_alloc_bytes = *min_alloc;
 

@@ -21,7 +21,7 @@
 //
 //   usage: hmem_run <app> [--condition c[,c...]] [--placement report.txt]
 //                   [--machine preset|config.ini] [--ranks N] [--jobs J]
-//                   [--app-config app.ini] [--replay shard ...]
+//                   [--kernel k] [--app-config app.ini] [--replay shard ...]
 //     app         bundled app name or an app config file; replaced by
 //                 --app-config (explicit file) or --replay (no app at all)
 //     condition   ddr | numactl | autohbw | cache | dynamic (default ddr;
@@ -36,6 +36,10 @@
 //                 with --replay, the rank count the shards represent
 //                 (default: the number of shards)
 //     jobs        run conditions concurrently (default 1)
+//     kernel      access-loop backend: interp | bytecode | native | auto
+//                 (default auto, which honours HMEM_KERNEL then picks
+//                 bytecode). All kernels produce bit-identical reports;
+//                 unavailable choices fall back down the ladder.
 //     replay      recorded trace shard(s); pass every .rank<k> shard of a
 //                 multi-rank profile
 #include <cstdio>
@@ -121,6 +125,7 @@ int main(int argc, char** argv) {
                  "usage: %s <app> [--condition ddr|numactl|autohbw|cache"
                  "|dynamic[,...]] [--placement report.txt] "
                  "[--machine preset|config.ini] [--ranks N] [--jobs J] "
+                 "[--kernel interp|bytecode|native|auto] "
                  "[--app-config app.ini] [--replay shard ...]\n"
                  "  machine presets: %s\n",
                  argv[0], tools::machine_preset_list().c_str());
@@ -138,6 +143,7 @@ int main(int argc, char** argv) {
   bool dynamic_requested = false;
   int ranks = 0;
   int jobs = 1;
+  engine::kernel::KernelKind kern = engine::kernel::KernelKind::kAuto;
   memsim::MachineConfig node =
       memsim::MachineConfig::knl7250(memsim::MemMode::kFlat);
   for (int i = 1; i < argc; ++i) {
@@ -198,6 +204,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--jobs must be >= 1\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--kernel") == 0) {
+      const auto k = engine::kernel::parse_kernel(
+          tools::cli_value(argc, argv, i, "--kernel"));
+      if (!k) {
+        std::fprintf(stderr, "--kernel: expected one of %s\n",
+                     engine::kernel::kernel_list().c_str());
+        return 2;
+      }
+      kern = *k;
     } else if (std::strcmp(argv[i], "--app-config") == 0) {
       app_config = tools::cli_value(argc, argv, i, "--app-config");
     } else if (std::strcmp(argv[i], "--replay") == 0) {
@@ -297,6 +312,7 @@ int main(int argc, char** argv) {
     engine::RunOptions opts;
     opts.condition = conditions[c];
     opts.node = node;
+    opts.kernel = kern;
     if (conditions[c] == engine::Condition::kFramework) {
       opts.placement = &placement;
     }
