@@ -31,12 +31,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "apps/workloads.hpp"
 #include "bench_common.hpp"
+#include "common/atomic_file.hpp"
 #include "common/parallel.hpp"
 #include "engine/execution.hpp"
 #include "engine/kernel/kernel.hpp"
@@ -283,11 +283,6 @@ int main(int argc, char** argv) {
       final_speedup /
       static_cast<double>(std::min(job_counts.back(), hardware_jobs()));
 
-  std::ofstream json(out_path);
-  if (!json) {
-    std::fprintf(stderr, "cannot open %s\n", out_path);
-    return 1;
-  }
   char buffer[1536];
   std::snprintf(buffer, sizeof(buffer),
                 "{\n"
@@ -317,7 +312,11 @@ int main(int argc, char** argv) {
                 baseline_aps > 0 ? serial_aps / baseline_aps : 0.0,
                 ranks, job_counts.back(), hardware_jobs(), final_speedup,
                 final_efficiency);
-  json << buffer;
+  std::string error;
+  if (!write_file_atomic(out_path, buffer, &error)) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out_path, error.c_str());
+    return 1;
+  }
   std::printf("wrote %s\n", out_path);
   return 0;
 }

@@ -14,22 +14,34 @@
 //
 //   usage: bench_fig4_placement_dynamic [--jobs N]
 //          [--machine preset|config.ini] [--smoke]
+//          [--store cells.dat] [--resume] [--out results.json]
 //     --jobs     sweep independent cells concurrently (bit-identical to
 //                serial, like every other fig4 bench)
 //     --machine  restrict the sweep to one machine (default: all four
 //                presets)
 //     --smoke    shrink every app for CI (structure preserved)
+//     --store    append each finished cell to a checksummed result store;
+//                a killed sweep loses at most the cells still in flight
+//     --resume   (requires --store) skip cells already in the store; the
+//                final tables and JSON are byte-identical to an unkilled
+//                run because stored doubles round-trip exactly (%.17g)
+//     --out      also write the results as JSON, atomically (temp+rename)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/workloads.hpp"
 #include "bench_common.hpp"
+#include "common/atomic_file.hpp"
+#include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/units.hpp"
 #include "engine/experiment.hpp"
 #include "engine/pipeline.hpp"
+#include "engine/sweep_store.hpp"
 
 namespace {
 
@@ -58,6 +70,50 @@ std::uint64_t budget_for(const apps::AppSpec& app) {
   if (app.phases.size() > 1 && app.ranks == 8) return 96 * kMiB;
   if (app.ranks == 1) return 2ULL * kGiB;
   return 256 * kMiB;
+}
+
+/// Store key of a cell: the (app, machine) grid coordinates. Neither name
+/// contains '|' (workload and preset names are identifier-shaped).
+std::string cell_key(const std::string& app, const std::string& machine) {
+  return app + "|" + machine;
+}
+
+/// Store payload: every computed field, doubles at %.17g so a resumed
+/// sweep reproduces the original tables and JSON byte for byte.
+std::string serialize_cell(const Cell& cell) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "%s|%llu|%zu|%llu|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g",
+                cell.fast_tier.c_str(),
+                static_cast<unsigned long long>(cell.budget), cell.phases,
+                static_cast<unsigned long long>(cell.migration_bytes),
+                cell.ddr_fom, cell.static_fom, cell.dynamic_fom,
+                cell.static_dfom, cell.dynamic_dfom, cell.migration_cost_s);
+  return buf;
+}
+
+bool parse_cell(const std::string& value, Cell& cell) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= value.size(); ++i) {
+    if (i == value.size() || value[i] == '|') {
+      parts.push_back(value.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (parts.size() != 10) return false;
+  char* end = nullptr;
+  cell.fast_tier = parts[0];
+  cell.budget = std::strtoull(parts[1].c_str(), &end, 10);
+  cell.phases = std::strtoull(parts[2].c_str(), &end, 10);
+  cell.migration_bytes = std::strtoull(parts[3].c_str(), &end, 10);
+  cell.ddr_fom = std::strtod(parts[4].c_str(), &end);
+  cell.static_fom = std::strtod(parts[5].c_str(), &end);
+  cell.dynamic_fom = std::strtod(parts[6].c_str(), &end);
+  cell.static_dfom = std::strtod(parts[7].c_str(), &end);
+  cell.dynamic_dfom = std::strtod(parts[8].c_str(), &end);
+  cell.migration_cost_s = std::strtod(parts[9].c_str(), &end);
+  return true;
 }
 
 Cell run_cell(apps::AppSpec app, const memsim::MachineConfig& node) {
@@ -97,6 +153,9 @@ Cell run_cell(apps::AppSpec app, const memsim::MachineConfig& node) {
 int main(int argc, char** argv) {
   int jobs = 1;
   bool smoke = false;
+  bool resume = false;
+  std::string store_path;
+  std::string out_path;
   std::vector<memsim::MachineConfig> machines;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
@@ -106,12 +165,39 @@ int main(int argc, char** argv) {
       machines = {bench::parse_machine_value(argv[++i])};
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
+      store_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--machine preset|config.ini] "
-                   "[--smoke]\n",
+                   "[--smoke] [--store cells.dat] [--resume] "
+                   "[--out results.json]\n",
                    argv[0]);
       return 2;
+    }
+  }
+  if (resume && store_path.empty()) {
+    std::fprintf(stderr, "--resume requires --store\n");
+    return 2;
+  }
+
+  std::unique_ptr<engine::SweepStore> store;
+  if (!store_path.empty()) {
+    try {
+      store = std::make_unique<engine::SweepStore>(store_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return exit_code_for(e);
+    }
+    if (store->dropped_records() > 0) {
+      std::fprintf(stderr,
+                   "warning: %s: dropped %zu damaged record(s) — the torn "
+                   "tail of a killed run\n",
+                   store->path().c_str(), store->dropped_records());
     }
   }
   if (machines.empty()) {
@@ -134,12 +220,59 @@ int main(int argc, char** argv) {
   }
 
   // One independent pipeline per (app, machine) cell; every task writes
-  // only its own slot, so --jobs N is bit-identical to serial.
+  // only its own slot, so --jobs N is bit-identical to serial. With
+  // --resume, stored cells fill their slots up front and only the missing
+  // ones run; the stored doubles round-trip exactly, so the tables below
+  // cannot tell a resumed cell from a recomputed one.
   std::vector<Cell> cells(apps.size() * machines.size());
+  std::vector<char> done(cells.size(), 0);
+  std::size_t resumed = 0;
+  if (store != nullptr && resume) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string& app = apps[c / machines.size()].name;
+      const std::string& machine = machines[c % machines.size()].name;
+      const auto value = store->find(cell_key(app, machine));
+      if (!value.has_value()) continue;
+      Cell cell;
+      cell.app = app;
+      cell.machine = machine;
+      if (!parse_cell(*value, cell)) {
+        std::fprintf(stderr, "warning: unparseable stored cell %s — "
+                     "recomputing\n", cell_key(app, machine).c_str());
+        continue;
+      }
+      cells[c] = std::move(cell);
+      done[c] = 1;
+      ++resumed;
+    }
+    std::printf("resume: %zu of %zu cell(s) loaded from %s\n", resumed,
+                cells.size(), store->path().c_str());
+  }
+  std::vector<std::string> errors(cells.size());
+  std::vector<int> codes(cells.size(), 0);
   parallel_for(jobs, cells.size(), [&](std::size_t c) {
-    cells[c] = run_cell(apps[c / machines.size()],
-                        machines[c % machines.size()]);
+    if (done[c] != 0) return;
+    try {
+      cells[c] = run_cell(apps[c / machines.size()],
+                          machines[c % machines.size()]);
+      if (store != nullptr) {
+        store->put(cell_key(cells[c].app, cells[c].machine),
+                   serialize_cell(cells[c]));
+      }
+    } catch (const std::exception& e) {
+      errors[c] = e.what();
+      codes[c] = exit_code_for(e);
+    }
   });
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (errors[c].empty()) continue;
+    std::fprintf(stderr, "error: cell %s: %s\n",
+                 cell_key(apps[c / machines.size()].name,
+                          machines[c % machines.size()].name)
+                     .c_str(),
+                 errors[c].c_str());
+    return codes[c];
+  }
 
   std::printf(
       "Figure 4, dynamic row — static knapsack vs phase-aware schedule\n"
@@ -174,6 +307,37 @@ int main(int argc, char** argv) {
                 static_cast<double>(cell.migration_bytes) /
                     static_cast<double>(kMiB),
                 cell.migration_cost_s);
+  }
+
+  if (!out_path.empty()) {
+    std::string json = "{\n  \"bench\": \"fig4_placement_dynamic\",\n"
+                       "  \"cells\": [\n";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const Cell& cell = cells[c];
+      char buf[768];
+      std::snprintf(
+          buf, sizeof(buf),
+          "    {\"app\": \"%s\", \"machine\": \"%s\", \"fast_tier\": \"%s\", "
+          "\"budget_bytes\": %llu, \"phases\": %zu, \"ddr_fom\": %.17g, "
+          "\"static_fom\": %.17g, \"dynamic_fom\": %.17g, "
+          "\"static_dfom_per_mb\": %.17g, \"dynamic_dfom_per_mb\": %.17g, "
+          "\"migration_bytes_per_rank\": %llu, \"migration_cost_s\": %.17g}%s\n",
+          cell.app.c_str(), cell.machine.c_str(), cell.fast_tier.c_str(),
+          static_cast<unsigned long long>(cell.budget), cell.phases,
+          cell.ddr_fom, cell.static_fom, cell.dynamic_fom, cell.static_dfom,
+          cell.dynamic_dfom,
+          static_cast<unsigned long long>(cell.migration_bytes),
+          cell.migration_cost_s, c + 1 < cells.size() ? "," : "");
+      json += buf;
+    }
+    json += "  ]\n}\n";
+    std::string error;
+    if (!write_file_atomic(out_path, json, &error)) {
+      std::fprintf(stderr, "cannot write %s: %s\n", out_path.c_str(),
+                   error.c_str());
+      return kExitData;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
   }
   return 0;
 }

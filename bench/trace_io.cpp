@@ -12,10 +12,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <sstream>
 #include <string>
 
+#include "common/atomic_file.hpp"
 #include "common/prng.hpp"
 #include "trace/format.hpp"
 #include "trace/visitor.hpp"
@@ -172,11 +172,6 @@ int main(int argc, char** argv) {
   std::printf("  binary read speedup: %.2fx, size ratio: %.2fx\n",
               read_speedup, size_ratio);
 
-  std::ofstream json(out_path);
-  if (!json) {
-    std::fprintf(stderr, "cannot open %s\n", out_path);
-    return 1;
-  }
   char buffer[1024];
   std::snprintf(buffer, sizeof(buffer),
                 "{\n"
@@ -193,7 +188,11 @@ int main(int argc, char** argv) {
                 events, reps, text.write_eps, text.read_eps, text.bytes,
                 binary.write_eps, binary.read_eps, binary.bytes, read_speedup,
                 size_ratio);
-  json << buffer;
+  std::string error;
+  if (!write_file_atomic(out_path, buffer, &error)) {
+    std::fprintf(stderr, "cannot write %s: %s\n", out_path, error.c_str());
+    return 1;
+  }
   std::printf("wrote %s\n", out_path);
   return 0;
 }

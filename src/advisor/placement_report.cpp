@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/error.hpp"
 #include "common/strings.hpp"
 
 namespace hmem::advisor {
@@ -16,7 +17,7 @@ void write_object_line(std::ostringstream& os, const ObjectInfo& obj) {
 }
 
 [[noreturn]] void malformed(const std::string& line) {
-  throw std::runtime_error("malformed placement report line: " + line);
+  throw FormatError("malformed placement report line: " + line);
 }
 
 ObjectInfo parse_object_line(const std::string& line, bool is_dynamic) {
@@ -135,7 +136,7 @@ Placement read_placement_report(const std::string& text) {
     }
   }
   if (placement.tiers.empty())
-    throw std::runtime_error("placement report contains no tiers");
+    throw FormatError("placement report contains no tiers");
   return placement;
 }
 

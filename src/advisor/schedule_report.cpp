@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "advisor/placement_report.hpp"
+#include "common/error.hpp"
 #include "common/strings.hpp"
 
 namespace hmem::advisor {
@@ -38,7 +39,7 @@ std::string write_schedule_report(const PlacementSchedule& schedule) {
 
 PlacementSchedule read_schedule_report(const std::string& text) {
   if (!is_schedule_report(text)) {
-    throw std::runtime_error(
+    throw FormatError(
         "not a placement schedule (missing '# hmem_advisor placement "
         "schedule' header)");
   }
@@ -69,7 +70,7 @@ PlacementSchedule read_schedule_report(const std::string& text) {
   }
   flush();
   if (schedule.phases.empty()) {
-    throw std::runtime_error("placement schedule contains no phases");
+    throw FormatError("placement schedule contains no phases");
   }
   compute_migrations(schedule);
   return schedule;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "apps/workloads.hpp"
+#include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/units.hpp"
 
@@ -17,7 +18,7 @@ namespace hmem::apps {
 namespace {
 
 [[noreturn]] void fail(const std::string& what) {
-  throw std::runtime_error("app config: " + what);
+  throw ConfigError("app config: " + what);
 }
 
 /// Name of an "[object x]" / "[phase x]" section, nullopt when the section

@@ -1,0 +1,101 @@
+#include "common/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+
+namespace hmem {
+
+namespace {
+
+std::atomic<unsigned> g_tmp_seq{0};
+
+std::string errno_suffix() {
+  return std::string(": ") + std::strerror(errno);
+}
+
+// fsync a path opened read-only; directories need this after rename so the
+// new directory entry itself is durable.
+bool fsync_path(const std::string& path, bool directory) {
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+AtomicFile::AtomicFile(std::string path) : path_(std::move(path)) {
+  tmp_path_ = path_ + ".tmp." + std::to_string(::getpid()) + "." +
+              std::to_string(g_tmp_seq.fetch_add(1));
+  out_.open(tmp_path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    throw IoError("cannot create temp file " + tmp_path_ + errno_suffix());
+  }
+}
+
+AtomicFile::~AtomicFile() {
+  if (!committed_) {
+    out_.close();
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+void AtomicFile::commit() {
+  if (fault::inject(fault::Site::kIoWrite)) {
+    throw IoError("injected io_write fault committing " + path_,
+                  ErrorContext{tmp_path_, std::nullopt, std::nullopt});
+  }
+  out_.flush();
+  if (!out_) {
+    throw IoError("write to temp file " + tmp_path_ + " failed");
+  }
+  out_.close();
+  if (out_.fail()) {
+    throw IoError("closing temp file " + tmp_path_ + " failed");
+  }
+  if (!fsync_path(tmp_path_, /*directory=*/false)) {
+    throw IoError("fsync of temp file " + tmp_path_ + " failed" +
+                  errno_suffix());
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    throw IoError("rename " + tmp_path_ + " -> " + path_ + " failed" +
+                  errno_suffix());
+  }
+  committed_ = true;
+  // Durability of the rename itself; best-effort (some filesystems refuse
+  // to open directories).
+  fsync_path(parent_dir(path_), /*directory=*/true);
+}
+
+bool write_file_atomic(const std::string& path, const std::string& contents,
+                       std::string* error) {
+  try {
+    AtomicFile file(path);
+    file.stream().write(contents.data(),
+                        static_cast<std::streamsize>(contents.size()));
+    file.commit();
+    return true;
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+}
+
+}  // namespace hmem

@@ -1,0 +1,47 @@
+// Crash-safe file output: write to a temp file in the target directory,
+// fsync it, then rename over the destination. A crash (or injected
+// io_write fault) at any point leaves either the old file or no file —
+// never a torn half-write. Used by every shard, report, and BENCH-JSON
+// writer in the pipeline.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+namespace hmem {
+
+class AtomicFile {
+ public:
+  /// Opens `<path>.tmp.<pid>.<seq>` for writing. Throws IoError if the
+  /// temp file cannot be created.
+  explicit AtomicFile(std::string path);
+
+  /// Removes the temp file if commit() was never reached.
+  ~AtomicFile();
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  /// The stream to write payload into. Valid until commit().
+  std::ostream& stream() { return out_; }
+
+  /// Flushes, fsyncs, and renames the temp file onto the target path.
+  /// Throws IoError on any failure (including an injected io_write fault),
+  /// leaving the target untouched.
+  void commit();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::ofstream out_;
+  bool committed_ = false;
+};
+
+/// One-shot convenience: atomically replace `path` with `contents`.
+/// Returns false and fills `*error` (if non-null) instead of throwing.
+bool write_file_atomic(const std::string& path, const std::string& contents,
+                       std::string* error = nullptr);
+
+}  // namespace hmem

@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — the checksum guarding
+// binary-v2 event chunks and sweep-store records. Table-driven, byte at a
+// time; integrity checking is off the hot path (once per 4096-event chunk
+// or per sweep cell), so simplicity wins over slicing tricks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hmem {
+
+/// One-shot CRC over a buffer. `seed` chains incremental computations:
+/// crc32(b, crc32(a)) == crc32(a + b).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(std::string_view s, std::uint32_t seed = 0) {
+  return crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace hmem

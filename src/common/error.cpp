@@ -1,0 +1,61 @@
+#include "common/error.hpp"
+
+#include <new>
+#include <sstream>
+
+namespace hmem {
+
+std::string ErrorContext::to_string() const {
+  if (empty()) return "";
+  std::ostringstream os;
+  os << " (";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ", ";
+    first = false;
+  };
+  if (!file.empty()) {
+    sep();
+    os << file;
+  }
+  if (shard) {
+    sep();
+    os << "shard " << *shard;
+  }
+  if (chunk) {
+    sep();
+    os << "chunk " << *chunk;
+  }
+  os << ")";
+  return os.str();
+}
+
+Error::Error(Kind kind, const std::string& what, ErrorContext context)
+    : std::runtime_error(what + context.to_string()),
+      kind_(kind),
+      context_(std::move(context)) {}
+
+int Error::exit_code() const {
+  switch (kind_) {
+    case Kind::kConfig:
+      return kExitUsage;
+    case Kind::kFormat:
+    case Kind::kIo:
+      return kExitData;
+    case Kind::kResource:
+      return kExitResource;
+  }
+  return kExitData;
+}
+
+int exit_code_for(const std::exception& e) {
+  if (const auto* err = dynamic_cast<const Error*>(&e)) {
+    return err->exit_code();
+  }
+  if (dynamic_cast<const std::bad_alloc*>(&e) != nullptr) {
+    return kExitResource;
+  }
+  return kExitData;
+}
+
+}  // namespace hmem

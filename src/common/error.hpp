@@ -1,0 +1,96 @@
+// Error taxonomy of the trace -> advise -> run pipeline.
+//
+// Every failure the library reports falls into one of four kinds, each
+// carrying a context chain (file, shard index, chunk index) so a message
+// like "malformed binary trace: truncated varint" can also say *which*
+// shard and *which* chunk:
+//
+//   ConfigError   — the user asked for something invalid (app config,
+//                   machine config, flag combinations).       exit code 2
+//   FormatError   — on-disk data is malformed (trace shards,
+//                   placement/schedule reports).              exit code 3
+//   IoError       — the operating system failed us (open, read,
+//                   write, fsync, rename).                    exit code 3
+//   ResourceError — a resource limit was hit (memory, file
+//                   descriptors).                             exit code 4
+//
+// All four derive from std::runtime_error, so pre-taxonomy call sites
+// (and the fuzz harness's reader contract) keep working unchanged; new
+// call sites can catch hmem::Error and map to an exit code via
+// exit_code() / exit_code_for().
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace hmem {
+
+/// CLI exit-code convention shared by every hmem_* tool:
+///   0 success, 2 usage/config, 3 data/IO, 4 resource exhaustion.
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitData = 3;
+inline constexpr int kExitResource = 4;
+
+/// Where in the pipeline's data an error happened. Fields are optional so
+/// the chain grows as the error climbs: the binary reader knows the chunk,
+/// the replay front adds the shard path and index.
+struct ErrorContext {
+  std::string file;                  ///< path or label of the stream
+  std::optional<std::size_t> shard;  ///< shard index in a multi-rank set
+  std::optional<std::size_t> chunk;  ///< binary v2 chunk index (0-based)
+
+  bool empty() const { return file.empty() && !shard && !chunk; }
+  /// " (shard.bin, shard 2, chunk 7)" — or "" when nothing is known.
+  std::string to_string() const;
+};
+
+class Error : public std::runtime_error {
+ public:
+  enum class Kind { kConfig, kFormat, kIo, kResource };
+
+  Error(Kind kind, const std::string& what, ErrorContext context = {});
+
+  Kind kind() const { return kind_; }
+  const ErrorContext& context() const { return context_; }
+  /// Maps the kind to the CLI exit-code convention above.
+  int exit_code() const;
+
+ private:
+  Kind kind_;
+  ErrorContext context_;
+};
+
+class ConfigError final : public Error {
+ public:
+  explicit ConfigError(const std::string& what, ErrorContext context = {})
+      : Error(Kind::kConfig, what, std::move(context)) {}
+};
+
+class FormatError final : public Error {
+ public:
+  explicit FormatError(const std::string& what, ErrorContext context = {})
+      : Error(Kind::kFormat, what, std::move(context)) {}
+};
+
+class IoError final : public Error {
+ public:
+  explicit IoError(const std::string& what, ErrorContext context = {})
+      : Error(Kind::kIo, what, std::move(context)) {}
+};
+
+class ResourceError final : public Error {
+ public:
+  explicit ResourceError(const std::string& what, ErrorContext context = {})
+      : Error(Kind::kResource, what, std::move(context)) {}
+};
+
+/// Exit code for an arbitrary in-flight exception: hmem::Error maps through
+/// its kind, std::bad_alloc is a resource failure, anything else is treated
+/// as a data error (every remaining runtime_error in the codebase is a
+/// parse/validation failure).
+int exit_code_for(const std::exception& e);
+
+}  // namespace hmem

@@ -1,0 +1,247 @@
+#include "common/fault.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace hmem::fault {
+
+namespace {
+
+// Per-site schedule. Exactly one of {p, nth, every} is active.
+struct Schedule {
+  bool active = false;
+  double p = 0.0;
+  std::uint64_t seed = 0;
+  std::uint64_t nth = 0;    // fire on exactly this 1-based hit
+  std::uint64_t every = 0;  // fire on every multiple of this hit count
+};
+
+struct SiteState {
+  Schedule schedule;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fires{0};
+};
+
+SiteState g_sites[kSiteCount];
+std::mutex g_config_mutex;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D4A885398931EBull;
+  return x ^ (x >> 31);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// Parses one "site:key=val[,key=val]" entry into `out`. Returns "" or an
+// error message.
+std::string parse_entry(const std::string& entry, Site* site_out,
+                        Schedule* out) {
+  const std::size_t colon = entry.find(':');
+  if (colon == std::string::npos) {
+    return "fault entry '" + entry + "' is missing ':' (want site:key=val)";
+  }
+  const std::string name = trim(entry.substr(0, colon));
+  const auto site = parse_site(name);
+  if (!site) {
+    return "unknown fault site '" + name +
+           "' (want io_read, io_write, alloc, or kernel_compile)";
+  }
+  Schedule sched;
+  bool have_trigger = false;
+  std::stringstream kvs(entry.substr(colon + 1));
+  std::string kv;
+  while (std::getline(kvs, kv, ',')) {
+    kv = trim(kv);
+    if (kv.empty()) continue;
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      return "fault option '" + kv + "' is missing '=' in entry '" + entry +
+             "'";
+    }
+    const std::string key = trim(kv.substr(0, eq));
+    const std::string val = trim(kv.substr(eq + 1));
+    char* end = nullptr;
+    if (key == "p") {
+      const double p = std::strtod(val.c_str(), &end);
+      if (end == val.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+        return "fault probability '" + val + "' must be a number in [0, 1]";
+      }
+      sched.p = p;
+      have_trigger = true;
+    } else if (key == "seed") {
+      sched.seed = std::strtoull(val.c_str(), &end, 10);
+      if (end == val.c_str() || *end != '\0') {
+        return "fault seed '" + val + "' is not an integer";
+      }
+    } else if (key == "nth") {
+      sched.nth = std::strtoull(val.c_str(), &end, 10);
+      if (end == val.c_str() || *end != '\0' || sched.nth == 0) {
+        return "fault nth '" + val + "' must be a positive integer";
+      }
+      have_trigger = true;
+    } else if (key == "every") {
+      sched.every = std::strtoull(val.c_str(), &end, 10);
+      if (end == val.c_str() || *end != '\0' || sched.every == 0) {
+        return "fault every '" + val + "' must be a positive integer";
+      }
+      have_trigger = true;
+    } else {
+      return "unknown fault option '" + key +
+             "' (want p, seed, nth, or every)";
+    }
+  }
+  if (!have_trigger) {
+    return "fault entry '" + entry + "' needs one of p=, nth=, or every=";
+  }
+  if ((sched.nth != 0) + (sched.every != 0) + (sched.p > 0.0) > 1) {
+    return "fault entry '" + entry + "' mixes p/nth/every; pick one";
+  }
+  sched.active = true;
+  *site_out = *site;
+  *out = sched;
+  return "";
+}
+
+std::string configure_locked(const std::string& spec) {
+  Schedule parsed[kSiteCount];
+  bool any = false;
+  std::stringstream entries(spec);
+  std::string entry;
+  while (std::getline(entries, entry, ';')) {
+    entry = trim(entry);
+    if (entry.empty()) continue;
+    Site site{};
+    Schedule sched;
+    const std::string err = parse_entry(entry, &site, &sched);
+    if (!err.empty()) return err;
+    parsed[static_cast<int>(site)] = sched;
+    any = true;
+  }
+  for (int i = 0; i < kSiteCount; ++i) {
+    g_sites[i].schedule = parsed[i];
+    g_sites[i].hits.store(0, std::memory_order_relaxed);
+    g_sites[i].fires.store(0, std::memory_order_relaxed);
+  }
+  detail::g_state.store(any ? 2 : 1, std::memory_order_release);
+  return "";
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_state{0};
+
+bool armed_slow() {
+  std::lock_guard<std::mutex> lock(g_config_mutex);
+  if (g_state.load(std::memory_order_acquire) == 0) {
+    const char* env = std::getenv("HMEM_FAULTS");
+    // A malformed env spec disarms rather than throwing: library code must
+    // not fail to start because of a typo in an observability knob. Tools
+    // re-validate via configure_from_env() and report the error.
+    configure_locked(env != nullptr ? env : "");
+  }
+  return g_state.load(std::memory_order_acquire) == 2;
+}
+
+bool should_fire(Site site) {
+  SiteState& s = g_sites[static_cast<int>(site)];
+  const Schedule& sched = s.schedule;
+  if (!sched.active) return false;
+  const std::uint64_t hit =
+      s.hits.fetch_add(1, std::memory_order_relaxed) + 1;  // 1-based
+  bool fire = false;
+  if (sched.nth != 0) {
+    fire = hit == sched.nth;
+  } else if (sched.every != 0) {
+    fire = hit % sched.every == 0;
+  } else if (sched.p > 0.0) {
+    const std::uint64_t r = splitmix64(sched.seed ^ (hit * 0x9E3779B97F4A7C15ull));
+    fire = static_cast<double>(r >> 11) * 0x1.0p-53 < sched.p;
+  }
+  if (fire) s.fires.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+}  // namespace detail
+
+const char* site_name(Site site) {
+  switch (site) {
+    case Site::kIoRead:
+      return "io_read";
+    case Site::kIoWrite:
+      return "io_write";
+    case Site::kAlloc:
+      return "alloc";
+    case Site::kKernelCompile:
+      return "kernel_compile";
+  }
+  return "?";
+}
+
+std::optional<Site> parse_site(const std::string& name) {
+  if (name == "io_read") return Site::kIoRead;
+  if (name == "io_write") return Site::kIoWrite;
+  if (name == "alloc") return Site::kAlloc;
+  if (name == "kernel_compile") return Site::kKernelCompile;
+  return std::nullopt;
+}
+
+std::string configure(const std::string& spec) {
+  std::lock_guard<std::mutex> lock(g_config_mutex);
+  return configure_locked(spec);
+}
+
+std::string configure_from_env() {
+  const char* env = std::getenv("HMEM_FAULTS");
+  return configure(env != nullptr ? env : "");
+}
+
+void disarm() { configure(""); }
+
+SiteCounters counters(Site site) {
+  const SiteState& s = g_sites[static_cast<int>(site)];
+  SiteCounters c;
+  c.hits = s.hits.load(std::memory_order_relaxed);
+  c.fires = s.fires.load(std::memory_order_relaxed);
+  return c;
+}
+
+void reset_counters() {
+  for (auto& s : g_sites) {
+    s.hits.store(0, std::memory_order_relaxed);
+    s.fires.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string describe() {
+  std::lock_guard<std::mutex> lock(g_config_mutex);
+  std::ostringstream os;
+  bool first = true;
+  for (int i = 0; i < kSiteCount; ++i) {
+    const Schedule& sched = g_sites[i].schedule;
+    if (!sched.active) continue;
+    if (!first) os << "; ";
+    first = false;
+    os << site_name(static_cast<Site>(i)) << ':';
+    if (sched.nth != 0) {
+      os << "nth=" << sched.nth;
+    } else if (sched.every != 0) {
+      os << "every=" << sched.every;
+    } else {
+      os << "p=" << sched.p << ",seed=" << sched.seed;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hmem::fault

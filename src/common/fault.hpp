@@ -1,0 +1,93 @@
+// Deterministic fault injection for the trace -> advise -> run pipeline.
+//
+// Named injection sites sit on the pipeline's failure-prone edges:
+//
+//   io_read        — trace readers, one check per chunk / line batch
+//   io_write       — trace writers and atomic-file commits
+//   alloc          — fast-tier simulated heap allocations (the slowest,
+//                    catch-all tier is never injected, so the allocator
+//                    cascade always terminates)
+//   kernel_compile — compiled-kernel ladder rungs (native -> bytecode ->
+//                    interp; results stay bit-identical, only the backend
+//                    degrades)
+//
+// Schedules come from the HMEM_FAULTS environment variable or a tool's
+// --faults flag. Grammar (entries separated by ';'):
+//
+//   io_read:p=0.01,seed=42     probabilistic: each hit fires with
+//                              probability p, deterministically derived
+//                              from (seed, hit index)
+//   alloc:nth=3                scripted: fire exactly on the 3rd hit
+//   io_write:every=100         scripted: fire on every 100th hit
+//
+// When no schedule is armed, inject() is a single relaxed atomic load and
+// a branch — cheap enough to leave compiled into release builds (the
+// engine-throughput bench gates this). Hit/fire counters are atomic, so
+// concurrent simulations share one global schedule; a hit index is
+// assigned atomically, which keeps the *set* of firing hit indices
+// deterministic regardless of thread interleaving.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace hmem::fault {
+
+enum class Site : int {
+  kIoRead = 0,
+  kIoWrite,
+  kAlloc,
+  kKernelCompile,
+};
+inline constexpr int kSiteCount = 4;
+
+const char* site_name(Site site);
+std::optional<Site> parse_site(const std::string& name);
+
+namespace detail {
+// 0 = env not consulted yet, 1 = disarmed, 2 = armed.
+extern std::atomic<int> g_state;
+bool armed_slow();
+bool should_fire(Site site);
+}  // namespace detail
+
+/// True when any site has an active schedule. First call consults
+/// HMEM_FAULTS; afterwards this is one atomic load.
+inline bool armed() {
+  const int s = detail::g_state.load(std::memory_order_acquire);
+  if (s == 0) return detail::armed_slow();
+  return s == 2;
+}
+
+/// The injection-site check: true means "fail here, now". Free when no
+/// schedule is armed.
+inline bool inject(Site site) {
+  return armed() && detail::should_fire(site);
+}
+
+/// Installs a schedule from a spec string (see grammar above). Returns ""
+/// on success or a human-readable parse error (the previous schedule is
+/// kept on error). An empty spec disarms every site. Overrides HMEM_FAULTS.
+std::string configure(const std::string& spec);
+
+/// Re-reads HMEM_FAULTS, replacing any programmatic schedule. An unset or
+/// empty variable disarms. Returns the configure() error string.
+std::string configure_from_env();
+
+/// Disarms every site and zeroes the counters.
+void disarm();
+
+struct SiteCounters {
+  std::uint64_t hits = 0;   ///< times the site was reached while armed
+  std::uint64_t fires = 0;  ///< times it was made to fail
+};
+SiteCounters counters(Site site);
+void reset_counters();
+
+/// One-line description of the active schedule ("io_read:p=0.01,seed=42; "
+/// ...), empty when disarmed. For logs and --verbose output.
+std::string describe();
+
+}  // namespace hmem::fault

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/error.hpp"
 #include "common/strings.hpp"
 
 namespace hmem {
@@ -9,7 +10,7 @@ namespace hmem {
 std::vector<TierSection> parse_tier_sections(const Config& config,
                                              const std::string& context) {
   const auto fail = [&context](const std::string& what) {
-    throw std::runtime_error(context + ": " + what);
+    throw ConfigError(context + ": " + what);
   };
   std::vector<TierSection> tiers;
   for (const auto& section : config.sections()) {

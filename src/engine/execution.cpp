@@ -12,6 +12,7 @@
 #include "callstack/unwind.hpp"
 #include "common/alias.hpp"
 #include "common/assert.hpp"
+#include "common/fault.hpp"
 #include "common/prng.hpp"
 #include "engine/kernel/ir.hpp"
 #include "engine/kernel/native.hpp"
@@ -631,8 +632,12 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
           kp.use_native = false;
           if (kern == kernel::KernelKind::kNative) {
             const memsim::Cache::Tables llc = machine.llc().tables();
-            kp.use_native = kp.native.compile(kp.program, llc.ways,
-                                              llc.line_shift, llc.set_mask);
+            // An injected compile fault behaves exactly like compile()
+            // returning false: this phase runs on bytecode instead.
+            kp.use_native =
+                !fault::inject(fault::Site::kKernelCompile) &&
+                kp.native.compile(kp.program, llc.ways, llc.line_shift,
+                                  llc.set_mask);
           }
         }
       }

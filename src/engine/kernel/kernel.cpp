@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/fault.hpp"
 #include "engine/kernel/native.hpp"
 
 namespace hmem::engine::kernel {
@@ -48,6 +49,18 @@ KernelKind resolve_kernel(KernelKind requested, bool cache_mode,
   if (cache_mode) return KernelKind::kInterp;
   if (kind == KernelKind::kNative && (profiled || !native_available())) {
     kind = KernelKind::kBytecode;
+  }
+  // Injected compile failures walk the same ladder a real backend failure
+  // would: native falls back to bytecode, bytecode to the interpreter.
+  // Every rung computes identical results, so a fault here only changes
+  // which engine runs, never what it produces.
+  if (kind == KernelKind::kNative &&
+      fault::inject(fault::Site::kKernelCompile)) {
+    kind = KernelKind::kBytecode;
+  }
+  if (kind == KernelKind::kBytecode &&
+      fault::inject(fault::Site::kKernelCompile)) {
+    kind = KernelKind::kInterp;
   }
   return kind;
 }

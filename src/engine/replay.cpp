@@ -11,6 +11,7 @@
 #include "callstack/modulemap.hpp"
 #include "callstack/unwind.hpp"
 #include "common/assert.hpp"
+#include "common/error.hpp"
 #include "runtime/policy.hpp"
 
 namespace hmem::engine {
@@ -34,20 +35,20 @@ RunResult replay_run(trace::TraceReader& events,
                      const ReplayOptions& options) {
   if (options.condition == Condition::kCacheMode ||
       options.condition == Condition::kDynamic) {
-    throw std::runtime_error(
+    throw ConfigError(
         "replay supports the ddr, numactl, autohbw and framework conditions "
         "(cache and dynamic need the live object stream, not samples)");
   }
   if (options.condition == Condition::kFramework &&
       options.placement == nullptr) {
-    throw std::runtime_error("framework replay requires a placement");
+    throw ConfigError("framework replay requires a placement");
   }
   const int ranks = std::max(1, options.ranks);
   const int shards = std::max(1, options.shards);
 
   // ---- Per-rank machine view (mirrors run_app) --------------------------
   memsim::MachineConfig cfg = options.node;
-  if (cfg.tiers.empty()) throw std::runtime_error("node config has no tiers");
+  if (cfg.tiers.empty()) throw ConfigError("node config has no tiers");
   cfg.mode = memsim::MemMode::kFlat;
   for (memsim::TierSpec& tier : cfg.tiers) {
     tier.capacity_bytes /= static_cast<std::uint64_t>(ranks);
@@ -164,7 +165,7 @@ RunResult replay_run(trace::TraceReader& events,
           is_dynamic ? policy->allocate(alloc->size, stack)
                      : policy->allocate_static(alloc->size);
       if (out.addr == 0) {
-        throw std::runtime_error(
+        throw ResourceError(
             "simulated out of memory during replay (the recorded allocation "
             "stream exceeds the machine's per-rank tier capacities)");
       }

@@ -1,0 +1,163 @@
+#include "engine/sweep_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/logging.hpp"
+
+namespace hmem::engine {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case ' ': out += "\\s"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool unescape(const std::string& s, std::string& out) {
+  out.clear();
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (++i >= s.size()) return false;
+    switch (s[i]) {
+      case '\\': out.push_back('\\'); break;
+      case 'n': out.push_back('\n'); break;
+      case 't': out.push_back('\t'); break;
+      case 's': out.push_back(' '); break;
+      default: return false;
+    }
+  }
+  return true;
+}
+
+std::string crc_hex(std::uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+/// Parses "<crc8> <key> <value>" and verifies the checksum.
+bool parse_record(const std::string& line, std::string& key,
+                  std::string& value) {
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 != 8) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  char* end = nullptr;
+  const std::string crc_field = line.substr(0, sp1);
+  const std::uint32_t stored =
+      static_cast<std::uint32_t>(std::strtoul(crc_field.c_str(), &end, 16));
+  if (end != crc_field.c_str() + 8) return false;
+  if (!unescape(line.substr(sp1 + 1, sp2 - sp1 - 1), key)) return false;
+  if (!unescape(line.substr(sp2 + 1), value)) return false;
+  return crc32(key + '\t' + value) == stored;
+}
+
+}  // namespace
+
+SweepStore::SweepStore(std::string path) : path_(std::move(path)) {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return;  // no store yet — empty is fine
+  std::string line, key, value;
+  while (std::getline(in, line)) {
+    if (!parse_record(line, key, value)) {
+      // A damaged record invalidates everything after it too: the file is
+      // append-only, so a tear mid-record means the tail was never
+      // completely written. Count what we drop and stop.
+      ++dropped_;
+      while (std::getline(in, line)) ++dropped_;
+      log_warn("sweep store ", path_, ": dropping ", dropped_,
+               " damaged trailing record(s); will recompute");
+      break;
+    }
+    records_[key] = value;
+    valid_bytes_ += static_cast<long long>(line.size()) + 1;
+  }
+}
+
+SweepStore::~SweepStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::optional<std::string> SweepStore::find(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(key);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool SweepStore::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.count(key) != 0;
+}
+
+std::size_t SweepStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+void SweepStore::open_for_append_locked() {
+  if (fd_ >= 0) return;
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd_ < 0) {
+    throw IoError("cannot open sweep store " + path_ + ": " +
+                  std::strerror(errno));
+  }
+  // Cut off the torn tail (if any) so appends extend the verified prefix.
+  if (::ftruncate(fd_, static_cast<off_t>(valid_bytes_)) != 0 ||
+      ::lseek(fd_, 0, SEEK_END) < 0) {
+    throw IoError("cannot truncate sweep store " + path_ + ": " +
+                  std::strerror(errno));
+  }
+}
+
+void SweepStore::put(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fault::inject(fault::Site::kIoWrite)) {
+    throw IoError("injected io_write fault appending to sweep store " +
+                  path_);
+  }
+  open_for_append_locked();
+  const std::string line = crc_hex(crc32(key + '\t' + value)) + ' ' +
+                           escape(key) + ' ' + escape(value) + '\n';
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("write to sweep store " + path_ + " failed: " +
+                    std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    throw IoError("fsync of sweep store " + path_ + " failed: " +
+                  std::strerror(errno));
+  }
+  records_[key] = value;
+  valid_bytes_ += static_cast<long long>(line.size());
+}
+
+}  // namespace hmem::engine

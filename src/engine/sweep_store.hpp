@@ -1,0 +1,69 @@
+// Append-only checksummed result store for resumable sweeps.
+//
+// A Figure-4 sweep is a grid of independent cells, each minutes of
+// simulation; a crash near the end used to mean starting over. The store
+// persists one record per completed cell:
+//
+//   <crc32-hex8> <escaped-key> <escaped-value>\n
+//
+// where the CRC covers the unescaped "key\tvalue" pair and the escaping
+// (\\ \n \t and space as \s) keeps records one-line and splittable on the
+// two separator spaces. Appends are durable (single write + fsync) before
+// put() returns, so every record in the file represents a cell whose
+// result really was computed.
+//
+// Loading tolerates a torn tail — the half-written record of the crash —
+// by verifying each line's checksum and truncating the file back to the
+// last valid record (on the first subsequent put). A --resume run then
+// recomputes only the cells past the tear.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace hmem::engine {
+
+class SweepStore {
+ public:
+  /// Opens (or prepares to create) the store and loads every intact
+  /// record. A missing file is an empty store, not an error; an unreadable
+  /// one throws IoError.
+  explicit SweepStore(std::string path);
+  ~SweepStore();
+
+  SweepStore(const SweepStore&) = delete;
+  SweepStore& operator=(const SweepStore&) = delete;
+
+  /// The stored value for a key, if a valid record exists (last one wins).
+  std::optional<std::string> find(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  /// Durably appends a record: when this returns, the record has been
+  /// written and fsynced. Throws IoError on failure (including an injected
+  /// io_write fault), in which case the store's in-memory view is
+  /// unchanged. Thread-safe.
+  void put(const std::string& key, const std::string& value);
+
+  std::size_t size() const;
+  /// Records discarded at load time because their checksum or framing was
+  /// damaged (the torn tail of a crashed run).
+  std::size_t dropped_records() const { return dropped_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void open_for_append_locked();
+
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::string> records_;
+  std::size_t dropped_ = 0;
+  /// Byte length of the verified prefix; the file is truncated back to
+  /// this before the first append.
+  long long valid_bytes_ = 0;
+  int fd_ = -1;
+};
+
+}  // namespace hmem::engine

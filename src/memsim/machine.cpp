@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/assert.hpp"
+#include "common/error.hpp"
 #include "common/tier_config.hpp"
 #include "common/units.hpp"
 
@@ -284,7 +285,7 @@ std::vector<std::string> MachineConfig::preset_names() {
 namespace {
 
 [[noreturn]] void bad_machine(const std::string& what) {
-  throw std::runtime_error("machine config: " + what);
+  throw ConfigError("machine config: " + what);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "runtime/policy.hpp"
 
 #include "common/assert.hpp"
+#include "common/fault.hpp"
 
 namespace hmem::runtime {
 
@@ -15,6 +16,13 @@ AllocOutcome PlacementPolicy::from_tier(std::size_t tier, std::uint64_t size,
   Allocator& a = *tiers_[tier];
   AllocOutcome outcome;
   outcome.cost_ns = a.alloc_cost_ns(size) + extra_ns;
+  // Injected fast-tier allocation failure: the attempt's cost is charged
+  // but no address comes back, so callers' numactl-style cascades fall
+  // through to a slower tier. The slowest (catch-all) tier is never
+  // injected — the run always completes, just degraded.
+  if (tier != slow_tier() && fault::inject(fault::Site::kAlloc)) {
+    return outcome;
+  }
   const auto addr = a.allocate(size);
   if (addr) {
     outcome.addr = *addr;

@@ -14,7 +14,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
 #include "trace/format.hpp"
+#include "trace/salvage.hpp"
 #include "trace/wire.hpp"
 
 namespace hmem::trace {
@@ -36,6 +40,7 @@ constexpr std::uint64_t kMaxStackFrames = 1ULL << 10;
 constexpr char kStringChunk = 'T';
 constexpr char kSiteChunk = 'S';
 constexpr char kEventChunk = 'E';
+constexpr char kChecksumChunk = 'K';  // CRC-32 of the next event chunk
 
 // Event kinds.
 enum : std::uint8_t {
@@ -47,10 +52,6 @@ enum : std::uint8_t {
   kPhaseEnd = 5,
   kCounter = 6,
 };
-
-[[noreturn]] void corrupt(const char* what) {
-  throw std::runtime_error(std::string("malformed binary trace: ") + what);
-}
 
 /// Timestamps are stored in picosecond ticks — the precision of the text
 /// format's %.3f nanoseconds — so both formats round-trip identically.
@@ -78,9 +79,17 @@ void put_double(std::string& out, double v) {
 
 class BinaryTraceWriter final : public TraceWriter {
  public:
-  BinaryTraceWriter(std::ostream& out, const callstack::SiteDb& sites)
-      : out_(&out), sites_(&sites) {}
-  ~BinaryTraceWriter() override { finish(); }
+  BinaryTraceWriter(std::ostream& out, const callstack::SiteDb& sites,
+                    WriterOptions options = {})
+      : out_(&out), sites_(&sites), options_(options) {}
+  ~BinaryTraceWriter() override {
+    // finish() can throw (stream failure, injected io_write fault); a
+    // destructor must swallow that — callers who care call finish().
+    try {
+      finish();
+    } catch (...) {
+    }
+  }
 
   void on_event(const Event& event) override {
     std::visit(
@@ -192,6 +201,17 @@ class BinaryTraceWriter final : public TraceWriter {
       out_->write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
     }
     if (chunk_events_ > 0) {
+      if (fault::inject(fault::Site::kIoWrite)) {
+        throw IoError("injected io_write fault flushing event chunk");
+      }
+      if (options_.checksums) {
+        const std::uint32_t crc = crc32(payload_.data(), payload_.size());
+        char kchunk[5];
+        kchunk[0] = kChecksumChunk;
+        for (int i = 0; i < 4; ++i)
+          kchunk[1 + i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+        out_->write(kchunk, sizeof(kchunk));
+      }
       std::string header;
       header.push_back(kEventChunk);
       wire::put_varint(header, chunk_events_);
@@ -204,6 +224,7 @@ class BinaryTraceWriter final : public TraceWriter {
       prev_ticks_ = 0;
       prev_addr_ = 0;
     }
+    if (!*out_) throw IoError("trace write failed");
   }
 
   void write_header() {
@@ -215,6 +236,7 @@ class BinaryTraceWriter final : public TraceWriter {
 
   std::ostream* out_;
   const callstack::SiteDb* sites_;
+  WriterOptions options_;
   std::unordered_map<std::string, std::uint64_t> string_ids_;
   std::vector<std::string> pending_strings_;
   std::size_t emitted_sites_ = 0;
@@ -229,8 +251,14 @@ class BinaryTraceWriter final : public TraceWriter {
 
 class BinaryTraceReader final : public TraceReader {
  public:
-  BinaryTraceReader(std::istream& in, callstack::SiteDb& sites)
-      : in_(&in), sites_(&sites) {
+  BinaryTraceReader(std::istream& in, callstack::SiteDb& sites,
+                    ReaderOptions options = {})
+      : in_(&in),
+        sites_(&sites),
+        salvage_(options.salvage),
+        report_(options.report != nullptr ? options.report : &own_report_),
+        source_(std::move(options.source)),
+        shard_(options.shard) {
     char magic[4] = {};
     in_->read(magic, sizeof(magic));
     if (in_->gcount() != sizeof(magic) ||
@@ -241,20 +269,72 @@ class BinaryTraceReader final : public TraceReader {
   }
 
   bool next(Event& out) override {
-    while (chunk_remaining_ == 0) {
-      if (!read_chunk()) return false;
+    for (;;) {
+      if (abandoned_) return false;
+      if (chunk_remaining_ == 0) {
+        if (!advance_chunk()) return false;
+        continue;  // string/site/checksum chunks carry no events
+      }
+      if (!salvage_) {
+        decode_event(out);
+        --chunk_remaining_;
+        if (chunk_remaining_ == 0 && cursor_ != end_)
+          corrupt("event chunk has trailing bytes");
+        return true;
+      }
+      try {
+        decode_event(out);
+      } catch (const std::exception& e) {
+        // Damage inside a chunk: the chunk's remaining events are
+        // undecodable (delta state is per-chunk), but the framing still
+        // points at the next chunk. Drop the rest and keep going.
+        report_->add_incident(e.what(), source_, shard_, chunk_index_);
+        ++report_->chunks_dropped;
+        report_->events_dropped += chunk_remaining_;
+        report_->bytes_dropped += static_cast<std::uint64_t>(end_ - cursor_);
+        chunk_remaining_ = 0;
+        cursor_ = end_;
+        continue;
+      }
+      --chunk_remaining_;
+      if (chunk_remaining_ == 0 && cursor_ != end_) {
+        report_->add_incident("event chunk has trailing bytes", source_,
+                              shard_, chunk_index_);
+        report_->bytes_dropped += static_cast<std::uint64_t>(end_ - cursor_);
+        cursor_ = end_;
+      }
+      return true;
     }
-    decode_event(out);
-    --chunk_remaining_;
-    if (chunk_remaining_ == 0 && cursor_ != end_)
-      corrupt("event chunk has trailing bytes");
-    return true;
   }
 
  private:
+  [[noreturn]] void corrupt(const char* what) const {
+    throw FormatError(std::string("malformed binary trace: ") + what,
+                      ErrorContext{source_, shard_, chunk_index_});
+  }
+
+  /// read_chunk, plus salvage handling of stream-level damage: once the
+  /// framing itself is unreadable everything after it is lost, so the
+  /// remaining tail is abandoned and the stream ends early.
+  bool advance_chunk() {
+    if (!salvage_) return read_chunk();
+    try {
+      return read_chunk();
+    } catch (const std::exception& e) {
+      report_->add_incident(e.what(), source_, shard_, chunk_index_);
+      ++report_->tails_abandoned;
+      abandoned_ = true;
+      return false;
+    }
+  }
+
   /// Reads one chunk; string and site chunks are absorbed internally.
   /// Returns false on a clean end of stream.
   bool read_chunk() {
+    if (fault::inject(fault::Site::kIoRead)) {
+      throw IoError("injected io_read fault",
+                    ErrorContext{source_, shard_, chunk_index_});
+    }
     const int tag = in_->get();
     if (tag == std::istream::traits_type::eof()) return false;
     switch (tag) {
@@ -276,7 +356,20 @@ class BinaryTraceReader final : public TraceReader {
         for (std::uint64_t i = 0; i < n; ++i) read_site();
         return true;
       }
+      case kChecksumChunk: {
+        char raw[4] = {};
+        in_->read(raw, sizeof(raw));
+        if (in_->gcount() != sizeof(raw)) corrupt("truncated checksum chunk");
+        std::uint32_t crc = 0;
+        for (int i = 0; i < 4; ++i)
+          crc |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(raw[i]))
+                 << (8 * i);
+        expected_crc_ = crc;
+        return true;
+      }
       case kEventChunk: {
+        chunk_index_ = chunk_index_ ? *chunk_index_ + 1 : 0;
         chunk_remaining_ = read_varint();
         if (chunk_remaining_ > kMaxChunkEventCount)
           corrupt("oversized event chunk count");
@@ -287,6 +380,22 @@ class BinaryTraceReader final : public TraceReader {
         in_->read(chunk_.data(), static_cast<std::streamsize>(bytes));
         if (static_cast<std::uint64_t>(in_->gcount()) != bytes)
           corrupt("truncated event chunk");
+        const std::optional<std::uint32_t> expected = expected_crc_;
+        expected_crc_.reset();
+        if (expected &&
+            crc32(chunk_.data(), chunk_.size()) != *expected) {
+          if (!salvage_) corrupt("event chunk checksum mismatch");
+          // The framing survived (count and size were intact), only the
+          // payload is damaged: skip exactly this chunk.
+          report_->add_incident("event chunk checksum mismatch", source_,
+                                shard_, chunk_index_);
+          ++report_->chunks_dropped;
+          report_->events_dropped += chunk_remaining_;
+          report_->bytes_dropped += bytes;
+          chunk_remaining_ = 0;
+          cursor_ = end_ = nullptr;
+          return true;
+        }
         cursor_ = chunk_.data();
         end_ = chunk_.data() + chunk_.size();
         prev_ticks_ = 0;
@@ -422,6 +531,14 @@ class BinaryTraceReader final : public TraceReader {
 
   std::istream* in_;
   callstack::SiteDb* sites_;
+  bool salvage_ = false;
+  SalvageReport own_report_;
+  SalvageReport* report_;
+  std::string source_;
+  std::optional<std::size_t> shard_;
+  std::optional<std::size_t> chunk_index_;  ///< current event chunk (0-based)
+  std::optional<std::uint32_t> expected_crc_;
+  bool abandoned_ = false;
   std::vector<std::string> strings_;
   std::unordered_map<std::uint64_t, callstack::SiteId> remap_;
   std::string chunk_;
@@ -441,9 +558,21 @@ std::unique_ptr<TraceWriter> make_binary_writer(
   return std::make_unique<BinaryTraceWriter>(out, sites);
 }
 
+std::unique_ptr<TraceWriter> make_binary_writer(
+    std::ostream& out, const callstack::SiteDb& sites,
+    const WriterOptions& options) {
+  return std::make_unique<BinaryTraceWriter>(out, sites, options);
+}
+
 std::unique_ptr<TraceReader> open_binary_reader(std::istream& in,
                                                 callstack::SiteDb& sites) {
   return std::make_unique<BinaryTraceReader>(in, sites);
+}
+
+std::unique_ptr<TraceReader> open_binary_reader(
+    std::istream& in, callstack::SiteDb& sites,
+    const ReaderOptions& options) {
+  return std::make_unique<BinaryTraceReader>(in, sites, options);
 }
 
 }  // namespace detail

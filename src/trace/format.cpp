@@ -8,14 +8,18 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/strings.hpp"
+#include "trace/salvage.hpp"
 
 namespace hmem::trace {
 
 namespace {
 
-[[noreturn]] void malformed(const std::string& line) {
-  throw std::runtime_error("malformed trace line: " + line);
+[[noreturn]] void malformed(const std::string& line,
+                            const ErrorContext& ctx = {}) {
+  throw FormatError("malformed trace line: " + line, ctx);
 }
 
 std::string fmt_time(double t) {
@@ -24,18 +28,19 @@ std::string fmt_time(double t) {
   return buf;
 }
 
-double parse_time(const std::string& s, const std::string& line) {
+double parse_time(const std::string& s, const std::string& line,
+                  const ErrorContext& ctx = {}) {
   char* end = nullptr;
   const double t = std::strtod(s.c_str(), &end);
-  if (end == nullptr || *end != '\0' || s.empty()) malformed(line);
+  if (end == nullptr || *end != '\0' || s.empty()) malformed(line, ctx);
   return t;
 }
 
 std::uint64_t parse_u64(const std::string& s, const std::string& line,
-                        int base = 10) {
+                        const ErrorContext& ctx = {}, int base = 10) {
   char* end = nullptr;
   const std::uint64_t v = std::strtoull(s.c_str(), &end, base);
-  if (end == nullptr || *end != '\0' || s.empty()) malformed(line);
+  if (end == nullptr || *end != '\0' || s.empty()) malformed(line, ctx);
   return v;
 }
 
@@ -45,7 +50,14 @@ class TextTraceWriter final : public TraceWriter {
  public:
   TextTraceWriter(std::ostream& out, const callstack::SiteDb& sites)
       : out_(&out), sites_(&sites) {}
-  ~TextTraceWriter() override { finish(); }
+  ~TextTraceWriter() override {
+    // finish() can throw (stream failure, injected io_write fault); a
+    // destructor must swallow that — callers who care call finish().
+    try {
+      finish();
+    } catch (...) {
+    }
+  }
 
   void on_event(const Event& event) override {
     emit_new_sites();
@@ -86,8 +98,12 @@ class TextTraceWriter final : public TraceWriter {
   void finish() override {
     if (finished_) return;
     finished_ = true;
+    if (fault::inject(fault::Site::kIoWrite)) {
+      throw IoError("injected io_write fault finishing text trace");
+    }
     emit_new_sites();
     out_->flush();
+    if (!*out_) throw IoError("trace write failed");
   }
 
   std::size_t events_written() const override { return events_; }
@@ -112,13 +128,38 @@ class TextTraceWriter final : public TraceWriter {
 
 class TextTraceReader final : public TraceReader {
  public:
-  TextTraceReader(std::istream& in, callstack::SiteDb& sites)
-      : in_(&in), sites_(&sites) {}
+  TextTraceReader(std::istream& in, callstack::SiteDb& sites,
+                  ReaderOptions options = {})
+      : in_(&in),
+        sites_(&sites),
+        salvage_(options.salvage),
+        report_(options.report != nullptr ? options.report : &own_report_),
+        ctx_{std::move(options.source), options.shard, std::nullopt} {}
 
   bool next(Event& out) override {
+    if (abandoned_) return false;
+    if (fault::inject(fault::Site::kIoRead)) {
+      if (!salvage_) throw IoError("injected io_read fault", ctx_);
+      report_->add_incident("injected io_read fault", ctx_.file, ctx_.shard);
+      ++report_->tails_abandoned;
+      abandoned_ = true;
+      return false;
+    }
     while (std::getline(*in_, line_)) {
       if (line_.empty() || line_[0] == '#') continue;
-      if (parse_line(line_, out)) return true;
+      if (!salvage_) {
+        if (parse_line(line_, out)) return true;
+        continue;
+      }
+      // Text damage is line-local: skip the bad line, count it as one
+      // lost event, keep reading.
+      try {
+        if (parse_line(line_, out)) return true;
+      } catch (const std::exception& e) {
+        report_->add_incident(e.what(), ctx_.file, ctx_.shard);
+        ++report_->events_dropped;
+        report_->bytes_dropped += line_.size() + 1;
+      }
     }
     return false;
   }
@@ -128,80 +169,85 @@ class TextTraceReader final : public TraceReader {
   /// site database and yield no event).
   bool parse_line(const std::string& line, Event& out) {
     const auto fields = split(line, '|');
-    if (fields.size() < 2) malformed(line);
+    if (fields.size() < 2) malformed(line, ctx_);
     const char kind = fields[0].size() == 1 ? fields[0][0] : '\0';
     switch (kind) {
       case 'S': {
-        if (fields.size() != 5) malformed(line);
+        if (fields.size() != 5) malformed(line, ctx_);
         const auto old_id =
             static_cast<callstack::SiteId>(parse_u64(fields[1], line));
         callstack::SymbolicCallStack stack;
         if (!callstack::SymbolicCallStack::from_string(
                 unescape_field(fields[4]), stack))
-          malformed(line);
+          malformed(line, ctx_);
         const bool dynamic = fields[3] == "1";
         remap_[old_id] =
             sites_->intern(unescape_field(fields[2]), stack, dynamic);
         return false;
       }
       case 'A': {
-        if (fields.size() != 5) malformed(line);
+        if (fields.size() != 5) malformed(line, ctx_);
         AllocEvent e;
-        e.time_ns = parse_time(fields[1], line);
+        e.time_ns = parse_time(fields[1], line, ctx_);
         const auto old_id =
             static_cast<callstack::SiteId>(parse_u64(fields[2], line));
         const auto it = remap_.find(old_id);
-        if (it == remap_.end()) malformed(line);
+        if (it == remap_.end()) malformed(line, ctx_);
         e.site = it->second;
-        e.addr = parse_u64(fields[3], line, 16);
-        e.size = parse_u64(fields[4], line);
+        e.addr = parse_u64(fields[3], line, ctx_, 16);
+        e.size = parse_u64(fields[4], line, ctx_);
         out = e;
         return true;
       }
       case 'F': {
-        if (fields.size() != 3) malformed(line);
+        if (fields.size() != 3) malformed(line, ctx_);
         FreeEvent e;
-        e.time_ns = parse_time(fields[1], line);
-        e.addr = parse_u64(fields[2], line, 16);
+        e.time_ns = parse_time(fields[1], line, ctx_);
+        e.addr = parse_u64(fields[2], line, ctx_, 16);
         out = e;
         return true;
       }
       case 'M': {
-        if (fields.size() != 5) malformed(line);
+        if (fields.size() != 5) malformed(line, ctx_);
         SampleEvent e;
-        e.time_ns = parse_time(fields[1], line);
-        e.addr = parse_u64(fields[2], line, 16);
+        e.time_ns = parse_time(fields[1], line, ctx_);
+        e.addr = parse_u64(fields[2], line, ctx_, 16);
         e.is_write = fields[3] == "1";
-        e.weight = parse_u64(fields[4], line);
+        e.weight = parse_u64(fields[4], line, ctx_);
         out = e;
         return true;
       }
       case 'P': {
-        if (fields.size() != 4) malformed(line);
+        if (fields.size() != 4) malformed(line, ctx_);
         PhaseEvent e;
-        e.time_ns = parse_time(fields[1], line);
-        if (fields[2] != "B" && fields[2] != "E") malformed(line);
+        e.time_ns = parse_time(fields[1], line, ctx_);
+        if (fields[2] != "B" && fields[2] != "E") malformed(line, ctx_);
         e.begin = fields[2] == "B";
         e.name = unescape_field(fields[3]);
         out = e;
         return true;
       }
       case 'C': {
-        if (fields.size() != 4) malformed(line);
+        if (fields.size() != 4) malformed(line, ctx_);
         CounterEvent e;
-        e.time_ns = parse_time(fields[1], line);
+        e.time_ns = parse_time(fields[1], line, ctx_);
         e.name = unescape_field(fields[2]);
-        e.value = parse_time(fields[3], line);
+        e.value = parse_time(fields[3], line, ctx_);
         out = e;
         return true;
       }
       default:
-        malformed(line);
+        malformed(line, ctx_);
     }
   }
 
   std::istream* in_;
   callstack::SiteDb* sites_;
+  bool salvage_ = false;
+  SalvageReport own_report_;
+  SalvageReport* report_;
+  ErrorContext ctx_;
+  bool abandoned_ = false;
   std::unordered_map<callstack::SiteId, callstack::SiteId> remap_;
   std::string line_;  ///< reused across next() calls — capacity amortizes
 };
@@ -290,6 +336,12 @@ std::unique_ptr<TraceReader> open_text_reader(std::istream& in,
   return std::make_unique<TextTraceReader>(in, sites);
 }
 
+std::unique_ptr<TraceReader> open_text_reader(std::istream& in,
+                                              callstack::SiteDb& sites,
+                                              const ReaderOptions& options) {
+  return std::make_unique<TextTraceReader>(in, sites, options);
+}
+
 }  // namespace detail
 
 std::unique_ptr<TraceWriter> make_trace_writer(std::ostream& out,
@@ -297,6 +349,16 @@ std::unique_ptr<TraceWriter> make_trace_writer(std::ostream& out,
                                                TraceFormat format) {
   return format == TraceFormat::kBinary ? detail::make_binary_writer(out, sites)
                                         : detail::make_text_writer(out, sites);
+}
+
+std::unique_ptr<TraceWriter> make_trace_writer(std::ostream& out,
+                                               const callstack::SiteDb& sites,
+                                               TraceFormat format,
+                                               const WriterOptions& options) {
+  // Checksums are a binary-v2 concept; the text format ignores them.
+  return format == TraceFormat::kBinary
+             ? detail::make_binary_writer(out, sites, options)
+             : detail::make_text_writer(out, sites);
 }
 
 TraceFormat sniff_trace_format(std::istream& in) {
@@ -328,6 +390,21 @@ std::unique_ptr<TraceReader> open_trace_reader(std::istream& in,
 std::unique_ptr<TraceReader> open_trace_reader(std::istream& in,
                                                callstack::SiteDb& sites) {
   return open_trace_reader(in, sites, sniff_trace_format(in));
+}
+
+std::unique_ptr<TraceReader> open_trace_reader(std::istream& in,
+                                               callstack::SiteDb& sites,
+                                               TraceFormat format,
+                                               const ReaderOptions& options) {
+  return format == TraceFormat::kBinary
+             ? detail::open_binary_reader(in, sites, options)
+             : detail::open_text_reader(in, sites, options);
+}
+
+std::unique_ptr<TraceReader> open_trace_reader(std::istream& in,
+                                               callstack::SiteDb& sites,
+                                               const ReaderOptions& options) {
+  return open_trace_reader(in, sites, sniff_trace_format(in), options);
 }
 
 std::size_t pump(TraceReader& reader, EventSink& sink) {

@@ -10,7 +10,12 @@
 //  * binary (format v2): a compact chunked stream,
 //
 //        magic "HMT2" | u8 version(2) | chunk*
-//        chunk := 'T' string-table | 'S' site-table | 'E' events
+//        chunk := 'T' string-table | 'S' site-table | 'K' checksum
+//                 | 'E' events
+//        'K': 4 raw little-endian bytes — CRC-32 (IEEE) of the *next*
+//             event chunk's payload. Emitted only when the writer was
+//             opened with WriterOptions::checksums; readers accept shards
+//             with or without them (and with them interleaved).
 //        'T': varint n, then n x { varint len, bytes } — appended to the
 //             file-global string table, referenced by index;
 //        'S': varint n, then n x { varint file_site_id, varint name_str,
@@ -34,6 +39,7 @@
 // (or k-way merged, trace/merge.hpp) into one site database.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <memory>
 #include <optional>
@@ -45,6 +51,8 @@
 
 namespace hmem::trace {
 
+struct SalvageReport;  // trace/salvage.hpp
+
 enum class TraceFormat { kText, kBinary };
 
 const char* trace_format_name(TraceFormat format);
@@ -53,6 +61,27 @@ std::optional<TraceFormat> parse_trace_format(const std::string& name);
 
 inline constexpr char kBinaryMagic[4] = {'H', 'M', 'T', '2'};
 inline constexpr std::uint8_t kBinaryVersion = 2;
+
+/// Writer-side knobs. Checksums are opt-in so that existing shards (and
+/// golden byte-identity tests) are unchanged by default.
+struct WriterOptions {
+  /// Binary v2 only: guard every event chunk with a CRC-32 ('K' chunk
+  /// immediately preceding it). Readers accept shards with or without.
+  bool checksums = false;
+};
+
+/// Reader-side knobs. The default is the historical strict contract:
+/// throw on the first malformed byte. With `salvage` set, damaged event
+/// chunks are skipped and accounted in a SalvageReport instead.
+struct ReaderOptions {
+  bool salvage = false;
+  /// Where salvage incidents accumulate; may be shared by several readers.
+  /// Null means the reader keeps a private report (open_trace_reader) —
+  /// use RecoveringTraceReader when you want to inspect it afterwards.
+  SalvageReport* report = nullptr;
+  std::string source;                ///< path/label for error context
+  std::optional<std::size_t> shard;  ///< shard index for error context
+};
 
 /// Streaming serializer. Site definitions are read from the SiteDb bound at
 /// construction and emitted incrementally: every site interned before an
@@ -78,6 +107,10 @@ class TraceReader {
 std::unique_ptr<TraceWriter> make_trace_writer(std::ostream& out,
                                                const callstack::SiteDb& sites,
                                                TraceFormat format);
+std::unique_ptr<TraceWriter> make_trace_writer(std::ostream& out,
+                                               const callstack::SiteDb& sites,
+                                               TraceFormat format,
+                                               const WriterOptions& options);
 
 /// Sniffs the format from the first bytes of a seekable stream (binary
 /// traces start with the "HMT2" magic; no text line does).
@@ -89,6 +122,13 @@ std::unique_ptr<TraceReader> open_trace_reader(std::istream& in,
 std::unique_ptr<TraceReader> open_trace_reader(std::istream& in,
                                                callstack::SiteDb& sites,
                                                TraceFormat format);
+std::unique_ptr<TraceReader> open_trace_reader(std::istream& in,
+                                               callstack::SiteDb& sites,
+                                               const ReaderOptions& options);
+std::unique_ptr<TraceReader> open_trace_reader(std::istream& in,
+                                               callstack::SiteDb& sites,
+                                               TraceFormat format,
+                                               const ReaderOptions& options);
 
 /// Drains a reader into a sink / visitor; returns the number of events.
 std::size_t pump(TraceReader& reader, EventSink& sink);
@@ -110,10 +150,19 @@ std::unique_ptr<TraceWriter> make_text_writer(std::ostream& out,
                                               const callstack::SiteDb& sites);
 std::unique_ptr<TraceWriter> make_binary_writer(
     std::ostream& out, const callstack::SiteDb& sites);
+std::unique_ptr<TraceWriter> make_binary_writer(std::ostream& out,
+                                                const callstack::SiteDb& sites,
+                                                const WriterOptions& options);
 std::unique_ptr<TraceReader> open_text_reader(std::istream& in,
                                               callstack::SiteDb& sites);
+std::unique_ptr<TraceReader> open_text_reader(std::istream& in,
+                                              callstack::SiteDb& sites,
+                                              const ReaderOptions& options);
 std::unique_ptr<TraceReader> open_binary_reader(std::istream& in,
                                                 callstack::SiteDb& sites);
+std::unique_ptr<TraceReader> open_binary_reader(std::istream& in,
+                                                callstack::SiteDb& sites,
+                                                const ReaderOptions& options);
 }  // namespace detail
 
 }  // namespace hmem::trace

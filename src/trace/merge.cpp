@@ -1,6 +1,10 @@
 #include "trace/merge.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "common/logging.hpp"
+#include "trace/salvage.hpp"
 
 namespace hmem::trace {
 
@@ -19,7 +23,11 @@ bool OffsetTraceReader::next(Event& out) {
 
 MergeTraceReader::MergeTraceReader(
     std::vector<std::unique_ptr<TraceReader>> inputs)
-    : inputs_(std::move(inputs)) {
+    : MergeTraceReader(std::move(inputs), MergeOptions{}) {}
+
+MergeTraceReader::MergeTraceReader(
+    std::vector<std::unique_ptr<TraceReader>> inputs, MergeOptions options)
+    : inputs_(std::move(inputs)), options_(std::move(options)) {
   heap_.reserve(inputs_.size());
   for (std::size_t i = 0; i < inputs_.size(); ++i) refill(i);
   std::make_heap(heap_.begin(), heap_.end(), heap_after);
@@ -28,7 +36,25 @@ MergeTraceReader::MergeTraceReader(
 bool MergeTraceReader::refill(std::size_t source) {
   Head head;
   head.source = source;
-  if (!inputs_[source]->next(head.event)) return false;  // input exhausted
+  if (options_.drop_failed_inputs) {
+    try {
+      if (!inputs_[source]->next(head.event)) return false;
+    } catch (const std::exception& e) {
+      // The shard died mid-stream: its remaining events are gone, but the
+      // other inputs still merge — a degraded aggregate beats no aggregate.
+      const std::string label = source < options_.labels.size()
+                                    ? options_.labels[source]
+                                    : "input " + std::to_string(source);
+      log_warn("trace merge: dropping " + label + ": " + e.what());
+      if (options_.report != nullptr) {
+        options_.report->add_incident(e.what(), label, source);
+        ++options_.report->shards_dropped;
+      }
+      return false;
+    }
+  } else {
+    if (!inputs_[source]->next(head.event)) return false;  // input exhausted
+  }
   head.time_ns = event_time_ns(head.event);
   heap_.push_back(std::move(head));
   return true;

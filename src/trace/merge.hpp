@@ -58,12 +58,25 @@ class BufferTraceReader final : public TraceReader {
   std::size_t pos_ = 0;
 };
 
+/// Degraded-mode knobs for MergeTraceReader.
+struct MergeOptions {
+  /// An input that throws (or was already dead at construction) is treated
+  /// as exhausted — its remaining events are lost, the merge continues with
+  /// the surviving inputs — instead of propagating the exception.
+  bool drop_failed_inputs = false;
+  SalvageReport* report = nullptr;  ///< where dropped inputs are recorded
+  /// Optional per-input labels (shard paths) for warnings and the report.
+  std::vector<std::string> labels;
+};
+
 /// K-way timestamp merge over any number of readers. Each input must itself
 /// be in non-decreasing time order (the writers guarantee this); the merged
 /// stream then is too.
 class MergeTraceReader final : public TraceReader {
  public:
   explicit MergeTraceReader(std::vector<std::unique_ptr<TraceReader>> inputs);
+  MergeTraceReader(std::vector<std::unique_ptr<TraceReader>> inputs,
+                   MergeOptions options);
 
   bool next(Event& out) override;
 
@@ -85,6 +98,7 @@ class MergeTraceReader final : public TraceReader {
 
   std::vector<std::unique_ptr<TraceReader>> inputs_;
   std::vector<Head> heap_;
+  MergeOptions options_;
 };
 
 }  // namespace hmem::trace

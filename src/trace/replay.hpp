@@ -18,15 +18,30 @@
 #include "callstack/sitedb.hpp"
 #include "trace/format.hpp"
 #include "trace/merge.hpp"
+#include "trace/salvage.hpp"
 
 namespace hmem::trace {
 
+/// Damage-tolerance knob for ReplayReader (distinct from the engine's
+/// ReplayOptions, which configures the simulated machine).
+struct ReplayReaderOptions {
+  /// Read every shard through chunk-level salvage: damaged chunks are
+  /// skipped, dead shards dropped with a warning, and the losses
+  /// accumulate in salvage_report(). Default is the strict contract —
+  /// throw on the first malformed byte, naming the shard and chunk.
+  bool salvage = false;
+};
+
 class ReplayReader {
  public:
-  /// Opens every shard (rank order = argument order). Throws
-  /// std::runtime_error naming the offending path when a shard cannot be
-  /// opened or its header does not sniff as a known trace format.
+  /// Opens every shard (rank order = argument order). Throws an
+  /// hmem::Error (a std::runtime_error) naming the offending path when a
+  /// shard cannot be opened or its header does not sniff as a known trace
+  /// format — unless options.salvage is set, in which case the shard is
+  /// dropped and recorded instead.
   explicit ReplayReader(const std::vector<std::string>& paths);
+  ReplayReader(const std::vector<std::string>& paths,
+               const ReplayReaderOptions& options);
 
   /// The merged, time-ordered event stream (single pass; not rewindable).
   TraceReader& reader() { return *merged_; }
@@ -37,11 +52,16 @@ class ReplayReader {
 
   std::size_t shard_count() const { return shard_count_; }
 
+  /// What salvage had to drop (meaningful when options.salvage was set;
+  /// clean() otherwise). Populated lazily as the stream is consumed.
+  const SalvageReport& salvage_report() const { return report_; }
+
  private:
   callstack::SiteDb sites_;
   std::vector<std::unique_ptr<std::ifstream>> files_;
   std::unique_ptr<MergeTraceReader> merged_;
   std::size_t shard_count_ = 0;
+  SalvageReport report_;
 };
 
 }  // namespace hmem::trace

@@ -1,0 +1,92 @@
+#include "trace/salvage.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace hmem::trace {
+
+void SalvageReport::add_incident(std::string what, std::string file,
+                                 std::optional<std::size_t> shard,
+                                 std::optional<std::size_t> chunk) {
+  ++incidents_total;
+  if (incidents.size() < kMaxIncidents) {
+    incidents.push_back(
+        SalvageIncident{std::move(what), std::move(file), shard, chunk});
+  }
+}
+
+void SalvageReport::merge_from(const SalvageReport& other) {
+  chunks_dropped += other.chunks_dropped;
+  events_dropped += other.events_dropped;
+  bytes_dropped += other.bytes_dropped;
+  tails_abandoned += other.tails_abandoned;
+  shards_dropped += other.shards_dropped;
+  incidents_total += other.incidents_total;
+  for (const auto& inc : other.incidents) {
+    if (incidents.size() >= kMaxIncidents) break;
+    incidents.push_back(inc);
+  }
+}
+
+std::string SalvageReport::summary() const {
+  if (clean()) return "salvage: clean";
+  std::ostringstream os;
+  os << "salvage: dropped " << chunks_dropped << " chunk"
+     << (chunks_dropped == 1 ? "" : "s") << " (" << events_dropped
+     << " events, " << bytes_dropped << " bytes)";
+  if (tails_abandoned > 0) {
+    os << ", " << tails_abandoned << " tail"
+       << (tails_abandoned == 1 ? "" : "s") << " abandoned";
+  }
+  if (shards_dropped > 0) {
+    os << ", " << shards_dropped << " shard"
+       << (shards_dropped == 1 ? "" : "s") << " dropped";
+  }
+  os << "; " << incidents_total << " incident"
+     << (incidents_total == 1 ? "" : "s");
+  return os.str();
+}
+
+RecoveringTraceReader::RecoveringTraceReader(std::istream& in,
+                                             callstack::SiteDb& sites,
+                                             ReaderOptions options)
+    : report_(options.report != nullptr ? options.report : &own_report_),
+      source_(options.source),
+      shard_(options.shard) {
+  options.salvage = true;
+  options.report = report_;
+  try {
+    inner_ = open_trace_reader(in, sites, options);
+  } catch (const std::exception& e) {
+    // Header damage (bad magic, unsupported version, unreadable stream):
+    // the shard yields nothing.
+    report_->add_incident(e.what(), source_, shard_);
+    ++report_->shards_dropped;
+    log_warn(std::string("trace salvage: dropping shard") +
+             (source_.empty() ? "" : " " + source_) + ": " + e.what());
+    dead_ = true;
+  }
+}
+
+bool RecoveringTraceReader::next(Event& out) {
+  if (dead_) return false;
+  try {
+    if (inner_->next(out)) return true;
+    dead_ = true;
+    return false;
+  } catch (const std::exception& e) {
+    // The salvaging back ends only throw for non-data failures (e.g. an
+    // exception from the SiteDb); treat it like framing damage and end
+    // the stream.
+    report_->add_incident(e.what(), source_, shard_);
+    ++report_->tails_abandoned;
+    log_warn(std::string("trace salvage: abandoning stream") +
+             (source_.empty() ? "" : " " + source_) + ": " + e.what());
+    dead_ = true;
+    return false;
+  }
+}
+
+}  // namespace hmem::trace

@@ -20,6 +20,11 @@
 //      the only bounds check the executors have, so a mutation that slips
 //      past it into UB is exactly what this property (under the CI
 //      ASan+UBSan job) exists to catch.
+//   5. Truncation salvage: a checksummed binary shard cut at every chunk
+//      boundary (and at random mid-chunk offsets) always salvages an
+//      *exact prefix* of the original event sequence, never throws, and
+//      reports the damage unless the cut fell precisely on a boundary
+//      (which is indistinguishable from a short, intact shard).
 //
 // Every property runs HMEM_FUZZ_ITERS iterations (default 400; CI sets 500
 // per property for >= 1000 total), seeded per iteration — a failure report
@@ -45,6 +50,7 @@
 #include "engine/execution.hpp"
 #include "engine/kernel/ir.hpp"
 #include "trace/format.hpp"
+#include "trace/salvage.hpp"
 
 namespace hmem {
 namespace {
@@ -632,6 +638,105 @@ TEST(Fuzz, MutatedKernelProgramsAreRejectedOrRunSafely) {
   // Both arms must stay populated or the property degenerates.
   EXPECT_GT(rejected, 0);
   EXPECT_GT(executed, 0);
+}
+
+// ---------------------------------- 5. salvage truncation property -------
+
+TEST(Fuzz, TruncatedShardsSalvageAnExactPrefix) {
+  // A multi-chunk checksummed shard of synthetic samples. tellp snapshots
+  // after each event expose the writer's flush points — the chunk
+  // boundaries a truncation can legally land on.
+  constexpr std::size_t kEvents = 3 * 4096 + 57;
+  std::ostringstream out(std::ios::binary);
+  callstack::SiteDb sites;
+  std::vector<std::size_t> boundaries = {0};
+  {
+    trace::WriterOptions options;
+    options.checksums = true;
+    const auto writer = trace::make_trace_writer(
+        out, sites, trace::TraceFormat::kBinary, options);
+    boundaries.push_back(static_cast<std::size_t>(out.tellp()));
+    Xoshiro256 rng(0x7A0BCULL);
+    double time_ns = 0;
+    std::size_t last = boundaries.back();
+    for (std::size_t e = 0; e < kEvents; ++e) {
+      time_ns += static_cast<double>(rng.below(50));
+      trace::SampleEvent sample;
+      sample.time_ns = time_ns;
+      sample.addr = 0x10000 + rng.below(1ULL << 20) * 64;
+      sample.is_write = rng.below(4) == 0;
+      sample.weight = 1 + rng.below(8);
+      writer->on_event(sample);
+      const auto now = static_cast<std::size_t>(out.tellp());
+      if (now != last) {
+        boundaries.push_back(now);
+        last = now;
+      }
+    }
+    writer->finish();
+    boundaries.push_back(static_cast<std::size_t>(out.tellp()));
+  }
+  const std::string shard = out.str();
+  const auto is_boundary = [&](std::size_t cut) {
+    return std::find(boundaries.begin(), boundaries.end(), cut) !=
+           boundaries.end();
+  };
+
+  // Oracle: the intact shard, decoded strictly.
+  std::vector<trace::Event> full;
+  {
+    std::istringstream in(shard, std::ios::binary);
+    callstack::SiteDb oracle_sites;
+    const auto reader = trace::open_trace_reader(in, oracle_sites);
+    trace::Event event;
+    while (reader->next(event)) full.push_back(event);
+  }
+  ASSERT_EQ(full.size(), kEvents);
+
+  int clean_short = 0, damaged = 0;
+  const auto check_cut = [&](std::size_t cut) {
+    std::istringstream in(shard.substr(0, cut), std::ios::binary);
+    callstack::SiteDb cut_sites;
+    trace::ReaderOptions options;
+    options.source = "fuzz-cut";
+    trace::RecoveringTraceReader reader(in, cut_sites, options);
+    trace::Event event;
+    std::size_t n = 0;
+    while (reader.next(event)) {
+      ASSERT_LT(n, full.size()) << "cut " << cut;
+      ASSERT_TRUE(event == full[n])
+          << "cut " << cut << ": event " << n << " is not the original";
+      ++n;
+    }
+    if (cut >= shard.size()) {
+      EXPECT_EQ(n, full.size());
+      EXPECT_TRUE(reader.report().clean());
+    } else if (n < full.size() && reader.report().clean()) {
+      // Silent loss is permitted only when the cut fell exactly on a
+      // chunk boundary — a prefix indistinguishable from a short shard.
+      EXPECT_TRUE(is_boundary(cut))
+          << "cut " << cut << " lost " << (full.size() - n)
+          << " event(s) without any salvage incident";
+      ++clean_short;
+    } else if (!reader.report().clean()) {
+      ++damaged;
+    }
+  };
+
+  for (const std::size_t cut : boundaries) {
+    check_cut(cut);
+    if (cut > 0) check_cut(cut - 1);
+    if (cut + 1 < shard.size()) check_cut(cut + 1);
+  }
+  Xoshiro256 rng(0x5A1CA6EULL);
+  const int iters = fuzz_iters();
+  for (int i = 0; i < iters; ++i) {
+    check_cut(rng.below(shard.size() + 1));
+  }
+  // Both arms must appear across the sweep: boundary cuts read as clean
+  // short shards, mid-chunk cuts as reported damage.
+  EXPECT_GT(clean_short, 0);
+  EXPECT_GT(damaged, 0);
 }
 
 }  // namespace

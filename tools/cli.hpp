@@ -8,9 +8,18 @@
 #include <optional>
 #include <string>
 
+#include "common/error.hpp"
+#include "common/fault.hpp"
 #include "memsim/machine.hpp"
 
 namespace hmem::tools {
+
+/// Shared exit-code convention (common/error.hpp): 0 success, 2 usage or
+/// configuration error, 3 data/IO error, 4 resource exhaustion.
+using hmem::kExitData;
+using hmem::kExitOk;
+using hmem::kExitResource;
+using hmem::kExitUsage;
 
 /// Returns the value of the flag at argv[i], advancing i past it. Exits
 /// with the usage status when the value is missing.
@@ -42,6 +51,32 @@ inline std::optional<memsim::MachineConfig> load_machine(
   auto machine = memsim::load_machine_config(arg, &error);
   if (!machine) std::fprintf(stderr, "--machine: %s\n", error.c_str());
   return machine;
+}
+
+/// Validates the HMEM_FAULTS environment schedule at tool startup. A typo
+/// disarms injection (library behavior) — but a tool should say so rather
+/// than silently run fault-free.
+inline void cli_init_faults() {
+  const std::string err = fault::configure_from_env();
+  if (!err.empty())
+    std::fprintf(stderr, "warning: HMEM_FAULTS ignored: %s\n", err.c_str());
+}
+
+/// Installs a --faults schedule (overriding HMEM_FAULTS). Exits with the
+/// usage status on a malformed spec.
+inline void cli_configure_faults(const char* spec) {
+  const std::string err = fault::configure(spec);
+  if (!err.empty()) {
+    std::fprintf(stderr, "--faults: %s\n", err.c_str());
+    std::exit(kExitUsage);
+  }
+}
+
+/// Standard tail of a tool's catch(const std::exception&) block: print the
+/// error, return the taxonomy's exit code for it.
+inline int cli_fail(const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return exit_code_for(e);
 }
 
 }  // namespace hmem::tools

@@ -27,7 +27,14 @@
 //                      per folded phase plus the migration diff between
 //                      consecutive phases (consume with hmem_run
 //                      --condition dynamic)
-//     --csv file       write the per-object CSV here
+//     --csv file       write the per-object CSV here (written atomically)
+//     --strict         throw on the first malformed trace byte instead of
+//                      the default chunk-level salvage (skip damaged
+//                      chunks / dead shards with a warning and keep going)
+//     --faults spec    fault-injection schedule (overrides HMEM_FAULTS)
+//
+// Exit codes: 0 success, 2 usage/config error, 3 data or I/O error
+// (e.g. --strict hitting a damaged shard), 4 resource exhaustion.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -37,6 +44,8 @@
 
 #include "advisor/advisor.hpp"
 #include "advisor/phase_advisor.hpp"
+#include "common/atomic_file.hpp"
+#include "common/error.hpp"
 #include "advisor/placement_report.hpp"
 #include "advisor/schedule_report.hpp"
 #include "analysis/aggregator.hpp"
@@ -44,12 +53,15 @@
 #include "cli.hpp"
 #include "engine/pipeline.hpp"
 #include "trace/replay.hpp"
+#include "trace/salvage.hpp"
 
 int main(int argc, char** argv) {
   using namespace hmem;
 
+  tools::cli_init_faults();
   std::vector<std::string> positional;
   advisor::Options options;
+  bool strict = false;
   std::uint64_t slow = parse_bytes("1.5G").value();
   std::optional<memsim::MachineConfig> machine;
   const char* csv_path = nullptr;
@@ -89,6 +101,10 @@ int main(int argc, char** argv) {
       per_phase = true;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv_path = tools::cli_value(argc, argv, i, "--csv");
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      tools::cli_configure_faults(tools::cli_value(argc, argv, i, "--faults"));
     } else if (tools::cli_is_flag(argv[i])) {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return 2;
@@ -101,6 +117,7 @@ int main(int argc, char** argv) {
                  "usage: %s <trace> [trace...] <fast-budget> [--strategy s] "
                  "[--threshold t] [--virtual b] [--slow b] "
                  "[--machine preset|config.ini] [--per-phase] [--csv file]\n"
+                 "          [--strict] [--faults spec]\n"
                  "  machine presets: %s\n",
                  argv[0], tools::machine_preset_list().c_str());
     return 2;
@@ -133,24 +150,34 @@ int main(int argc, char** argv) {
   // reuse the same simulated physical layout) and the k-way timestamp
   // merge. hmem_run --replay reads recordings through the same front.
   analysis::AggregateResult report;
+  trace::ReplayReaderOptions replay_options;
+  replay_options.salvage = !strict;
   std::optional<trace::ReplayReader> recording;
   try {
-    recording.emplace(positional);
+    recording.emplace(positional, replay_options);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return 1;
+    return tools::cli_fail(e);
   }
   try {
     report = analysis::aggregate_stream(recording->reader(),
                                         recording->sites());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "trace parse error: %s\n", e.what());
-    return 1;
+    return exit_code_for(e);
+  }
+  const trace::SalvageReport& salvage = recording->salvage_report();
+  if (!salvage.clean()) {
+    std::fprintf(stderr, "warning: %s\n", salvage.summary().c_str());
   }
 
   if (csv_path != nullptr) {
-    std::ofstream csv(csv_path);
-    csv << analysis::objects_to_csv(report.objects);
+    try {
+      AtomicFile csv(csv_path);
+      csv.stream() << analysis::objects_to_csv(report.objects);
+      csv.commit();
+    } catch (const std::exception& e) {
+      return tools::cli_fail(e);
+    }
   }
   std::fprintf(stderr,
                "aggregated %zu objects from %zu shard%s, %llu samples "
@@ -168,7 +195,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "--per-phase: the trace carries no phase events; "
                    "re-profile or drop the flag\n");
-      return 1;
+      return tools::kExitData;
     }
     advisor::PhaseAdvisor adv(spec, options);
     const auto schedule = adv.advise(report.phases);
@@ -178,10 +205,10 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(
                      schedule.migration_bytes_per_cycle()));
     std::cout << advisor::write_schedule_report(schedule);
-    return 0;
+    return tools::kExitOk;
   }
   advisor::HmemAdvisor adv(spec, options);
   const auto placement = adv.advise(report.objects);
   std::cout << advisor::write_placement_report(placement);
-  return 0;
+  return tools::kExitOk;
 }

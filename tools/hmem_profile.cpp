@@ -17,6 +17,7 @@
 //                       [--machine preset|config.ini]
 //                       [--period P] [--min-alloc B]
 //                       [--kernel k] [--app-config app.ini]
+//                       [--checksums] [--faults spec]
 //     app              hpcg | lulesh | bt | minife | cgpop | snap |
 //                      maxw-dgtd | gtc-p | churn | transient — or the path
 //                      of an app config file (INI workload DSL); with
@@ -31,8 +32,20 @@
 //                      auto (default auto = HMEM_KERNEL, then bytecode);
 //                      traces are bit-identical across kernels, and a
 //                      profiled native request falls back to bytecode
+//     --checksums      binary format only: guard every event chunk with a
+//                      CRC-32 so later salvage can drop exactly the
+//                      damaged chunks (off by default; adds 5 bytes per
+//                      4096 events)
+//     --faults spec    fault-injection schedule (overrides HMEM_FAULTS),
+//                      e.g. "io_write:nth=3" or "alloc:p=0.01,seed=7"
 //     period           PEBS sampling period (default 37589)
 //     min-alloc-bytes  allocation monitoring threshold (default 4096)
+//
+// Shards are written atomically (temp file + fsync + rename): a crashed or
+// faulted run never leaves a torn shard at the output path.
+//
+// Exit codes: 0 success, 2 usage/config error, 3 data or I/O error,
+// 4 resource exhaustion.
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +57,8 @@
 
 #include "apps/app_config.hpp"
 #include "apps/workloads.hpp"
+#include "common/atomic_file.hpp"
+#include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "engine/execution.hpp"
 #include "engine/pipeline.hpp"
@@ -60,6 +75,7 @@ namespace {
                "[--min-alloc B]\n"
                "          [--kernel interp|bytecode|native|auto] "
                "[--app-config app.ini]\n"
+               "          [--checksums] [--faults spec]\n"
                "  app: a bundled app name or an app config file; with\n"
                "  --app-config the <app> argument is dropped\n"
                "  machine presets: %s\n",
@@ -72,8 +88,10 @@ namespace {
 int main(int argc, char** argv) {
   using namespace hmem;
 
+  tools::cli_init_faults();
   std::vector<std::string> positional;
   trace::TraceFormat format = trace::TraceFormat::kText;
+  trace::WriterOptions writer_options;
   int ranks = 0;  // 0 = single run with the app's default rank count
   int jobs = 1;
   memsim::MachineConfig node =
@@ -125,6 +143,10 @@ int main(int argc, char** argv) {
       kern = *k;
     } else if (std::strcmp(argv[i], "--app-config") == 0) {
       app_config = tools::cli_value(argc, argv, i, "--app-config");
+    } else if (std::strcmp(argv[i], "--checksums") == 0) {
+      writer_options.checksums = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      tools::cli_configure_faults(tools::cli_value(argc, argv, i, "--faults"));
     } else if (tools::cli_is_flag(argv[i])) {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return 2;
@@ -150,7 +172,7 @@ int main(int argc, char** argv) {
                         : apps::load_app(positional[0], &app_error);
   if (!app) {
     std::fprintf(stderr, "%s\n", app_error.c_str());
-    return 2;
+    return tools::kExitUsage;
   }
   if (ranks > 0) app->ranks = ranks;
   const int shard_count = ranks > 0 ? ranks : 1;
@@ -169,6 +191,7 @@ int main(int argc, char** argv) {
   // instead of burning minutes of simulation the error already doomed.
   std::vector<std::string> status(static_cast<std::size_t>(shard_count));
   std::vector<std::string> errors(static_cast<std::size_t>(shard_count));
+  std::vector<int> codes(static_cast<std::size_t>(shard_count), 0);
   std::atomic<bool> abort_remaining{false};
   parallel_for(jobs, static_cast<std::size_t>(shard_count),
                [&](std::size_t r) {
@@ -176,45 +199,47 @@ int main(int argc, char** argv) {
     const std::string path =
         shard_count == 1 ? trace_out
                          : trace_out + ".rank" + std::to_string(r);
-    std::ofstream out(path, std::ios::binary);
-    if (!out) {
-      errors[r] = "cannot open " + path + " for writing";
+    try {
+      // Atomic shard output: the destination path only ever holds a
+      // complete shard; a crash or fault mid-run leaves no torn file.
+      AtomicFile out(path);
+      callstack::SiteDb sites;
+      const auto writer =
+          trace::make_trace_writer(out.stream(), sites, format,
+                                   writer_options);
+      engine::RunOptions opts = base;
+      opts.seed += static_cast<std::uint64_t>(r) * engine::kRankSeedStride;
+      opts.sites = &sites;
+      opts.trace_sink = writer.get();
+      const auto run = engine::run_app(*app, opts);
+      writer->finish();
+      out.commit();
+      char line[512];
+      std::snprintf(line, sizeof(line),
+                    "profiled %s rank %zu/%d: %zu trace events (%s), "
+                    "%llu samples, %.2f%% monitoring overhead -> %s",
+                    app->name.c_str(), r, shard_count,
+                    writer->events_written(),
+                    trace::trace_format_name(format),
+                    static_cast<unsigned long long>(run.samples),
+                    run.monitoring_overhead * 100.0, path.c_str());
+      status[r] = line;
+    } catch (const std::exception& e) {
+      errors[r] = path + ": " + e.what();
+      codes[r] = exit_code_for(e);
       abort_remaining.store(true, std::memory_order_relaxed);
-      return;
     }
-    callstack::SiteDb sites;
-    const auto writer = trace::make_trace_writer(out, sites, format);
-    engine::RunOptions opts = base;
-    opts.seed += static_cast<std::uint64_t>(r) * engine::kRankSeedStride;
-    opts.sites = &sites;
-    opts.trace_sink = writer.get();
-    const auto run = engine::run_app(*app, opts);
-    writer->finish();
-    if (!out) {
-      errors[r] = "write error on " + path;
-      abort_remaining.store(true, std::memory_order_relaxed);
-      return;
-    }
-    char line[512];
-    std::snprintf(line, sizeof(line),
-                  "profiled %s rank %zu/%d: %zu trace events (%s), "
-                  "%llu samples, %.2f%% monitoring overhead -> %s",
-                  app->name.c_str(), r, shard_count,
-                  writer->events_written(), trace::trace_format_name(format),
-                  static_cast<unsigned long long>(run.samples),
-                  run.monitoring_overhead * 100.0, path.c_str());
-    status[r] = line;
   });
   for (int r = 0; r < shard_count; ++r) {
     const auto idx = static_cast<std::size_t>(r);
     if (!errors[idx].empty()) {
-      std::fprintf(stderr, "%s\n", errors[idx].c_str());
-      return 1;
+      std::fprintf(stderr, "error: %s\n", errors[idx].c_str());
+      return codes[idx] != 0 ? codes[idx] : tools::kExitData;
     }
     // Ranks skipped by the abort flag have neither status nor error.
     if (!status[idx].empty()) {
       std::fprintf(stderr, "%s\n", status[idx].c_str());
     }
   }
-  return 0;
+  return tools::kExitOk;
 }

@@ -42,6 +42,13 @@
 //                 unavailable choices fall back down the ladder.
 //     replay      recorded trace shard(s); pass every .rank<k> shard of a
 //                 multi-rank profile
+//     --strict    replay only: throw on the first malformed trace byte
+//                 instead of the default chunk-level salvage
+//     --faults s  fault-injection schedule (overrides HMEM_FAULTS)
+//
+// Exit codes: 0 success, 2 usage/config error, 3 data or I/O error,
+// 4 resource exhaustion (e.g. the recorded allocation stream exceeding the
+// simulated machine's capacities).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -56,9 +63,11 @@
 #include "common/parallel.hpp"
 #include "common/strings.hpp"
 #include "common/units.hpp"
+#include "common/error.hpp"
 #include "engine/execution.hpp"
 #include "engine/replay.hpp"
 #include "trace/replay.hpp"
+#include "trace/salvage.hpp"
 #include "cli.hpp"
 
 namespace {
@@ -120,13 +129,15 @@ std::string report_text(const hmem::engine::RunResult& run) {
 
 int main(int argc, char** argv) {
   using namespace hmem;
+  tools::cli_init_faults();
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <app> [--condition ddr|numactl|autohbw|cache"
                  "|dynamic[,...]] [--placement report.txt] "
                  "[--machine preset|config.ini] [--ranks N] [--jobs J] "
                  "[--kernel interp|bytecode|native|auto] "
-                 "[--app-config app.ini] [--replay shard ...]\n"
+                 "[--app-config app.ini] [--replay shard ...] "
+                 "[--strict] [--faults spec]\n"
                  "  machine presets: %s\n",
                  argv[0], tools::machine_preset_list().c_str());
     return 2;
@@ -143,6 +154,7 @@ int main(int argc, char** argv) {
   bool dynamic_requested = false;
   int ranks = 0;
   int jobs = 1;
+  bool strict = false;
   engine::kernel::KernelKind kern = engine::kernel::KernelKind::kAuto;
   memsim::MachineConfig node =
       memsim::MachineConfig::knl7250(memsim::MemMode::kFlat);
@@ -171,7 +183,7 @@ int main(int argc, char** argv) {
       std::ifstream in(tools::cli_value(argc, argv, i, "--placement"));
       if (!in) {
         std::fprintf(stderr, "cannot open placement report\n");
-        return 1;
+        return tools::kExitData;
       }
       std::ostringstream text;
       text << in.rdbuf();
@@ -185,7 +197,7 @@ int main(int argc, char** argv) {
         }
       } catch (const std::exception& e) {
         std::fprintf(stderr, "placement parse error: %s\n", e.what());
-        return 1;
+        return exit_code_for(e);
       }
     } else if (std::strcmp(argv[i], "--machine") == 0) {
       const auto machine =
@@ -218,6 +230,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--replay") == 0) {
       replay_shards.emplace_back(
           tools::cli_value(argc, argv, i, "--replay"));
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      tools::cli_configure_faults(tools::cli_value(argc, argv, i, "--faults"));
     } else if (tools::cli_is_flag(argv[i])) {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       return 2;
@@ -278,17 +294,23 @@ int main(int argc, char** argv) {
         opts.placement = &placement;
       }
       try {
-        trace::ReplayReader recording(replay_shards);
+        trace::ReplayReaderOptions replay_options;
+        replay_options.salvage = !strict;
+        trace::ReplayReader recording(replay_shards, replay_options);
         const engine::RunResult result = engine::replay_run(
             recording.reader(), recording.sites(), opts);
+        const trace::SalvageReport& salvage = recording.salvage_report();
+        if (!salvage.clean()) {
+          std::fprintf(stderr, "warning: %s\n", salvage.summary().c_str());
+        }
         if (c > 0) std::printf("\n");
         std::printf("%s", report_text(result).c_str());
       } catch (const std::exception& e) {
         std::fprintf(stderr, "replay: %s\n", e.what());
-        return 1;
+        return exit_code_for(e);
       }
     }
-    return 0;
+    return tools::kExitOk;
   }
 
   // ---- App mode ---------------------------------------------------------
@@ -303,11 +325,13 @@ int main(int argc, char** argv) {
                         : apps::load_app(positional[0], &app_error);
   if (!app) {
     std::fprintf(stderr, "%s\n", app_error.c_str());
-    return 2;
+    return tools::kExitUsage;
   }
   if (ranks > 0) app->ranks = ranks;
 
   std::vector<std::string> reports(conditions.size());
+  std::vector<std::string> errors(conditions.size());
+  std::vector<int> codes(conditions.size(), 0);
   parallel_for(jobs, conditions.size(), [&](std::size_t c) {
     engine::RunOptions opts;
     opts.condition = conditions[c];
@@ -319,11 +343,20 @@ int main(int argc, char** argv) {
     if (conditions[c] == engine::Condition::kDynamic) {
       opts.schedule = &schedule;
     }
-    reports[c] = report_text(engine::run_app(*app, opts));
+    try {
+      reports[c] = report_text(engine::run_app(*app, opts));
+    } catch (const std::exception& e) {
+      errors[c] = e.what();
+      codes[c] = exit_code_for(e);
+    }
   });
-  for (std::size_t c = 0; c < reports.size(); ++c) {
+  for (std::size_t c = 0; c < conditions.size(); ++c) {
+    if (!errors[c].empty()) {
+      std::fprintf(stderr, "error: %s\n", errors[c].c_str());
+      return codes[c] != 0 ? codes[c] : tools::kExitData;
+    }
     if (c > 0) std::printf("\n");
     std::printf("%s", reports[c].c_str());
   }
-  return 0;
+  return tools::kExitOk;
 }

@@ -12,7 +12,10 @@
 //     check <app.ini>    parse + validate a config; prints a one-line
 //                        summary, exits 2 with the offending key on error
 //     dump-all <dir>     write <dir>/<name>.ini for every bundled app
-//                        (regenerates configs/apps/)
+//                        (regenerates configs/apps/); files are written
+//                        atomically (temp + fsync + rename)
+//
+// Exit codes: 0 success, 2 usage/config error, 3 data or I/O error.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -21,6 +24,8 @@
 
 #include "apps/app_config.hpp"
 #include "apps/workloads.hpp"
+#include "common/atomic_file.hpp"
+#include "common/error.hpp"
 #include "common/units.hpp"
 
 namespace {
@@ -86,19 +91,17 @@ int main(int argc, char** argv) {
     const std::string dir = argv[2];
     for (const auto& app : bundled()) {
       const std::string path = dir + "/" + app.name + ".ini";
-      std::ofstream out(path);
-      if (!out) {
-        std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-        return 1;
-      }
-      out << apps::to_config_text(app);
-      if (!out) {
-        std::fprintf(stderr, "write error on %s\n", path.c_str());
-        return 1;
+      try {
+        AtomicFile out(path);
+        out.stream() << apps::to_config_text(app);
+        out.commit();
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return exit_code_for(e);
       }
       std::fprintf(stderr, "wrote %s\n", path.c_str());
     }
-    return 0;
+    return kExitOk;
   }
 
   usage(argv[0]);
