@@ -7,16 +7,31 @@
 #include <optional>
 #include <string>
 
+#include "engine/kernel/kernel.hpp"
+#include "engine/pipeline.hpp"
 #include "memsim/machine.hpp"
 
 namespace hmem::bench {
 
-/// Options every row/sweep driver accepts: worker count and machine.
+/// Options every row/sweep driver accepts: worker count, machine, and the
+/// access-loop kernel backend.
 struct BenchOptions {
   int jobs = 1;
   memsim::MachineConfig node =
       memsim::MachineConfig::knl7250(memsim::MemMode::kFlat);
+  engine::kernel::KernelKind kernel = engine::kernel::KernelKind::kAuto;
 };
+
+/// The one mapping from bench flags to engine options. Every bench driver
+/// goes through here, so a new PipelineOptions knob that benches should
+/// honour has exactly one place to be wired.
+inline engine::PipelineOptions pipeline_options(const BenchOptions& options) {
+  engine::PipelineOptions base;
+  base.jobs = options.jobs;
+  base.node = options.node;
+  base.kernel = options.kernel;
+  return base;
+}
 
 /// Resolves a --machine value (preset name or machine config file); exits
 /// with status 2 when it does not parse. Single point of change for every
@@ -31,9 +46,20 @@ inline memsim::MachineConfig parse_machine_value(const char* arg) {
   return *machine;
 }
 
-/// Parses [--jobs N] [--machine preset|config.ini]; exits with usage on
-/// anything else. Shared by the fig4 rows and the ablation sweeps so the
-/// flags cannot drift between them.
+/// Resolves a --kernel value; exits with status 2 when it does not parse.
+inline engine::kernel::KernelKind parse_kernel_value(const char* arg) {
+  const auto kind = engine::kernel::parse_kernel(arg);
+  if (!kind) {
+    std::fprintf(stderr, "--kernel: unknown kernel '%s' (one of %s)\n", arg,
+                 engine::kernel::kernel_list().c_str());
+    std::exit(2);
+  }
+  return *kind;
+}
+
+/// Parses [--jobs N] [--machine preset|config.ini] [--kernel kind]; exits
+/// with usage on anything else. Shared by the fig4 rows and the ablation
+/// sweeps so the flags cannot drift between them.
 inline BenchOptions parse_bench_options(int argc, char** argv) {
   BenchOptions options;
   for (int i = 1; i < argc; ++i) {
@@ -42,10 +68,13 @@ inline BenchOptions parse_bench_options(int argc, char** argv) {
       if (options.jobs < 1) options.jobs = 1;
     } else if (std::strcmp(argv[i], "--machine") == 0 && i + 1 < argc) {
       options.node = parse_machine_value(argv[++i]);
+    } else if (std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc) {
+      options.kernel = parse_kernel_value(argv[++i]);
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--jobs N] [--machine preset|config.ini]\n",
-                   argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [--jobs N] [--machine preset|config.ini] [--kernel %s]\n",
+          argv[0], engine::kernel::kernel_list().c_str());
       std::exit(2);
     }
   }

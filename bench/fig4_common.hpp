@@ -1,10 +1,11 @@
 // Shared driver for the eight Figure 4 benches: runs the full evaluation row
-// for one application (four baselines + four strategies x budget sweep) and
-// prints the three panels (FOM / fast-tier HWM / dFOM-per-MByte) plus a CSV
-// block for plotting. Every bench accepts --jobs N to sweep the row's
-// independent cells concurrently (results are bit-identical to --jobs 1)
-// and --machine <preset> to run the whole row on a different memory
-// hierarchy (default: the paper's KNL).
+// for one application (four baselines + four strategies x budget sweep,
+// executed by the sweep engine under Fig4Runner) and prints the three panels
+// (FOM / fast-tier HWM / dFOM-per-MByte) plus a CSV block for plotting.
+// Every bench accepts --jobs N to sweep the row's independent cells
+// concurrently (results are bit-identical to --jobs 1), --machine <preset>
+// to run the whole row on a different memory hierarchy (default: the
+// paper's KNL), and --kernel to pick the access-loop backend.
 #pragma once
 
 #include <cstdio>
@@ -18,10 +19,7 @@ namespace hmem::bench {
 
 inline int run_fig4(const std::string& app_name, const BenchOptions& options) {
   const apps::AppSpec app = apps::app_by_name(app_name);
-  engine::PipelineOptions base;
-  base.jobs = options.jobs;
-  base.node = options.node;
-  engine::Fig4Runner runner(app, base);
+  engine::Fig4Runner runner(app, pipeline_options(options));
   const auto budgets = app.ranks == 1 ? engine::paper_budgets_openmp()
                                       : engine::paper_budgets_mpi();
   const auto strategies = engine::paper_strategies();
@@ -37,7 +35,7 @@ inline int run_fig4(const std::string& app_name, const BenchOptions& options) {
 }
 
 /// argv handling shared by the eight per-app mains:
-/// [--jobs N] [--machine preset].
+/// [--jobs N] [--machine preset] [--kernel kind].
 inline int fig4_main(const std::string& app_name, int argc, char** argv) {
   return run_fig4(app_name, parse_bench_options(argc, argv));
 }

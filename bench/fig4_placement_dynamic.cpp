@@ -1,10 +1,9 @@
 // Figure 4, dynamic row: static knapsack placement vs the phase-aware
 // schedule, as a dFOM/MByte comparison across every bundled workload (the
 // paper's eight plus the two phase-shifting stress apps) and every machine
-// preset. Each cell runs the full pipeline once per condition family:
-// profile -> aggregate (whole-run + per-phase) -> static placement +
-// schedule -> framework and dynamic production runs, plus the DDR baseline
-// the dFOM metric is anchored to.
+// preset. The grid is a sweep-engine run: one DDR baseline cell plus one
+// dynamic cell per (app, machine), sharing stage-1 profiles and compiled
+// kernel programs across cells and executing on the worker pool.
 //
 // The static pipeline structurally cannot beat dynamic on the phase-shift
 // apps (churn, transient): their hot sets do not fit the budget *together*
@@ -13,18 +12,19 @@
 // for that (the `=` rows).
 //
 //   usage: bench_fig4_placement_dynamic [--jobs N]
-//          [--machine preset|config.ini] [--smoke]
+//          [--machine preset|config.ini] [--kernel kind] [--smoke]
 //          [--store cells.dat] [--resume] [--out results.json]
 //     --jobs     sweep independent cells concurrently (bit-identical to
 //                serial, like every other fig4 bench)
 //     --machine  restrict the sweep to one machine (default: all four
 //                presets)
+//     --kernel   access-loop backend (auto/interp/bytecode/native)
 //     --smoke    shrink every app for CI (structure preserved)
-//     --store    append each finished cell to a checksummed result store;
-//                a killed sweep loses at most the cells still in flight
 //     --resume   (requires --store) skip cells already in the store; the
 //                final tables and JSON are byte-identical to an unkilled
 //                run because stored doubles round-trip exactly (%.17g)
+//     --store    append each finished cell to a checksummed result store;
+//                a killed sweep loses at most the cells still in flight
 //     --out      also write the results as JSON, atomically (temp+rename)
 #include <cstdio>
 #include <cstdlib>
@@ -37,16 +37,17 @@
 #include "bench_common.hpp"
 #include "common/atomic_file.hpp"
 #include "common/error.hpp"
-#include "common/parallel.hpp"
 #include "common/units.hpp"
 #include "engine/experiment.hpp"
-#include "engine/pipeline.hpp"
+#include "engine/sweep.hpp"
 #include "engine/sweep_store.hpp"
 
 namespace {
 
 using namespace hmem;
 
+/// One presentation row of the sweep: the (app, machine) grid point with
+/// its DDR anchor and the static/dynamic comparison.
 struct Cell {
   std::string app;
   std::string machine;
@@ -72,86 +73,10 @@ std::uint64_t budget_for(const apps::AppSpec& app) {
   return 256 * kMiB;
 }
 
-/// Store key of a cell: the (app, machine) grid coordinates. Neither name
-/// contains '|' (workload and preset names are identifier-shaped).
-std::string cell_key(const std::string& app, const std::string& machine) {
-  return app + "|" + machine;
-}
-
-/// Store payload: every computed field, doubles at %.17g so a resumed
-/// sweep reproduces the original tables and JSON byte for byte.
-std::string serialize_cell(const Cell& cell) {
-  char buf[512];
-  std::snprintf(buf, sizeof(buf),
-                "%s|%llu|%zu|%llu|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g",
-                cell.fast_tier.c_str(),
-                static_cast<unsigned long long>(cell.budget), cell.phases,
-                static_cast<unsigned long long>(cell.migration_bytes),
-                cell.ddr_fom, cell.static_fom, cell.dynamic_fom,
-                cell.static_dfom, cell.dynamic_dfom, cell.migration_cost_s);
-  return buf;
-}
-
-bool parse_cell(const std::string& value, Cell& cell) {
-  std::vector<std::string> parts;
-  std::size_t start = 0;
-  for (std::size_t i = 0; i <= value.size(); ++i) {
-    if (i == value.size() || value[i] == '|') {
-      parts.push_back(value.substr(start, i - start));
-      start = i + 1;
-    }
-  }
-  if (parts.size() != 10) return false;
-  char* end = nullptr;
-  cell.fast_tier = parts[0];
-  cell.budget = std::strtoull(parts[1].c_str(), &end, 10);
-  cell.phases = std::strtoull(parts[2].c_str(), &end, 10);
-  cell.migration_bytes = std::strtoull(parts[3].c_str(), &end, 10);
-  cell.ddr_fom = std::strtod(parts[4].c_str(), &end);
-  cell.static_fom = std::strtod(parts[5].c_str(), &end);
-  cell.dynamic_fom = std::strtod(parts[6].c_str(), &end);
-  cell.static_dfom = std::strtod(parts[7].c_str(), &end);
-  cell.dynamic_dfom = std::strtod(parts[8].c_str(), &end);
-  cell.migration_cost_s = std::strtod(parts[9].c_str(), &end);
-  return true;
-}
-
-Cell run_cell(apps::AppSpec app, const memsim::MachineConfig& node) {
-  Cell cell;
-  cell.app = app.name;
-  cell.machine = node.name;
-  cell.fast_tier = node.tiers[node.fastest_tier()].name;
-  cell.budget = budget_for(app);
-
-  engine::PipelineOptions options;
-  options.per_phase = true;
-  options.fast_budget_per_rank = cell.budget;
-  options.node = node;
-  const engine::PipelineResult result = engine::run_pipeline(app, options);
-
-  engine::RunOptions ddr;
-  ddr.condition = engine::Condition::kDdr;
-  ddr.seed = options.production_seed;
-  ddr.node = node;
-  const engine::RunResult ddr_run = engine::run_app(app, ddr);
-
-  cell.ddr_fom = ddr_run.fom;
-  cell.static_fom = result.production_run.fom;
-  cell.dynamic_fom = result.dynamic_run.fom;
-  cell.static_dfom =
-      engine::dfom_per_mb(cell.static_fom, cell.ddr_fom, cell.budget);
-  cell.dynamic_dfom =
-      engine::dfom_per_mb(cell.dynamic_fom, cell.ddr_fom, cell.budget);
-  cell.phases = result.schedule.phases.size();
-  cell.migration_bytes = result.dynamic_run.migration_bytes;
-  cell.migration_cost_s = result.dynamic_run.migration_cost_s;
-  return cell;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  int jobs = 1;
+  bench::BenchOptions bench_options;
   bool smoke = false;
   bool resume = false;
   std::string store_path;
@@ -159,10 +84,12 @@ int main(int argc, char** argv) {
   std::vector<memsim::MachineConfig> machines;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-      if (jobs < 1) jobs = 1;
+      bench_options.jobs = std::atoi(argv[++i]);
+      if (bench_options.jobs < 1) bench_options.jobs = 1;
     } else if (std::strcmp(argv[i], "--machine") == 0 && i + 1 < argc) {
       machines = {bench::parse_machine_value(argv[++i])};
+    } else if (std::strcmp(argv[i], "--kernel") == 0 && i + 1 < argc) {
+      bench_options.kernel = bench::parse_kernel_value(argv[++i]);
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
@@ -174,7 +101,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--machine preset|config.ini] "
-                   "[--smoke] [--store cells.dat] [--resume] "
+                   "[--kernel kind] [--smoke] [--store cells.dat] [--resume] "
                    "[--out results.json]\n",
                    argv[0]);
       return 2;
@@ -219,59 +146,65 @@ int main(int argc, char** argv) {
     }
   }
 
-  // One independent pipeline per (app, machine) cell; every task writes
-  // only its own slot, so --jobs N is bit-identical to serial. With
-  // --resume, stored cells fill their slots up front and only the missing
-  // ones run; the stored doubles round-trip exactly, so the tables below
-  // cannot tell a resumed cell from a recomputed one.
-  std::vector<Cell> cells(apps.size() * machines.size());
-  std::vector<char> done(cells.size(), 0);
-  std::size_t resumed = 0;
-  if (store != nullptr && resume) {
-    for (std::size_t c = 0; c < cells.size(); ++c) {
-      const std::string& app = apps[c / machines.size()].name;
-      const std::string& machine = machines[c % machines.size()].name;
-      const auto value = store->find(cell_key(app, machine));
-      if (!value.has_value()) continue;
-      Cell cell;
-      cell.app = app;
-      cell.machine = machine;
-      if (!parse_cell(*value, cell)) {
-        std::fprintf(stderr, "warning: unparseable stored cell %s — "
-                     "recomputing\n", cell_key(app, machine).c_str());
-        continue;
-      }
-      cells[c] = std::move(cell);
-      done[c] = 1;
-      ++resumed;
-    }
-    std::printf("resume: %zu of %zu cell(s) loaded from %s\n", resumed,
-                cells.size(), store->path().c_str());
+  // The grid as a sweep: for every (app, machine), a DDR baseline cell (the
+  // dFOM anchor) followed by one dynamic cell at the app's budget point.
+  // The engine shares the stage-1 profile between a grid point's static and
+  // dynamic production runs, dedups compiled kernels across the whole grid,
+  // resumes stored cells (%.17g round-trip — a resumed sweep's tables are
+  // byte-identical to an unkilled run's) and keeps the store in enumeration
+  // order regardless of --jobs.
+  engine::SweepSpec sweep;
+  sweep.apps = apps;
+  sweep.machines = machines;
+  sweep.baselines = {engine::Condition::kDdr};
+  sweep.budgets_for = [](const apps::AppSpec& app) {
+    return std::vector<std::uint64_t>{budget_for(app)};
+  };
+  sweep.dynamic_cells = true;
+  sweep.base = bench::pipeline_options(bench_options);
+  sweep.jobs = bench_options.jobs;
+  engine::SweepEngine sweep_engine(std::move(sweep));
+
+  std::vector<engine::SweepOutcome> outcomes;
+  try {
+    outcomes = sweep_engine.run(store.get(), resume);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return exit_code_for(e);
   }
-  std::vector<std::string> errors(cells.size());
-  std::vector<int> codes(cells.size(), 0);
-  parallel_for(jobs, cells.size(), [&](std::size_t c) {
-    if (done[c] != 0) return;
-    try {
-      cells[c] = run_cell(apps[c / machines.size()],
-                          machines[c % machines.size()]);
-      if (store != nullptr) {
-        store->put(cell_key(cells[c].app, cells[c].machine),
-                   serialize_cell(cells[c]));
-      }
-    } catch (const std::exception& e) {
-      errors[c] = e.what();
-      codes[c] = exit_code_for(e);
+  const engine::SweepStats& stats = sweep_engine.stats();
+  if (store != nullptr && resume) {
+    std::printf("resume: %zu of %zu sweep cell(s) loaded from %s\n",
+                stats.cells_resumed, stats.cells_in_shard,
+                store->path().c_str());
+  }
+
+  // Reshape: enumeration order is (app-major, machine-minor), and each grid
+  // point contributes exactly [baseline ddr, dynamic] in that order.
+  std::vector<Cell> cells(apps.size() * machines.size());
+  for (const engine::SweepOutcome& outcome : outcomes) {
+    const engine::SweepCell& sc = outcome.cell;
+    Cell& cell = cells[sc.app * machines.size() + sc.machine];
+    cell.app = apps[sc.app].name;
+    cell.machine = machines[sc.machine].name;
+    cell.fast_tier =
+        machines[sc.machine].tiers[machines[sc.machine].fastest_tier()].name;
+    if (sc.kind == engine::CellKind::kBaseline) {
+      cell.ddr_fom = outcome.result.fom;
+    } else {
+      cell.budget = sc.budget_bytes;
+      cell.static_fom = outcome.result.static_fom;
+      cell.dynamic_fom = outcome.result.fom;
+      cell.phases = outcome.result.phases;
+      cell.migration_bytes = outcome.result.migration_bytes;
+      cell.migration_cost_s = outcome.result.migration_cost_s;
     }
-  });
-  for (std::size_t c = 0; c < cells.size(); ++c) {
-    if (errors[c].empty()) continue;
-    std::fprintf(stderr, "error: cell %s: %s\n",
-                 cell_key(apps[c / machines.size()].name,
-                          machines[c % machines.size()].name)
-                     .c_str(),
-                 errors[c].c_str());
-    return codes[c];
+  }
+  for (Cell& cell : cells) {
+    cell.static_dfom =
+        engine::dfom_per_mb(cell.static_fom, cell.ddr_fom, cell.budget);
+    cell.dynamic_dfom =
+        engine::dfom_per_mb(cell.dynamic_fom, cell.ddr_fom, cell.budget);
   }
 
   std::printf(
@@ -291,6 +224,13 @@ int main(int argc, char** argv) {
                 cell.static_dfom, cell.dynamic_dfom, verdict,
                 format_bytes(cell.migration_bytes).c_str());
   }
+  std::printf(
+      "\nsweep: %zu cell(s) in %.2fs (%.2f cells/s), profile reuse "
+      "%.0f%%, program cache %.0f%% (%zu entries), peak cell scratch %s\n",
+      stats.cells_computed, stats.wall_seconds, stats.cells_per_second,
+      100.0 * stats.profile_hit_rate(), 100.0 * stats.program_hit_rate(),
+      stats.program_cache_entries,
+      format_bytes(stats.arena_peak_cell_bytes).c_str());
 
   std::printf("\n--- CSV ---\n");
   std::printf(

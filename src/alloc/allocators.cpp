@@ -6,9 +6,10 @@ namespace hmem::alloc {
 
 ArenaAllocator::ArenaAllocator(std::string name, Address base,
                                std::uint64_t capacity, double alloc_base_ns,
-                               double alloc_per_kib_ns, double free_ns)
+                               double alloc_per_kib_ns, double free_ns,
+                               std::pmr::memory_resource* mem)
     : name_(std::move(name)),
-      arena_(base, capacity),
+      arena_(base, capacity, /*alignment=*/64, mem),
       alloc_base_ns_(alloc_base_ns),
       alloc_per_kib_ns_(alloc_per_kib_ns),
       free_ns_(free_ns) {}
@@ -44,17 +45,19 @@ bool ArenaAllocator::fits(std::uint64_t size) const {
   return arena_.largest_free_block() >= std::max<std::uint64_t>(size, 1);
 }
 
-PosixAllocator::PosixAllocator(Address base, std::uint64_t capacity)
+PosixAllocator::PosixAllocator(Address base, std::uint64_t capacity,
+                               std::pmr::memory_resource* mem)
     : ArenaAllocator("posix", base, capacity,
                      /*alloc_base_ns=*/120.0,
                      /*alloc_per_kib_ns=*/0.02,
-                     /*free_ns=*/90.0) {}
+                     /*free_ns=*/90.0, mem) {}
 
-MemkindAllocator::MemkindAllocator(Address base, std::uint64_t capacity)
+MemkindAllocator::MemkindAllocator(Address base, std::uint64_t capacity,
+                                   std::pmr::memory_resource* mem)
     : ArenaAllocator("memkind_hbw", base, capacity,
                      /*alloc_base_ns=*/260.0,
                      /*alloc_per_kib_ns=*/0.03,
-                     /*free_ns=*/140.0) {}
+                     /*free_ns=*/140.0, mem) {}
 
 double MemkindAllocator::alloc_cost_ns(std::uint64_t size) const {
   double cost = ArenaAllocator::alloc_cost_ns(size);

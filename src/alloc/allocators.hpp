@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory_resource>
 #include <string>
 
 #include "alloc/allocator.hpp"
@@ -20,8 +21,9 @@ namespace hmem::alloc {
 class ArenaAllocator : public Allocator {
  public:
   ArenaAllocator(std::string name, Address base, std::uint64_t capacity,
-                 double alloc_base_ns, double alloc_per_kib_ns,
-                 double free_ns);
+                 double alloc_base_ns, double alloc_per_kib_ns, double free_ns,
+                 std::pmr::memory_resource* mem =
+                     std::pmr::get_default_resource());
 
   std::optional<Address> allocate(std::uint64_t size) override;
   bool deallocate(Address addr) override;
@@ -52,13 +54,17 @@ class ArenaAllocator : public Allocator {
 /// glibc-malloc stand-in over a DDR range.
 class PosixAllocator final : public ArenaAllocator {
  public:
-  PosixAllocator(Address base, std::uint64_t capacity);
+  PosixAllocator(Address base, std::uint64_t capacity,
+                 std::pmr::memory_resource* mem =
+                     std::pmr::get_default_resource());
 };
 
 /// memkind hbw_malloc stand-in over an MCDRAM range.
 class MemkindAllocator final : public ArenaAllocator {
  public:
-  MemkindAllocator(Address base, std::uint64_t capacity);
+  MemkindAllocator(Address base, std::uint64_t capacity,
+                   std::pmr::memory_resource* mem =
+                       std::pmr::get_default_resource());
 
   /// Paper-observed anomaly: 1–2 MiB requests pay a large extra cost.
   double alloc_cost_ns(std::uint64_t size) const override;

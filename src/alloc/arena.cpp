@@ -4,8 +4,10 @@
 
 namespace hmem::alloc {
 
-Arena::Arena(Address base, std::uint64_t capacity, std::uint64_t alignment)
-    : base_(base), capacity_(capacity), alignment_(alignment) {
+Arena::Arena(Address base, std::uint64_t capacity, std::uint64_t alignment,
+             std::pmr::memory_resource* mem)
+    : base_(base), capacity_(capacity), alignment_(alignment), free_(mem),
+      live_(mem) {
   HMEM_ASSERT(alignment_ != 0 && (alignment_ & (alignment_ - 1)) == 0);
   HMEM_ASSERT(capacity_ >= alignment_);
   HMEM_ASSERT(base_ % alignment_ == 0);

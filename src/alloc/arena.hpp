@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory_resource>
 #include <optional>
 
 #include "alloc/allocator.hpp"
@@ -18,7 +19,11 @@ namespace hmem::alloc {
 class Arena {
  public:
   /// Manages [base, base + capacity). Alignment must be a power of two.
-  Arena(Address base, std::uint64_t capacity, std::uint64_t alignment = 64);
+  /// `mem` backs the free/live bookkeeping maps — the sweep engine points it
+  /// at a per-cell bump arena so allocate/free churn does no global heap
+  /// traffic; the allocator's observable behaviour is identical either way.
+  Arena(Address base, std::uint64_t capacity, std::uint64_t alignment = 64,
+        std::pmr::memory_resource* mem = std::pmr::get_default_resource());
 
   std::optional<Address> allocate(std::uint64_t size);
   /// Returns the size freed, or nullopt when addr is not a live allocation.
@@ -50,8 +55,8 @@ class Arena {
   std::uint64_t capacity_;
   std::uint64_t alignment_;
   std::uint64_t in_use_ = 0;
-  std::map<Address, std::uint64_t> free_;  ///< start -> length, coalesced
-  std::map<Address, std::uint64_t> live_;  ///< start -> aligned length
+  std::pmr::map<Address, std::uint64_t> free_;  ///< start -> length, coalesced
+  std::pmr::map<Address, std::uint64_t> live_;  ///< start -> aligned length
 };
 
 }  // namespace hmem::alloc

@@ -1,0 +1,86 @@
+#include "common/arena.hpp"
+
+#include <algorithm>
+#include <new>
+
+#include "common/assert.hpp"
+
+namespace hmem {
+
+namespace {
+
+std::size_t align_up(std::size_t v, std::size_t alignment) {
+  return (v + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t first_chunk_bytes)
+    : next_chunk_bytes_(std::max<std::size_t>(first_chunk_bytes, 4096)) {}
+
+Arena::~Arena() {
+  for (Chunk& chunk : chunks_) {
+    ::operator delete(chunk.data, std::align_val_t{alignof(std::max_align_t)});
+  }
+}
+
+void Arena::reset() {
+  active_ = 0;
+  offset_ = 0;
+  in_use_ = 0;
+  peak_since_reset_ = 0;
+}
+
+void* Arena::do_allocate(std::size_t bytes, std::size_t alignment) {
+  HMEM_ASSERT_MSG((alignment & (alignment - 1)) == 0,
+                  "arena alignment must be a power of two");
+  ++allocations_;
+  // Chunks are max_align_t-aligned, so any alignment up to that is met by
+  // padding within the chunk. Over-aligned requests (rare; none in the
+  // routed containers) reserve alignment-1 extra bytes and align the
+  // resulting pointer manually.
+  if (alignment > alignof(std::max_align_t)) {
+    char* raw = static_cast<char*>(
+        do_allocate(bytes + alignment - 1, alignof(std::max_align_t)));
+    --allocations_;  // the recursive call counted itself
+    return reinterpret_cast<char*>(
+        align_up(reinterpret_cast<std::uintptr_t>(raw), alignment));
+  }
+  while (active_ < chunks_.size()) {
+    const std::size_t at = align_up(offset_, alignment);
+    if (at + bytes <= chunks_[active_].capacity) {
+      void* p = chunks_[active_].data + at;
+      in_use_ += (at - offset_) + bytes;
+      peak_ = std::max(peak_, in_use_);
+      peak_since_reset_ = std::max(peak_since_reset_, in_use_);
+      offset_ = at + bytes;
+      return p;
+    }
+    // The rest of this chunk is too small; charge it as padding and move
+    // on. Chunks retain their capacity for the next reset.
+    in_use_ += chunks_[active_].capacity - offset_;
+    ++active_;
+    offset_ = 0;
+  }
+
+  // No existing chunk fits: grow. Oversized requests get an exact chunk so
+  // a single huge vector does not balloon the doubling sequence.
+  const std::size_t want = std::max(bytes, next_chunk_bytes_);
+  if (bytes < kMaxChunkBytes) {
+    next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, kMaxChunkBytes);
+  }
+  Chunk chunk;
+  chunk.capacity = want;
+  chunk.data = static_cast<char*>(
+      ::operator new(want, std::align_val_t{alignof(std::max_align_t)}));
+  chunks_.push_back(chunk);
+  reserved_ += want;
+  active_ = chunks_.size() - 1;
+  offset_ = bytes;
+  in_use_ += bytes;
+  peak_ = std::max(peak_, in_use_);
+  peak_since_reset_ = std::max(peak_since_reset_, in_use_);
+  return chunk.data;
+}
+
+}  // namespace hmem

@@ -1,0 +1,89 @@
+// Bump arena for per-cell scratch memory (host memory — not to be confused
+// with alloc/arena.hpp, the *simulated* address-range allocator).
+//
+// A sweep runs thousands of independent cells, each of which churns through
+// the same kinds of short-lived scratch: LLC-miss records, per-tier
+// accumulators, and the free-list/live maps of the simulated tier
+// allocators. Allocating those from the global heap makes every cell pay
+// malloc/free traffic (and, under --jobs, allocator lock contention) for
+// memory whose lifetime is exactly one cell. The Arena is a chunked bump
+// allocator exposed as a std::pmr::memory_resource: allocation is a pointer
+// bump, deallocation is a no-op, and reset() rewinds to empty while keeping
+// every chunk — so after the first cell has sized the arena, steady-state
+// sweeping performs zero global-allocator traffic for the routed
+// containers.
+//
+// Values never depend on where they live: a cell run on an arena is
+// bit-identical to the same cell on the global allocator (asserted across
+// every bundled workload in tests/test_sweep.cpp).
+//
+// Not thread-safe by design: one arena per worker thread, reset between
+// cells. Containers allocated from an arena must be destroyed before
+// reset() is called.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory_resource>
+#include <vector>
+
+namespace hmem {
+
+class Arena final : public std::pmr::memory_resource {
+ public:
+  /// `first_chunk_bytes` sizes the initial chunk; subsequent chunks double
+  /// up to kMaxChunkBytes. Requests larger than the growth cap get a
+  /// dedicated chunk of exactly their size.
+  explicit Arena(std::size_t first_chunk_bytes = 1 << 20);
+  ~Arena() override;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Rewinds the arena to empty. Every chunk is kept for reuse, so a
+  /// steady-state reset-allocate cycle touches the global allocator only
+  /// when a cell outgrows every previous one.
+  void reset();
+
+  /// Live bytes since the last reset (including alignment padding).
+  std::size_t bytes_in_use() const { return in_use_; }
+  /// Largest bytes_in_use ever observed, across resets.
+  std::size_t peak_bytes() const { return peak_; }
+  /// Largest bytes_in_use since the last reset — the per-cell high-water
+  /// mark when one cell runs per reset cycle.
+  std::size_t peak_since_reset() const { return peak_since_reset_; }
+  /// Total chunk capacity currently held (survives reset).
+  std::size_t reserved_bytes() const { return reserved_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+  /// Allocations served since construction (never reset).
+  std::uint64_t allocation_count() const { return allocations_; }
+
+  static constexpr std::size_t kMaxChunkBytes = 8u << 20;
+
+ private:
+  void* do_allocate(std::size_t bytes, std::size_t alignment) override;
+  void do_deallocate(void*, std::size_t, std::size_t) override {
+    // Bump allocator: individual frees are no-ops; reset() reclaims.
+  }
+  bool do_is_equal(
+      const std::pmr::memory_resource& other) const noexcept override {
+    return this == &other;
+  }
+
+  struct Chunk {
+    char* data = nullptr;
+    std::size_t capacity = 0;
+  };
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  ///< chunk currently being bumped
+  std::size_t offset_ = 0;  ///< bump position within the active chunk
+  std::size_t next_chunk_bytes_;
+  std::size_t in_use_ = 0;
+  std::size_t peak_ = 0;
+  std::size_t peak_since_reset_ = 0;
+  std::size_t reserved_ = 0;
+  std::uint64_t allocations_ = 0;
+};
+
+}  // namespace hmem

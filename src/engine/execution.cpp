@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <memory_resource>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -222,6 +224,14 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
   const memsim::TierIndex cache_front = cfg.resolved_cache_front();
   const memsim::TierIndex cache_backing = cfg.resolved_cache_backing();
 
+  // Scratch resource for run-local state (allocator bookkeeping, miss
+  // records, per-phase accumulators). Everything allocated from it is a
+  // local of this function, so a sweep worker may reset its arena the
+  // moment run_app returns.
+  std::pmr::memory_resource* const scratch =
+      options.scratch != nullptr ? options.scratch
+                                 : std::pmr::get_default_resource();
+
   // ---- Allocators, modules, policy -------------------------------------
   // One allocator per tier: the slowest (or, in cache mode, the backing)
   // tier gets the glibc-malloc stand-in; every faster tier a memkind-style
@@ -231,10 +241,10 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
     const memsim::TierSpec& tier = cfg.tiers[t];
     if (t == slowest || (cache_mode && t == cache_backing)) {
       tier_allocs[t] = std::make_unique<alloc::PosixAllocator>(
-          tier.base, tier.capacity_bytes);
+          tier.base, tier.capacity_bytes, scratch);
     } else {
       tier_allocs[t] = std::make_unique<alloc::MemkindAllocator>(
-          tier.base, tier.capacity_bytes);
+          tier.base, tier.capacity_bytes, scratch);
     }
   };
   if (cache_mode) {
@@ -449,8 +459,9 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
   const std::size_t slow_policy_tier = policy_tiers.size() - 1;
   std::vector<std::size_t> sched_of_phase;          // app phase -> schedule
   std::vector<std::vector<std::size_t>> desired_tier;  // [sched][object]
-  std::vector<std::uint64_t> migration_real(n_tiers, 0);  // real bytes/tier
-  std::vector<std::uint64_t> mig_scratch(n_tiers, 0);
+  std::pmr::vector<std::uint64_t> migration_real(n_tiers, 0,
+                                                 scratch);  // real bytes/tier
+  std::pmr::vector<std::uint64_t> mig_scratch(n_tiers, 0, scratch);
   std::uint64_t migration_bytes_total = 0;
   std::uint64_t migration_moves = 0;
   double migration_cost_ns = 0;
@@ -538,10 +549,10 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
   };
 
   // ---- Main loop ---------------------------------------------------------
-  std::vector<std::uint64_t> total_tier_sim(n_tiers, 0);
+  std::pmr::vector<std::uint64_t> total_tier_sim(n_tiers, 0, scratch);
   std::uint64_t total_misses_sim = 0;
   double cumulative_instructions = 0;
-  std::vector<MissRecord> miss_records;
+  std::pmr::vector<MissRecord> miss_records(scratch);
   if (prof) {
     // Worst case: every access of the longest phase misses.
     std::uint64_t max_accesses = 0;
@@ -570,8 +581,8 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
   const std::uint64_t miss_count_per_sim =
       std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::llround(scale)));
   // Hoisted per-phase scratch (re-zeroed each phase, never reallocated).
-  std::vector<std::uint64_t> phase_tier_sim(n_tiers, 0);
-  std::vector<double> tier_seconds(n_tiers, 0.0);
+  std::pmr::vector<std::uint64_t> phase_tier_sim(n_tiers, 0, scratch);
+  std::pmr::vector<double> tier_seconds(n_tiers, 0.0, scratch);
 
   for (std::uint64_t iter = 0; iter < app.iterations; ++iter) {
     // The wrap-around transition happens before the churn reallocations so
@@ -622,9 +633,43 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
             }
             targets.push_back(t);
           }
-          kp.program =
-              kernel::compile_program(table.alias, table.write_threshold,
-                                      kWriteCoinShift, targets, machine);
+          // Shared-cache lookup: compilation is deterministic, so any run
+          // with the same cache prefix would emit this exact program.
+          // Cached entries carry no generator bindings (those are
+          // run-local) — re-bind from this run's targets in the order
+          // compile_program builds them, then re-verify.
+          bool from_cache = false;
+          std::string cache_key;
+          if (options.program_cache != nullptr) {
+            cache_key = options.program_cache_prefix;
+            cache_key += "|p";
+            cache_key += std::to_string(p);
+            cache_key += "|e";
+            cache_key += std::to_string(live_epoch);
+            cache_key += "|a";
+            cache_key += std::to_string(addr_epoch);
+            if (const auto hit = options.program_cache->find(cache_key)) {
+              kp.program = *hit;
+              std::size_t g = 0;
+              for (const kernel::SlotTarget& t : targets) {
+                if (!t.is_stack) {
+                  HMEM_ASSERT(g < kp.program.gens.size());
+                  kp.program.gens[g++] = t.gen;
+                }
+              }
+              HMEM_ASSERT(g == kp.program.gens.size());
+              HMEM_ASSERT(kernel::verify_program(kp.program).empty());
+              from_cache = true;
+            }
+          }
+          if (!from_cache) {
+            kp.program =
+                kernel::compile_program(table.alias, table.write_threshold,
+                                        kWriteCoinShift, targets, machine);
+            if (options.program_cache != nullptr) {
+              options.program_cache->insert(cache_key, kp.program);
+            }
+          }
           kp.program.live_epoch = live_epoch;
           kp.program.addr_epoch = addr_epoch;
           kp.live_epoch = live_epoch;

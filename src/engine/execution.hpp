@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <optional>
 #include <string>
 #include <vector>
@@ -96,6 +97,23 @@ struct RunOptions {
   /// (cache mode -> interp, profiled native -> bytecode, missing native
   /// support -> bytecode). kAuto consults HMEM_KERNEL, then bytecode.
   kernel::KernelKind kernel = kernel::KernelKind::kAuto;
+
+  /// Memory resource backing the run's scratch state: the simulated tier
+  /// allocators' bookkeeping maps, the profiled miss-record buffer, and the
+  /// per-phase accumulator vectors. The sweep engine points this at a
+  /// worker-local hmem::Arena reset between cells so steady-state sweeping
+  /// does no global-allocator traffic. Null means the default resource.
+  /// Every RunResult field is bit-identical regardless of the resource —
+  /// allocator choice can move bytes, never change them.
+  std::pmr::memory_resource* scratch = nullptr;
+  /// Shared cache of compiled kernel programs. When set, the engine looks
+  /// up `program_cache_prefix|p<phase>|e<live_epoch>|a<addr_epoch>` before
+  /// compiling and re-binds the cached program's generator pointers to the
+  /// run's own generators on a hit. The caller owns key uniqueness: two
+  /// runs may share a prefix only if they would compile byte-identical
+  /// programs for it (same app, machine, placement shape, seeds).
+  kernel::ProgramCache* program_cache = nullptr;
+  std::string program_cache_prefix;
 };
 
 /// Real (scale-corrected) DRAM traffic one tier carried during a run.

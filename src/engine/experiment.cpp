@@ -6,8 +6,8 @@
 
 #include "common/assert.hpp"
 #include "common/csv.hpp"
-#include "common/parallel.hpp"
 #include "common/units.hpp"
+#include "engine/sweep.hpp"
 
 namespace hmem::engine {
 
@@ -73,77 +73,42 @@ Fig4Row Fig4Runner::run(const std::vector<std::uint64_t>& budgets,
   row.machine = base_.node.name;
   row.fast_tier_name = base_.node.tiers[base_.node.fastest_tier()].name;
 
-  // Stage 1 + 2, shared across every framework cell.
-  RunOptions profile_opts;
-  profile_opts.condition = Condition::kDdr;
-  profile_opts.profile = true;
-  profile_opts.sampler = base_.sampler;
-  profile_opts.min_alloc_bytes = base_.min_alloc_bytes;
-  profile_opts.seed = base_.profile_seed;
-  profile_opts.node = base_.node;
-  const RunResult profile = run_app(app_, profile_opts);
-  report_ = analysis::aggregate_trace(*profile.trace, *profile.sites);
+  // One row is a 1x1 slice of the sweep grid: delegate enumeration,
+  // shared-profile reuse, program caching and the worker pool to the sweep
+  // engine, then reshape its outcomes into the historical Fig4Row.
+  SweepSpec sweep;
+  sweep.apps = {app_};
+  sweep.machines = {base_.node};
+  sweep.baselines = {Condition::kDdr, Condition::kNumactl,
+                     Condition::kAutoHbw, Condition::kCacheMode};
+  sweep.strategies = strategies;
+  sweep.budgets_for = [budgets](const apps::AppSpec&) { return budgets; };
+  sweep.base = base_;
+  sweep.jobs = base_.jobs;
+  SweepEngine engine(std::move(sweep));
+  const std::vector<SweepOutcome> outcomes = engine.run();
+  report_ = engine.profile_report(0, 0);
 
-  // Baselines and framework cells are mutually independent simulations over
-  // the shared (read-only from here on) stage-2 report: sweep them all
-  // concurrently under base_.jobs workers. Each task derives everything
-  // from its own index and writes only its own slot, so results are
-  // bit-identical to the serial sweep regardless of scheduling.
-  auto run_baseline = [&](Condition condition) {
-    RunOptions opts;
-    opts.condition = condition;
-    opts.seed = base_.production_seed;
-    opts.node = base_.node;
-    const RunResult r = run_app(app_, opts);
-    BaselineResult b;
-    b.condition = r.condition;
-    b.fom = r.fom;
-    b.fast_hwm_bytes = r.fast_hwm_bytes;
-    return b;
-  };
-
-  // Task space: 4 baselines then strategy-major, budget-minor cells.
-  const Condition baseline_conditions[] = {
-      Condition::kDdr, Condition::kNumactl, Condition::kAutoHbw,
-      Condition::kCacheMode};
-  BaselineResult baselines[4];
+  // Enumeration order is baselines (in listed order) then strategy-major,
+  // budget-minor framework cells — the same order Fig4Row::cells uses.
   row.cells.resize(strategies.size() * budgets.size());
-  parallel_for(
-      base_.jobs, 4 + row.cells.size(), [&](std::size_t t) {
-        if (t < 4) {
-          baselines[t] = run_baseline(baseline_conditions[t]);
-          return;
-        }
-        const std::size_t c = t - 4;
-        const StrategyConfig& strategy = strategies[c / budgets.size()];
-        const std::uint64_t budget = budgets[c % budgets.size()];
-        advisor::MemorySpec spec =
-            machine_memory_spec(base_.node, budget, app_.ranks);
-        advisor::Options adv_options = strategy.options;
-        if (base_.advisor.virtual_budget_bytes > 0) {
-          adv_options.virtual_budget_bytes =
-              base_.advisor.virtual_budget_bytes;
-        }
-        advisor::HmemAdvisor adv(spec, adv_options);
-        const advisor::Placement placement = adv.advise(report_.objects);
-        const advisor::Placement parsed = advisor::read_placement_report(
-            advisor::write_placement_report(placement));
-
-        RunOptions opts;
-        opts.condition = Condition::kFramework;
-        opts.placement = &parsed;
-        opts.runtime_options = base_.runtime_options;
-        opts.seed = base_.production_seed;
-        opts.node = base_.node;
-        const RunResult r = run_app(app_, opts);
-
-        Fig4Cell& cell = row.cells[c];
-        cell.strategy = strategy.label;
-        cell.budget_bytes = budget;
-        cell.fom = r.fom;
-        cell.hwm_bytes = r.fast_hwm_bytes;
-        cell.any_overflow = r.autohbw.has_value() && r.autohbw->any_overflow;
-      });
+  BaselineResult baselines[4];
+  for (const SweepOutcome& outcome : outcomes) {
+    const SweepCell& cell = outcome.cell;
+    if (cell.kind == CellKind::kBaseline) {
+      BaselineResult& b = baselines[cell.index];
+      b.condition = condition_name(cell.baseline);
+      b.fom = outcome.result.fom;
+      b.fast_hwm_bytes = outcome.result.fast_hwm_bytes;
+      continue;
+    }
+    Fig4Cell& out = row.cells[cell.index - 4];
+    out.strategy = strategies[cell.strategy].label;
+    out.budget_bytes = cell.budget_bytes;
+    out.fom = outcome.result.fom;
+    out.hwm_bytes = outcome.result.fast_hwm_bytes;
+    out.any_overflow = outcome.result.any_overflow;
+  }
   row.ddr = baselines[0];
   row.numactl = baselines[1];
   row.autohbw = baselines[2];

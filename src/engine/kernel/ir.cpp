@@ -235,7 +235,7 @@ namespace {
 /// the steady-state (non-profiled) loop carries no record-keeping at all.
 template <bool Profiled>
 void run_impl(const Program& p, Frame& f, Xoshiro256& rng,
-              std::vector<MissRecord>* out) {
+              std::pmr::vector<MissRecord>* out) {
   const std::uint64_t n_cols = p.threshold.size();
   const std::uint64_t* const thr = p.threshold.data();
   const std::uint32_t* const ali = p.alias.data();
@@ -347,7 +347,7 @@ void run_impl(const Program& p, Frame& f, Xoshiro256& rng,
 }  // namespace
 
 void run_bytecode(const Program& program, Frame& frame, Xoshiro256& rng,
-                  std::vector<MissRecord>* misses) {
+                  std::pmr::vector<MissRecord>* misses) {
   if (misses != nullptr) {
     run_impl<true>(program, frame, rng, misses);
   } else {

@@ -35,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory_resource>
 #include <string>
 #include <vector>
 
@@ -161,8 +162,10 @@ struct MissRecord {
 /// Executes one phase burst through the bytecode VM. The program must have
 /// passed verify_program. `rng` is consumed exactly as the interpreter
 /// would (frame.rng_state is ignored by this backend). When `misses` is
-/// non-null every LLC miss is recorded (profiled runs).
+/// non-null every LLC miss is recorded (profiled runs). The record vector
+/// is pmr so profiled sweep cells can collect into a per-cell arena; a
+/// default-constructed pmr::vector behaves exactly like std::vector.
 void run_bytecode(const Program& program, Frame& frame, Xoshiro256& rng,
-                  std::vector<MissRecord>* misses);
+                  std::pmr::vector<MissRecord>* misses);
 
 }  // namespace hmem::engine::kernel

@@ -54,6 +54,7 @@ RunOptions profile_options(const PipelineOptions& options) {
   po.min_alloc_bytes = options.min_alloc_bytes;
   po.seed = options.profile_seed;
   po.node = options.node;
+  po.kernel = options.kernel;
   return po;
 }
 
@@ -154,6 +155,7 @@ PipelineResult run_pipeline(const apps::AppSpec& app_in,
   production_opts.runtime_options = options.runtime_options;
   production_opts.seed = options.production_seed;
   production_opts.node = options.node;
+  production_opts.kernel = options.kernel;
   result.production_run = run_app(app, production_opts);
 
   // Phase-aware stages: per-phase knapsacks over the folded profiles, then
@@ -172,6 +174,7 @@ PipelineResult run_pipeline(const apps::AppSpec& app_in,
     dynamic_opts.runtime_options = options.runtime_options;
     dynamic_opts.seed = options.production_seed;
     dynamic_opts.node = options.node;
+    dynamic_opts.kernel = options.kernel;
     result.dynamic_run = run_app(app, dynamic_opts);
   }
   return result;

@@ -75,6 +75,9 @@ struct PipelineOptions {
   int jobs = 1;
   /// Serialization format of the per-rank shards.
   trace::TraceFormat shard_format = trace::TraceFormat::kBinary;
+  /// Access-loop backend for every stage's runs (bit-identical results;
+  /// see RunOptions::kernel for the fallback ladder).
+  kernel::KernelKind kernel = kernel::KernelKind::kAuto;
   /// Phase-aware mode: additionally run the PhaseAdvisor over the folded
   /// per-phase profiles (stage 3) and a second production run under the
   /// dynamic condition, filling PipelineResult::schedule / dynamic_run.

@@ -118,6 +118,11 @@ std::size_t SweepStore::size() const {
   return records_.size();
 }
 
+std::map<std::string, std::string> SweepStore::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {records_.begin(), records_.end()};
+}
+
 void SweepStore::open_for_append_locked() {
   if (fd_ >= 0) return;
   fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);

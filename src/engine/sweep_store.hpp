@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -46,6 +47,10 @@ class SweepStore {
   /// io_write fault), in which case the store's in-memory view is
   /// unchanged. Thread-safe.
   void put(const std::string& key, const std::string& value);
+
+  /// Every valid record, sorted by key (the sweep merge rewrites shard
+  /// stores in this order). Thread-safe copy.
+  std::map<std::string, std::string> snapshot() const;
 
   std::size_t size() const;
   /// Records discarded at load time because their checksum or framing was

@@ -628,7 +628,7 @@ TEST(Fuzz, MutatedKernelProgramsAreRejectedOrRunSafely) {
     frame.line_shift = 6;
     frame.set_mask = sets - 1;
     Xoshiro256 access_rng(0xACCE55ULL + static_cast<std::uint64_t>(i));
-    std::vector<engine::kernel::MissRecord> records;
+    std::pmr::vector<engine::kernel::MissRecord> records;
     engine::kernel::run_bytecode(fuzz.p, frame, access_rng,
                                  rng.below(2) != 0 ? &records : nullptr);
     EXPECT_EQ(frame.tick, 128u) << "iteration " << i;

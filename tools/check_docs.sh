@@ -34,7 +34,7 @@ done
 # The tools test argv with string literals ("--machine", "--per-phase",
 # ...); every such literal must be mentioned in docs/TOOLS.md.
 flags=$(grep -ohE '"--[a-z-]+"' tools/hmem_profile.cpp tools/hmem_advise.cpp \
-          tools/hmem_run.cpp tools/hmem_workload.cpp \
+          tools/hmem_run.cpp tools/hmem_sweep.cpp tools/hmem_workload.cpp \
           bench/fig4_placement_dynamic.cpp | tr -d '"' | sort -u)
 for flag in $flags; do
   if ! grep -q -- "$flag" docs/TOOLS.md; then
