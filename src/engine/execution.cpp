@@ -454,8 +454,12 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
   // schedule never transitions, making the run bit-identical to kFramework
   // on the same placement.
   const advisor::PlacementSchedule* schedule = options.schedule;
-  const bool dynamic_on = options.condition == Condition::kDynamic &&
-                          schedule->phases.size() > 1;
+  const bool has_hook = static_cast<bool>(options.advisor_hook);
+  // A hook keeps the dynamic machinery armed even on a single-phase
+  // schedule: the advisor may still grow the schedule mid-run.
+  const bool dynamic_on =
+      options.condition == Condition::kDynamic &&
+      (has_hook || schedule->phases.size() > 1);
   const std::size_t slow_policy_tier = policy_tiers.size() - 1;
   std::vector<std::size_t> sched_of_phase;          // app phase -> schedule
   std::vector<std::vector<std::size_t>> desired_tier;  // [sched][object]
@@ -465,31 +469,24 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
   std::uint64_t migration_bytes_total = 0;
   std::uint64_t migration_moves = 0;
   double migration_cost_ns = 0;
-  std::size_t sched_current = 0;
-  if (dynamic_on) {
-    sched_of_phase.resize(app.phases.size());
-    for (std::size_t p = 0; p < app.phases.size(); ++p) {
-      std::size_t found = schedule->phases.size();
-      for (std::size_t sp = 0; sp < schedule->phases.size(); ++sp) {
-        if (schedule->phases[sp].phase == app.phases[p].name) {
-          found = sp;
-          break;
-        }
-      }
-      HMEM_ASSERT_MSG(found < schedule->phases.size(),
-                      "schedule is missing a placement for an app phase");
-      sched_of_phase[p] = found;
-    }
-    // Per schedule phase, the policy tier every object belongs in — matched
-    // by allocation call-stack, the same identity auto-hbwmalloc uses.
+  // The placement currently applied to the runtime. Identity (not index)
+  // so a hook swapping in a refreshed schedule mid-run forces the next
+  // transition to re-apply; nullptr marks exactly that state. Compared,
+  // never dereferenced.
+  const advisor::Placement* applied =
+      dynamic_on ? &schedule->phases.front().placement : nullptr;
+  // Per schedule phase, the policy tier every object belongs in — matched
+  // by allocation call-stack, the same identity auto-hbwmalloc uses.
+  // Rebuilt whenever the hook swaps the schedule.
+  auto build_desired = [&](const advisor::PlacementSchedule& sched) {
     const std::size_t promotable =
-        std::min(schedule->phases.front().placement.tiers.size() - 1,
+        std::min(sched.phases.front().placement.tiers.size() - 1,
                  slow_policy_tier);
     desired_tier.assign(
-        schedule->phases.size(),
+        sched.phases.size(),
         std::vector<std::size_t>(n_objects, slow_policy_tier));
-    for (std::size_t sp = 0; sp < schedule->phases.size(); ++sp) {
-      const advisor::Placement& pl = schedule->phases[sp].placement;
+    for (std::size_t sp = 0; sp < sched.phases.size(); ++sp) {
+      const advisor::Placement& pl = sched.phases[sp].placement;
       std::unordered_map<callstack::SymbolicCallStack, std::size_t> tier_of;
       for (std::size_t t = 0; t + 1 < pl.tiers.size(); ++t) {
         for (const auto& obj : pl.tiers[t].objects) {
@@ -504,10 +501,31 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
         }
       }
     }
+  };
+  if (dynamic_on) {
+    if (!has_hook) {
+      // Static schedule: resolve every app phase upfront and insist on
+      // full coverage. With a hook, coverage is allowed to grow mid-run
+      // and phases are resolved by name at each boundary instead.
+      sched_of_phase.resize(app.phases.size());
+      for (std::size_t p = 0; p < app.phases.size(); ++p) {
+        std::size_t found = schedule->phases.size();
+        for (std::size_t sp = 0; sp < schedule->phases.size(); ++sp) {
+          if (schedule->phases[sp].phase == app.phases[p].name) {
+            found = sp;
+            break;
+          }
+        }
+        HMEM_ASSERT_MSG(found < schedule->phases.size(),
+                        "schedule is missing a placement for an app phase");
+        sched_of_phase[p] = found;
+      }
+    }
+    build_desired(*schedule);
   }
   auto schedule_transition = [&](std::size_t sp) {
-    if (sp == sched_current) return;
-    sched_current = sp;
+    if (&schedule->phases[sp].placement == applied) return;
+    applied = &schedule->phases[sp].placement;
     framework->set_placement(schedule->phases[sp].placement);
     std::fill(mig_scratch.begin(), mig_scratch.end(), 0);
     double alloc_ns = 0;
@@ -546,6 +564,33 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
     now_ns += mig_ns;
     interpose_ns += alloc_ns;
     migration_cost_ns += mig_ns;
+  };
+  // One schedule decision: consult the hook (which may swap in a refreshed
+  // schedule), then transition to this app phase's placement. A phase the
+  // schedule does not name yet keeps the last applied placement — the
+  // advisor simply has not seen it; the next refresh will.
+  auto consult_schedule = [&](std::size_t p, std::uint64_t iteration) {
+    if (has_hook) {
+      const advisor::PlacementSchedule* next =
+          options.advisor_hook(app.phases[p].name, iteration);
+      if (next != nullptr && next != schedule) {
+        HMEM_ASSERT_MSG(!next->phases.empty(),
+                        "advisor hook returned an empty schedule");
+        schedule = next;
+        build_desired(*schedule);
+        applied = nullptr;  // force re-apply from the refreshed schedule
+      }
+      std::size_t found = schedule->phases.size();
+      for (std::size_t sp = 0; sp < schedule->phases.size(); ++sp) {
+        if (schedule->phases[sp].phase == app.phases[p].name) {
+          found = sp;
+          break;
+        }
+      }
+      if (found < schedule->phases.size()) schedule_transition(found);
+      return;
+    }
+    schedule_transition(sched_of_phase[p]);
   };
 
   // ---- Main loop ---------------------------------------------------------
@@ -588,7 +633,7 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
     // The wrap-around transition happens before the churn reallocations so
     // churned objects are born under the placement of the phase about to
     // run instead of being migrated right after allocation.
-    if (dynamic_on) schedule_transition(sched_of_phase.front());
+    if (dynamic_on) consult_schedule(0, iter);
     for (std::size_t i = 0; i < n_objects; ++i) {
       if (app.objects[i].churn) {
         if (!state[i].instances.empty()) do_free(i);
@@ -598,7 +643,7 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
 
     for (std::size_t p = 0; p < app.phases.size(); ++p) {
       const apps::PhaseSpec& phase = app.phases[p];
-      if (dynamic_on) schedule_transition(sched_of_phase[p]);
+      if (dynamic_on) consult_schedule(p, iter);
       for (std::size_t i = 0; i < n_objects; ++i) {
         if (app.objects[i].transient_phase == static_cast<int>(p))
           do_alloc(i);

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <memory_resource>
 #include <optional>
@@ -55,6 +56,19 @@ struct RunOptions {
   /// (they come from the same app's trace). With a single-phase schedule
   /// the run is bit-identical to kFramework on the same placement.
   const advisor::PlacementSchedule* schedule = nullptr;
+  /// Mid-stream advisor hook (dynamic condition only). Consulted at every
+  /// schedule decision point — the iteration wrap-around and each phase
+  /// entry — with the app phase about to run; returning a schedule adopts
+  /// it from that boundary on (an IncrementalAdvisor's latest answer, say),
+  /// nullptr keeps the current one. The returned schedule must stay alive
+  /// until the next consultation. With a hook set the schedule may omit app
+  /// phases — the engine keeps the last applied placement for a phase the
+  /// advisor has not seen yet instead of asserting — and the dynamic
+  /// machinery stays armed even while the schedule has a single phase, so
+  /// the run can react to phase shifts the initial answer never saw.
+  std::function<const advisor::PlacementSchedule*(const std::string& phase,
+                                                  std::uint64_t iteration)>
+      advisor_hook;
   runtime::AutoHbwOptions runtime_options;
 
   /// Attach the profiler (stage-1 run): collect the trace, pay the cost.

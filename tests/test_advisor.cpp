@@ -10,6 +10,8 @@
 #include "advisor/placement_report.hpp"
 #include "common/prng.hpp"
 #include "common/units.hpp"
+#include "engine/pipeline.hpp"
+#include "memsim/machine.hpp"
 
 namespace hmem::advisor {
 namespace {
@@ -325,6 +327,36 @@ TEST(Advisor, VirtualBudgetSelectsMoreButEnforcesReal) {
   EXPECT_EQ(placement.tiers[0].objects.size(), 2u);  // both selected
   EXPECT_EQ(placement.enforced_fast_budget_bytes,
             4 * memsim::kPageBytes);  // runtime still limited
+}
+
+TEST(Advisor, ClampedMachineBudgetIsEnforcedOnSinglePlacementPath) {
+  // hmem_advise --machine clamps an over-ask fast budget once, before
+  // either output path (single placement or --per-phase) builds its spec,
+  // so the clamp warning applies to both — this pins the single-placement
+  // guarantee: the placement enforces the fastest tier's capacity, never
+  // the raw ask.
+  const auto node = memsim::MachineConfig::knl7250(memsim::MemMode::kFlat);
+  const std::uint64_t capacity =
+      node.tiers[node.fastest_tier()].capacity_bytes;
+
+  bool clamped = false;
+  const std::uint64_t usable =
+      engine::clamp_fast_budget(node, capacity * 4, &clamped);
+  EXPECT_TRUE(clamped);
+  EXPECT_EQ(usable, capacity);
+
+  const MemorySpec spec = engine::machine_memory_spec(node, usable, 1);
+  EXPECT_EQ(spec.fastest().capacity_bytes, capacity);
+  const HmemAdvisor adv(spec, Options{});
+  const Placement placement =
+      adv.advise({obj("hot", 8 * memsim::kPageBytes, 100)});
+  EXPECT_EQ(placement.enforced_fast_budget_bytes, capacity);
+
+  // A budget the machine can host passes through untouched.
+  clamped = true;
+  EXPECT_EQ(engine::clamp_fast_budget(node, capacity / 2, &clamped),
+            capacity / 2);
+  EXPECT_FALSE(clamped);
 }
 
 TEST(Advisor, StrategyNamesRoundTrip) {

@@ -25,6 +25,12 @@
 //      *exact prefix* of the original event sequence, never throws, and
 //      reports the damage unless the cut fell precisely on a boundary
 //      (which is indistinguishable from a short, intact shard).
+//   6. Incremental prefix property: for random recorded streams (profiled
+//      runs of random valid app configs, and k-way merged synthetic
+//      multi-rank streams) and random cut points k, the
+//      IncrementalAggregator's snapshot after the first k events equals a
+//      fresh batch AggregateVisitor fed the same k events then finished —
+//      every field, phase slices included.
 //
 // Every property runs HMEM_FUZZ_ITERS iterations (default 400; CI sets 500
 // per property for >= 1000 total), seeded per iteration — a failure report
@@ -42,6 +48,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/aggregator.hpp"
+#include "analysis/incremental.hpp"
 #include "apps/app_config.hpp"
 #include "apps/generator.hpp"
 #include "apps/workload_gen.hpp"
@@ -50,7 +58,9 @@
 #include "engine/execution.hpp"
 #include "engine/kernel/ir.hpp"
 #include "trace/format.hpp"
+#include "trace/merge.hpp"
 #include "trace/salvage.hpp"
+#include "trace/visitor.hpp"
 
 namespace hmem {
 namespace {
@@ -737,6 +747,162 @@ TEST(Fuzz, TruncatedShardsSalvageAnExactPrefix) {
   // short shards, mid-chunk cuts as reported damage.
   EXPECT_GT(clean_short, 0);
   EXPECT_GT(damaged, 0);
+}
+
+// ------------------------------- 6. incremental prefix property ----------
+
+/// Every-field equality of batch vs incremental aggregation, phase slices
+/// included (the incremental convergence contract covers them).
+void expect_same_aggregate(const analysis::AggregateResult& batch,
+                           const analysis::AggregateResult& inc,
+                           const std::string& label) {
+  EXPECT_EQ(batch.total_samples, inc.total_samples) << label;
+  EXPECT_EQ(batch.total_weighted_misses, inc.total_weighted_misses) << label;
+  EXPECT_EQ(batch.unattributed_samples, inc.unattributed_samples) << label;
+  EXPECT_EQ(batch.unattributed_misses, inc.unattributed_misses) << label;
+  ASSERT_EQ(batch.objects.size(), inc.objects.size()) << label;
+  for (std::size_t i = 0; i < batch.objects.size(); ++i) {
+    EXPECT_EQ(batch.objects[i].site, inc.objects[i].site) << label;
+    EXPECT_EQ(batch.objects[i].name, inc.objects[i].name) << label;
+    EXPECT_EQ(batch.objects[i].max_size_bytes, inc.objects[i].max_size_bytes)
+        << label;
+    EXPECT_EQ(batch.objects[i].llc_misses, inc.objects[i].llc_misses)
+        << label;
+    EXPECT_EQ(batch.objects[i].is_dynamic, inc.objects[i].is_dynamic)
+        << label;
+  }
+  ASSERT_EQ(batch.phases.size(), inc.phases.size()) << label;
+  for (std::size_t p = 0; p < batch.phases.size(); ++p) {
+    EXPECT_EQ(batch.phases[p].name, inc.phases[p].name) << label;
+    ASSERT_EQ(batch.phases[p].objects.size(), inc.phases[p].objects.size())
+        << label << " phase " << batch.phases[p].name;
+    for (std::size_t i = 0; i < batch.phases[p].objects.size(); ++i) {
+      EXPECT_EQ(batch.phases[p].objects[i].site,
+                inc.phases[p].objects[i].site)
+          << label << " phase " << batch.phases[p].name;
+      EXPECT_EQ(batch.phases[p].objects[i].llc_misses,
+                inc.phases[p].objects[i].llc_misses)
+          << label << " phase " << batch.phases[p].name;
+    }
+  }
+}
+
+/// The property itself: random ascending cuts over one event sequence. The
+/// incremental aggregator is fed once, forward; each cut re-runs a fresh
+/// batch visitor over the prefix — the oracle never sees the suffix.
+void check_prefix_property(const std::vector<trace::Event>& events,
+                           const callstack::SiteDb& sites, Xoshiro256& rng,
+                           const std::string& label) {
+  std::vector<std::size_t> cuts;
+  for (int c = 0; c < 3; ++c) cuts.push_back(rng.below(events.size() + 1));
+  cuts.push_back(events.size());  // always include full convergence
+  std::sort(cuts.begin(), cuts.end());
+
+  analysis::IncrementalAggregator inc(sites);
+  std::size_t fed = 0;
+  for (const std::size_t cut : cuts) {
+    for (; fed < cut; ++fed) trace::dispatch_event(events[fed], inc);
+    analysis::AggregateVisitor batch(sites);
+    for (std::size_t i = 0; i < cut; ++i) {
+      trace::dispatch_event(events[i], batch);
+    }
+    expect_same_aggregate(batch.finish(), inc.snapshot(),
+                          label + " cut " + std::to_string(cut));
+  }
+}
+
+TEST(Fuzz, IncrementalPrefixMatchesBatchOnRandomRecordedStreams) {
+  // Profiled runs are the expensive part; a handful of random apps with a
+  // few random cuts each still exercises every accumulator path.
+  const int iters = std::max(4, fuzz_iters() / 25);
+  for (int i = 0; i < iters; ++i) {
+    Xoshiro256 rng(0x14C0ULL + static_cast<std::uint64_t>(i));
+    apps::AppSpec app = apps::from_config_text(valid_config(rng));
+    app.ranks = 1;
+    app.iterations = 1 + rng.below(3);
+    app.accesses_per_iteration = 2000 + rng.below(4000);
+    engine::RunOptions opts;
+    opts.profile = true;
+    opts.sampler.period = 50 + rng.below(200);
+    opts.seed = rng.next();
+    const engine::RunResult run = engine::run_app(app, opts);
+    ASSERT_NE(run.trace, nullptr);
+    check_prefix_property(run.trace->events(), *run.sites, rng,
+                          "app " + app.name + " iter " + std::to_string(i));
+  }
+}
+
+TEST(Fuzz, IncrementalPrefixMatchesBatchOnMergedMultiRankStreams) {
+  // Synthetic per-rank shards k-way merged by timestamp: overlapping phase
+  // begin/end interleavings across ranks are exactly the regime where the
+  // open-phase stack rules are easiest to get subtly wrong.
+  const int iters = std::max(8, fuzz_iters() / 10);
+  for (int i = 0; i < iters; ++i) {
+    Xoshiro256 rng(0xD157ULL * 65537 + static_cast<std::uint64_t>(i));
+    callstack::SiteDb sites;
+    const std::size_t ranks = 2 + rng.below(2);
+    std::vector<trace::TraceBuffer> shards(ranks);
+    const char* kPhases[] = {"build", "solve", "refine"};
+    for (std::size_t r = 0; r < ranks; ++r) {
+      double t = static_cast<double>(rng.below(50));
+      // Per-rank allocations in globally disjoint 1 MiB slots (the live
+      // registry rejects overlapping allocations, as the real profiler
+      // never produces them).
+      std::vector<trace::Address> bases;
+      const std::size_t objects = 1 + rng.below(3);
+      for (std::size_t o = 0; o < objects; ++o) {
+        callstack::SymbolicCallStack stack;
+        stack.frames.push_back(callstack::CodeLocation{
+            "fuzz.x", "alloc_" + std::to_string(o % 2),
+            static_cast<std::uint32_t>(10 + o)});
+        const auto site = sites.intern("obj" + std::to_string(o), stack);
+        const trace::Address base =
+            0x100000 + (static_cast<trace::Address>(r * 8 + o) << 20);
+        const std::uint64_t size = 4096 * (1 + rng.below(16));
+        shards[r].add(trace::AllocEvent{t, site, base, size});
+        bases.push_back(base);
+        t += 1 + static_cast<double>(rng.below(5));
+      }
+      std::size_t open = 0;
+      const std::size_t samples = 50 + rng.below(200);
+      for (std::size_t s = 0; s < samples; ++s) {
+        switch (rng.below(12)) {
+          case 0:  // open a phase (possibly the same name as a peer rank's)
+            shards[r].add(trace::PhaseEvent{
+                t, kPhases[rng.below(std::size(kPhases))], true});
+            ++open;
+            break;
+          case 1:  // close one (sometimes unmatched — must be ignored)
+            shards[r].add(trace::PhaseEvent{
+                t, kPhases[rng.below(std::size(kPhases))], false});
+            open = open > 0 ? open - 1 : 0;
+            break;
+          case 2:  // a sample no live object owns (unattributed path)
+            shards[r].add(trace::SampleEvent{t, 0xDEAD0000 + rng.below(256),
+                                             false, 1 + rng.below(8)});
+            break;
+          default: {
+            const trace::Address base = bases[rng.below(bases.size())];
+            shards[r].add(trace::SampleEvent{t, base + rng.below(4096),
+                                             rng.below(4) == 0,
+                                             1 + rng.below(8)});
+            break;
+          }
+        }
+        t += static_cast<double>(rng.below(4));
+      }
+    }
+    std::vector<std::unique_ptr<trace::TraceReader>> inputs;
+    for (const auto& shard : shards) {
+      inputs.push_back(std::make_unique<trace::BufferTraceReader>(shard));
+    }
+    trace::MergeTraceReader merged(std::move(inputs));
+    std::vector<trace::Event> events;
+    trace::Event event;
+    while (merged.next(event)) events.push_back(event);
+    check_prefix_property(events, sites, rng,
+                          "merged iter " + std::to_string(i));
+  }
 }
 
 }  // namespace

@@ -13,7 +13,7 @@ measurement conditions (app, machine, kernel, jobs, smoke, ...) so that
 only like-for-like rows are ever compared. A run on a new context is
 recorded without gating — there is nothing to compare it against.
 
-Two gates, both applied before the new rows are appended:
+Three gates, all applied before the new rows are appended:
 
   * kernel ordering — an engine_throughput record must show
     native >= bytecode >= interp accesses/sec (small tolerance for timing
@@ -23,6 +23,10 @@ Two gates, both applied before the new rows are appended:
     (cells_per_second, *_accesses_per_sec, *_eps), the new value must be
     within --max-regression (default 10%) of the most recent history row
     with the same (bench, context, metric).
+  * latency regression — for latency metrics (*_latency_us, lower is
+    better), the new value must not *rise* more than --max-regression over
+    the most recent like-for-like history row. This is what gates the
+    incremental advisor's refresh latency (BENCH_advisor.json).
 
 Exit codes follow the repo convention: 0 ok, 2 usage, 3 gate failure.
 """
@@ -44,6 +48,11 @@ CONTEXT_KEYS = (
 # Metrics gated against history (higher is better for all of them).
 RATE_SUFFIXES = ("_accesses_per_sec", "_eps")
 RATE_METRICS = ("cells_per_second",)
+
+# Latency metrics gated the other way around (lower is better). Only the
+# mean carries the suffix on purpose: p95/max of a handful of refreshes
+# are too noisy for a hard 10% gate and are recorded as plain metrics.
+LATENCY_SUFFIXES = ("_latency_us",)
 
 # Allow 2% noise on the kernel ordering: the ladder must hold, but two
 # kernels within measurement jitter of each other are not a violation.
@@ -78,6 +87,10 @@ def load_record(path):
 
 def is_rate_metric(name):
     return name in RATE_METRICS or name.endswith(RATE_SUFFIXES)
+
+
+def is_latency_metric(name):
+    return name.endswith(LATENCY_SUFFIXES)
 
 
 def check_kernel_ordering(bench, metrics, errors):
@@ -149,7 +162,19 @@ def main():
                     status = "ok" if drop >= 0 else "improved"
                     print(f"{bench}: {metric} {latest[key]:.2f} -> "
                           f"{value:.2f} ({status})")
-            elif is_rate_metric(metric):
+            elif is_latency_metric(metric) and key in latest \
+                    and latest[key] > 0:
+                rise = (value - latest[key]) / latest[key]
+                if rise > args.max_regression:
+                    errors.append(
+                        f"{bench}: {metric} regressed {100 * rise:.1f}% "
+                        f"({latest[key]:.2f} -> {value:.2f} us) "
+                        f"[context: {context or '-'}]")
+                else:
+                    status = "ok" if rise >= 0 else "improved"
+                    print(f"{bench}: {metric} {latest[key]:.2f} -> "
+                          f"{value:.2f} ({status})")
+            elif is_rate_metric(metric) or is_latency_metric(metric):
                 print(f"{bench}: {metric} {value:.2f} (new context, "
                       f"recorded as baseline)")
             new_rows.append([date, args.label, bench, context, metric,

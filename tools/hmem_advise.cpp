@@ -27,6 +27,16 @@
 //                      per folded phase plus the migration diff between
 //                      consecutive phases (consume with hmem_run
 //                      --condition dynamic)
+//     --stream         incremental mode: aggregate with the streaming
+//                      IncrementalAggregator and keep an IncrementalAdvisor
+//                      refreshed while events arrive (amortized re-solve;
+//                      progress on stderr). The converged report is
+//                      byte-identical to the batch path on the same input
+//     --refresh-every n  (--stream) refresh the advisor every n events
+//                      (default 8192; 0 = only the final converged refresh)
+//     --prefix k       (--stream) answer from the first k events of the
+//                      merged stream only — what a live client would have
+//                      been told at that point of the run
 //     --csv file       write the per-object CSV here (written atomically)
 //     --strict         throw on the first malformed trace byte instead of
 //                      the default chunk-level salvage (skip damaged
@@ -36,6 +46,7 @@
 // Exit codes: 0 success, 2 usage/config error, 3 data or I/O error
 // (e.g. --strict hitting a damaged shard), 4 resource exhaustion.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -43,12 +54,14 @@
 #include <vector>
 
 #include "advisor/advisor.hpp"
+#include "advisor/incremental_advisor.hpp"
 #include "advisor/phase_advisor.hpp"
 #include "common/atomic_file.hpp"
 #include "common/error.hpp"
 #include "advisor/placement_report.hpp"
 #include "advisor/schedule_report.hpp"
 #include "analysis/aggregator.hpp"
+#include "analysis/incremental.hpp"
 #include "common/units.hpp"
 #include "cli.hpp"
 #include "engine/pipeline.hpp"
@@ -66,6 +79,9 @@ int main(int argc, char** argv) {
   std::optional<memsim::MachineConfig> machine;
   const char* csv_path = nullptr;
   bool per_phase = false;
+  bool stream = false;
+  std::uint64_t refresh_every = 8192;
+  std::optional<std::uint64_t> prefix_events;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strategy") == 0) {
       const auto s = advisor::parse_strategy(
@@ -99,6 +115,19 @@ int main(int argc, char** argv) {
       if (!machine) return 2;
     } else if (std::strcmp(argv[i], "--per-phase") == 0) {
       per_phase = true;
+    } else if (std::strcmp(argv[i], "--stream") == 0) {
+      stream = true;
+    } else if (std::strcmp(argv[i], "--refresh-every") == 0) {
+      refresh_every = std::strtoull(
+          tools::cli_value(argc, argv, i, "--refresh-every"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--prefix") == 0) {
+      char* end = nullptr;
+      const char* value = tools::cli_value(argc, argv, i, "--prefix");
+      prefix_events = std::strtoull(value, &end, 10);
+      if (end == value || *end != '\0') {
+        std::fprintf(stderr, "bad --prefix event count: %s\n", value);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv_path = tools::cli_value(argc, argv, i, "--csv");
     } else if (std::strcmp(argv[i], "--strict") == 0) {
@@ -117,7 +146,8 @@ int main(int argc, char** argv) {
                  "usage: %s <trace> [trace...] <fast-budget> [--strategy s] "
                  "[--threshold t] [--virtual b] [--slow b] "
                  "[--machine preset|config.ini] [--per-phase] [--csv file]\n"
-                 "          [--strict] [--faults spec]\n"
+                 "          [--stream] [--refresh-every n] [--prefix k] "
+                 "[--strict] [--faults spec]\n"
                  "  machine presets: %s\n",
                  argv[0], tools::machine_preset_list().c_str());
     return 2;
@@ -145,6 +175,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (prefix_events && !stream) {
+    std::fprintf(stderr, "--prefix requires --stream\n");
+    return 2;
+  }
+
   // ReplayReader owns the whole multi-shard front: one shared SiteDb every
   // shard's sites are re-interned into, per-shard address rebasing (ranks
   // reuse the same simulated physical layout) and the k-way timestamp
@@ -158,12 +193,52 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     return tools::cli_fail(e);
   }
-  try {
-    report = analysis::aggregate_stream(recording->reader(),
-                                        recording->sites());
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "trace parse error: %s\n", e.what());
-    return exit_code_for(e);
+  const advisor::MemorySpec spec =
+      machine ? engine::machine_memory_spec(*machine, *budget, /*ranks=*/1)
+              : advisor::MemorySpec::two_tier(*budget, slow);
+  std::optional<advisor::IncrementalAdvisor> inc;
+  if (stream) {
+    // Incremental path: feed the merged stream event by event, keeping the
+    // advisor's answer fresh with amortized re-solves; the final converged
+    // refresh makes the report byte-identical to the batch path below.
+    analysis::IncrementalAggregator agg(recording->sites());
+    inc.emplace(spec, options);
+    std::uint64_t seen = 0;
+    std::uint64_t refreshes = 0;
+    try {
+      trace::TraceReader& merged = recording->reader();
+      trace::Event event;
+      while ((!prefix_events || seen < *prefix_events) &&
+             merged.next(event)) {
+        trace::dispatch_event(event, agg);
+        ++seen;
+        if (refresh_every > 0 && seen % refresh_every == 0) {
+          inc->refresh(agg);
+          ++refreshes;
+        }
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trace parse error: %s\n", e.what());
+      return exit_code_for(e);
+    }
+    inc->refresh(agg, /*finalize=*/true);
+    ++refreshes;
+    report = agg.snapshot();
+    std::fprintf(
+        stderr,
+        "stream: %llu events%s, %llu refreshes, %llu knapsack solves\n",
+        static_cast<unsigned long long>(seen),
+        prefix_events ? " (prefix)" : "",
+        static_cast<unsigned long long>(refreshes),
+        static_cast<unsigned long long>(inc->total_resolves()));
+  } else {
+    try {
+      report = analysis::aggregate_stream(recording->reader(),
+                                          recording->sites());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trace parse error: %s\n", e.what());
+      return exit_code_for(e);
+    }
   }
   const trace::SalvageReport& salvage = recording->salvage_report();
   if (!salvage.clean()) {
@@ -187,9 +262,6 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(report.total_samples),
                report.unattributed_fraction() * 100.0);
 
-  const advisor::MemorySpec spec =
-      machine ? engine::machine_memory_spec(*machine, *budget, /*ranks=*/1)
-              : advisor::MemorySpec::two_tier(*budget, slow);
   if (per_phase) {
     if (report.phases.empty()) {
       std::fprintf(stderr,
@@ -197,14 +269,23 @@ int main(int argc, char** argv) {
                    "re-profile or drop the flag\n");
       return tools::kExitData;
     }
-    advisor::PhaseAdvisor adv(spec, options);
-    const auto schedule = adv.advise(report.phases);
+    advisor::PlacementSchedule batch_schedule;
+    if (!stream) {
+      advisor::PhaseAdvisor adv(spec, options);
+      batch_schedule = adv.advise(report.phases);
+    }
+    const advisor::PlacementSchedule& schedule =
+        stream ? inc->schedule() : batch_schedule;
     std::fprintf(stderr,
                  "schedule: %zu phase(s), %llu bytes migrated per cycle\n",
                  schedule.phases.size(),
                  static_cast<unsigned long long>(
                      schedule.migration_bytes_per_cycle()));
     std::cout << advisor::write_schedule_report(schedule);
+    return tools::kExitOk;
+  }
+  if (stream) {
+    std::cout << advisor::write_placement_report(inc->placement());
     return tools::kExitOk;
   }
   advisor::HmemAdvisor adv(spec, options);
