@@ -66,7 +66,12 @@ class IncrementalAdvisor {
                        bool finalize = false);
 
   /// Per-phase schedule over everything consumed so far; empty (no phases)
-  /// until the stream carries phase events.
+  /// until the stream carries phase events. The object is mutated in place
+  /// by refresh(): its `generation` counter moves whenever the contents
+  /// changed, which is how a consumer holding this reference across
+  /// refreshes (the engine's advisor_hook) tells a refreshed answer from
+  /// the unchanged one. A refresh that changed nothing leaves the object —
+  /// and every pointer into it — untouched.
   const PlacementSchedule& schedule() const { return schedule_; }
   bool has_phases() const { return !schedule_.phases.empty(); }
   /// Whole-run (static) placement over everything consumed so far.

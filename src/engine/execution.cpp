@@ -472,12 +472,17 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
   // The placement currently applied to the runtime. Identity (not index)
   // so a hook swapping in a refreshed schedule mid-run forces the next
   // transition to re-apply; nullptr marks exactly that state. Compared,
-  // never dereferenced.
+  // never dereferenced — and reset whenever the schedule is re-adopted, so
+  // it never outlives the storage it points into.
   const advisor::Placement* applied =
       dynamic_on ? &schedule->phases.front().placement : nullptr;
+  // Content version of the adopted schedule. A hook may mutate one schedule
+  // object in place (IncrementalAdvisor::refresh does) and return the same
+  // pointer, so pointer inequality alone cannot detect a refresh.
+  std::uint64_t adopted_generation = dynamic_on ? schedule->generation : 0;
   // Per schedule phase, the policy tier every object belongs in — matched
   // by allocation call-stack, the same identity auto-hbwmalloc uses.
-  // Rebuilt whenever the hook swaps the schedule.
+  // Rebuilt whenever the hook swaps or refreshes the schedule.
   auto build_desired = [&](const advisor::PlacementSchedule& sched) {
     const std::size_t promotable =
         std::min(sched.phases.front().placement.tiers.size() - 1,
@@ -524,6 +529,15 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
     build_desired(*schedule);
   }
   auto schedule_transition = [&](std::size_t sp) {
+    // Fail fast if the adopted schedule changed shape without the engine
+    // noticing (a hook mutating in place without bumping `generation`):
+    // desired_tier is rebuilt on every adoption, so a mismatch here means
+    // the contract was violated and indexing would read out of bounds.
+    HMEM_ASSERT_MSG(
+        desired_tier.size() == schedule->phases.size() &&
+            sp < desired_tier.size(),
+        "schedule mutated in place without a generation bump (see "
+        "RunOptions::advisor_hook contract)");
     if (&schedule->phases[sp].placement == applied) return;
     applied = &schedule->phases[sp].placement;
     framework->set_placement(schedule->phases[sp].placement);
@@ -568,15 +582,20 @@ RunResult run_app(const AppSpec& app, const RunOptions& options) {
   // One schedule decision: consult the hook (which may swap in a refreshed
   // schedule), then transition to this app phase's placement. A phase the
   // schedule does not name yet keeps the last applied placement — the
-  // advisor simply has not seen it; the next refresh will.
+  // advisor simply has not seen it; the next refresh will. A refresh is
+  // detected by pointer OR generation change: an IncrementalAdvisor mutates
+  // its one schedule object in place and bumps `generation`, so the hook
+  // returns the same pointer for every answer.
   auto consult_schedule = [&](std::size_t p, std::uint64_t iteration) {
     if (has_hook) {
       const advisor::PlacementSchedule* next =
           options.advisor_hook(app.phases[p].name, iteration);
-      if (next != nullptr && next != schedule) {
+      if (next != nullptr &&
+          (next != schedule || next->generation != adopted_generation)) {
         HMEM_ASSERT_MSG(!next->phases.empty(),
                         "advisor hook returned an empty schedule");
         schedule = next;
+        adopted_generation = next->generation;
         build_desired(*schedule);
         applied = nullptr;  // force re-apply from the refreshed schedule
       }

@@ -227,6 +227,27 @@ TEST(IncrementalAdvisor, CleanPhasesAreNotResolved) {
   EXPECT_EQ(inc.total_resolves(), solves);
 }
 
+TEST(IncrementalAdvisor, GenerationMovesExactlyWhenTheScheduleChanges) {
+  // The engine detects an in-place refresh by PlacementSchedule::generation;
+  // the advisor must bump it on every content change and leave it (and the
+  // object) untouched when a refresh was a no-op.
+  const auto node = all_presets().front();
+  const auto run = profiled_run(apps::make_lulesh(), node);
+  IncrementalAggregator agg(*run.sites);
+  trace::visit_buffer(*run.trace, agg);
+
+  advisor::IncrementalAdvisor inc(spec_for(node), advisor::Options{});
+  EXPECT_EQ(inc.schedule().generation, 0u);
+  const advisor::RefreshStats first = inc.refresh(agg, /*finalize=*/true);
+  ASSERT_TRUE(first.schedule_changed);
+  const std::uint64_t gen = inc.schedule().generation;
+  EXPECT_GT(gen, 0u);
+
+  const advisor::RefreshStats second = inc.refresh(agg, /*finalize=*/true);
+  EXPECT_FALSE(second.schedule_changed);
+  EXPECT_EQ(inc.schedule().generation, gen);
+}
+
 TEST(IncrementalAdvisor, DriftThresholdDefersButFinalizeConverges) {
   const auto node = all_presets().front();
   const auto run = profiled_run(apps::make_churn(), node);
@@ -438,6 +459,75 @@ TEST(AdvisorHook, ScheduleCanGrowMidRunFromASinglePhase) {
   // Once the full schedule was adopted, phase transitions migrate again.
   EXPECT_GT(got.migration_count, 0u);
   EXPECT_GT(got.migration_bytes, 0u);
+}
+
+TEST(AdvisorHook, InPlaceMutationWithGenerationBumpIsAdopted) {
+  // An IncrementalAdvisor refreshes by rewriting its single schedule object
+  // and bumping PlacementSchedule::generation — the hook returns the same
+  // pointer on every consultation. The engine must detect the refresh by
+  // generation (pointer identity never changes, and the mutation can
+  // reallocate the phases storage the previously applied placement lived
+  // in) and behave bit-identically to a hook that swaps between two stable
+  // schedule objects.
+  const auto node = all_presets().front();
+  const auto app = apps::make_churn();
+  const auto run = profiled_run(app, node);
+  const AggregateResult batch =
+      analysis::aggregate_trace(*run.trace, *run.sites);
+
+  std::uint64_t total_bytes = 0;
+  for (const auto& o : batch.objects) total_bytes += o.max_size_bytes;
+  advisor::PlacementSchedule full;
+  for (double frac : {0.5, 0.35, 0.25, 0.15, 0.1}) {
+    const auto budget =
+        static_cast<std::uint64_t>(static_cast<double>(total_bytes) * frac);
+    const advisor::PhaseAdvisor tight(
+        advisor::MemorySpec::two_tier(budget, 64ull << 30),
+        advisor::Options{});
+    full = tight.advise(batch.phases);
+    if (full.migration_bytes_per_cycle() > 0) break;
+  }
+  ASSERT_GT(full.phases.size(), 1u);
+  ASSERT_GT(full.migration_bytes_per_cycle(), 0u)
+      << "precondition: the full schedule must actually migrate";
+
+  advisor::PlacementSchedule partial;
+  partial.phases.push_back(full.phases.front());
+  advisor::compute_migrations(partial);
+
+  engine::RunOptions opts;
+  opts.condition = engine::Condition::kDynamic;
+  opts.node = node;
+
+  // Reference: a double-buffered hook swapping between two stable objects.
+  engine::RunOptions swap = opts;
+  swap.schedule = &partial;
+  swap.advisor_hook = [&](const std::string&, std::uint64_t iteration)
+      -> const advisor::PlacementSchedule* {
+    return iteration >= 1 ? &full : nullptr;
+  };
+  const engine::RunResult reference = engine::run_app(app, swap);
+  ASSERT_GT(reference.migration_count, 0u);
+
+  // Same answers, served by mutating ONE object in place.
+  advisor::PlacementSchedule live = partial;
+  engine::RunOptions inplace = opts;
+  inplace.schedule = &live;
+  inplace.advisor_hook = [&](const std::string&, std::uint64_t iteration)
+      -> const advisor::PlacementSchedule* {
+    if (iteration >= 1 && live.phases.size() != full.phases.size()) {
+      live.phases = full.phases;  // reallocates the phases storage
+      live.migrations = full.migrations;
+      ++live.generation;  // the contract: bump on every content change
+    }
+    return &live;  // same pointer, every consultation
+  };
+  const engine::RunResult got = engine::run_app(app, inplace);
+  EXPECT_EQ(reference.fom, got.fom);
+  EXPECT_EQ(reference.time_s, got.time_s);
+  EXPECT_EQ(reference.llc_misses, got.llc_misses);
+  EXPECT_EQ(reference.migration_bytes, got.migration_bytes);
+  EXPECT_EQ(reference.migration_count, got.migration_count);
 }
 
 }  // namespace

@@ -118,8 +118,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--stream") == 0) {
       stream = true;
     } else if (std::strcmp(argv[i], "--refresh-every") == 0) {
-      refresh_every = std::strtoull(
-          tools::cli_value(argc, argv, i, "--refresh-every"), nullptr, 10);
+      char* end = nullptr;
+      const char* value = tools::cli_value(argc, argv, i, "--refresh-every");
+      refresh_every = std::strtoull(value, &end, 10);
+      if (end == value || *end != '\0') {
+        std::fprintf(stderr, "bad --refresh-every event count: %s\n", value);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--prefix") == 0) {
       char* end = nullptr;
       const char* value = tools::cli_value(argc, argv, i, "--prefix");
